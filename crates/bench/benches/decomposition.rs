@@ -1,0 +1,32 @@
+//! Criterion benchmark: the planner layer.
+//!
+//! Times decomposition-tree construction, full plan enumeration and the
+//! heuristic selection for the Figure 8 queries (the paper notes the planner
+//! cost is negligible; this verifies it stays in the microsecond range).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_counting::query::{catalog, decompose, enumerate_plans, heuristic_plan};
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    for spec in catalog::FIGURE8_QUERIES {
+        let query = (spec.build)();
+        group.bench_with_input(BenchmarkId::new("decompose", spec.name), &query, |b, q| {
+            b.iter(|| decompose(q).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("enumerate", spec.name), &query, |b, q| {
+            b.iter(|| enumerate_plans(q).unwrap().len());
+        });
+        group.bench_with_input(BenchmarkId::new("heuristic", spec.name), &query, |b, q| {
+            b.iter(|| heuristic_plan(q).unwrap());
+        });
+    }
+    let satellite = catalog::satellite();
+    group.bench_function("enumerate/satellite", |b| {
+        b.iter(|| enumerate_plans(&satellite).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

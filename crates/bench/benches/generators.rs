@@ -1,0 +1,34 @@
+//! Criterion benchmark: the graph generators.
+//!
+//! The experiment harness regenerates graphs frequently; this keeps an eye on
+//! the cost of the Chung-Lu sampler (which must stay O(n + m)), the R-MAT
+//! generator and the road-like generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subgraph_counting::gen::rmat::RmatParams;
+use subgraph_counting::gen::{chung_lu, power_law_degrees, rmat, road_like};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for exp in [12u32, 14] {
+        let n = 1usize << exp;
+        let degrees = power_law_degrees(n, 1.5);
+        group.bench_with_input(BenchmarkId::new("chung_lu", n), &degrees, |b, d| {
+            b.iter(|| chung_lu(d, 1).num_edges());
+        });
+        group.bench_with_input(BenchmarkId::new("rmat", n), &exp, |b, &scale| {
+            b.iter(|| rmat(scale, RmatParams::paper(), 1).num_edges());
+        });
+    }
+    group.bench_function("road_like_10k", |b| {
+        b.iter(|| road_like(100, 0.65, 0.02, 1).num_edges());
+    });
+    group.bench_function("power_law_degrees_65k", |b| {
+        b.iter(|| power_law_degrees(1 << 16, 1.5).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

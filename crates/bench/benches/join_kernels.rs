@@ -1,0 +1,66 @@
+//! Criterion benchmark: the engine's table kernels.
+//!
+//! Measures the raw cost of the operations the joins are built from —
+//! inserting into and merging path tables, grouping binary tables, and
+//! signature algebra — independent of any particular query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subgraph_counting::engine::{BinaryTable, PathKey, PathTable, Signature};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_kernels");
+    group.sample_size(20);
+
+    group.bench_function("path_table_insert_100k", |b| {
+        b.iter(|| {
+            let mut t = PathTable::new();
+            for i in 0u32..100_000 {
+                let key = PathKey::new(i % 997, i % 1009, Signature(i % 1024));
+                t.add(key, 1);
+            }
+            t.len()
+        });
+    });
+
+    group.bench_function("path_table_merge_2x50k", |b| {
+        let make = |offset: u32| {
+            let mut t = PathTable::new();
+            for i in 0u32..50_000 {
+                t.add(PathKey::new((i + offset) % 997, i % 1009, Signature(i % 512)), 1);
+            }
+            t
+        };
+        b.iter(|| {
+            let mut a = make(0);
+            a.merge(make(3));
+            a.len()
+        });
+    });
+
+    group.bench_function("binary_table_group_by_first_50k", |b| {
+        let mut t = BinaryTable::new();
+        for i in 0u32..50_000 {
+            t.add(i % 2048, i % 997, Signature(i % 256), 1);
+        }
+        b.iter(|| t.group_by_first().len());
+    });
+
+    group.bench_function("signature_ops_1m", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0u32..1_000_000 {
+                let a = Signature(i & 0xFFFF);
+                let s = Signature(i.rotate_left(7) & 0xFFFF);
+                if a.is_disjoint(s) {
+                    acc ^= a.union(s).0;
+                }
+            }
+            acc
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 9 — average execution time of the DB algorithm per graph (across
+//! queries) and per query (across graphs).
+//!
+//! The paper runs all 100 graph-query combinations at 512 ranks and reports
+//! two bar charts of averages. This binary reproduces both series on the
+//! analog suite; the expected shape is that skewed graphs (enron, epinions,
+//! slashdot) and long-cycle queries (brain2, brain3) dominate the averages,
+//! while roadNetCA and the small queries (youtube, glet1, glet2) are fastest.
+
+use sgc_bench::*;
+use subgraph_counting::core::Algorithm;
+
+fn main() {
+    print_header("Figure 9: average DB execution time per graph and per query");
+    let graphs = benchmark_graphs(experiment_scale(), graph_subset());
+    let queries = benchmark_queries(query_subset());
+    let threads = max_threads();
+
+    let mut per_graph: Vec<(&str, Vec<f64>)> = graphs.iter().map(|g| (g.name, Vec::new())).collect();
+    let mut per_query: Vec<(&str, Vec<f64>)> = queries.iter().map(|q| (q.name, Vec::new())).collect();
+
+    for (gi, bg) in graphs.iter().enumerate() {
+        for (qi, bq) in queries.iter().enumerate() {
+            let (_, seconds) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
+            per_graph[gi].1.push(seconds);
+            per_query[qi].1.push(seconds);
+        }
+    }
+
+    println!("average execution time per graph (seconds, across {} queries):", queries.len());
+    for (name, times) in &per_graph {
+        let avg = times.iter().sum::<f64>() / times.len() as f64;
+        println!("  {:<12} {:>10.4}", name, avg);
+    }
+    println!();
+    println!("average execution time per query (seconds, across {} graphs):", graphs.len());
+    for (name, times) in &per_query {
+        let avg = times.iter().sum::<f64>() / times.len() as f64;
+        println!("  {:<10} {:>10.4}", name, avg);
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 10 — improvement factor (IF) of the DB algorithm over PS for every
+//! graph-query pair, at low and high parallelism.
+//!
+//! The paper reports IF = time(PS) / time(DB) at 32 and 512 ranks; DB wins on
+//! 84% / 89% of the combinations with averages of 2.4x / 5.0x. Here the two
+//! parallelism settings are one thread and all hardware threads, and the
+//! expected shape is: IF > 1 on skewed graphs (enron, epinions, slashdot,
+//! astroph), IF near or below 1 on the low-skew roadNetCA, and larger IF for
+//! queries with longer cycles.
+
+use sgc_bench::*;
+use subgraph_counting::core::Algorithm;
+
+fn main() {
+    print_header("Figure 10: improvement factor of DB over PS (time_PS / time_DB)");
+    let graphs = benchmark_graphs(experiment_scale(), graph_subset());
+    let queries = benchmark_queries(query_subset());
+
+    for (setting, threads) in [("low parallelism (1 thread)", 1), ("high parallelism", max_threads())] {
+        println!("--- {setting} ---");
+        print!("{:<12}", "graph\\query");
+        for q in &queries {
+            print!(" {:>8}", q.name);
+        }
+        println!();
+        let mut all_ifs = Vec::new();
+        let mut wins = 0usize;
+        for bg in &graphs {
+            print!("{:<12}", bg.name);
+            for bq in &queries {
+                let (ps_res, ps_t) = timed_count(&bg.graph, &bq.plan, Algorithm::PathSplitting, threads, 42);
+                let (db_res, db_t) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
+                assert_eq!(ps_res.colorful_matches, db_res.colorful_matches);
+                let improvement = ps_t / db_t.max(1e-9);
+                all_ifs.push(improvement);
+                if improvement > 1.0 {
+                    wins += 1;
+                }
+                print!(" {:>8.2}", improvement);
+            }
+            println!();
+        }
+        let pct = 100.0 * wins as f64 / all_ifs.len() as f64;
+        println!(
+            "DB wins on {wins}/{} combinations ({pct:.0}%); geometric-mean IF = {:.2}, max IF = {:.2}",
+            all_ifs.len(),
+            geometric_mean(&all_ifs),
+            all_ifs.iter().cloned().fold(0.0f64, f64::max)
+        );
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 11 — normalized execution time, maximum load and average load of
+//! PS and DB on the enron graph.
+//!
+//! The load of a rank is the number of projection function operations it
+//! performs. The paper shows DB achieving both a lower average load (less
+//! wasted work) and a lower maximum load (better balance) than PS; the
+//! execution-time improvement correlates with the max-load improvement.
+
+use sgc_bench::*;
+use subgraph_counting::core::Algorithm;
+
+fn main() {
+    print_header("Figure 11: normalized time / max load / avg load on the enron analog");
+    let graphs = benchmark_graphs(experiment_scale(), &["enron"]);
+    let enron = &graphs[0];
+    let queries = benchmark_queries(query_subset());
+    let threads = max_threads();
+
+    println!(
+        "{:<10} | {:>9} {:>9} | {:>12} {:>12} | {:>12} {:>12} | {:>9} {:>9}",
+        "query", "PS time", "DB time", "PS max load", "DB max load", "PS avg load", "DB avg load", "IF time", "IF maxld"
+    );
+    for bq in &queries {
+        let (ps, ps_t) = timed_count(&enron.graph, &bq.plan, Algorithm::PathSplitting, threads, 42);
+        let (db, db_t) = timed_count(&enron.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
+        assert_eq!(ps.colorful_matches, db.colorful_matches);
+        println!(
+            "{:<10} | {:>9.4} {:>9.4} | {:>12} {:>12} | {:>12.0} {:>12.0} | {:>9.2} {:>9.2}",
+            bq.name,
+            ps_t,
+            db_t,
+            ps.metrics.max_load(),
+            db.metrics.max_load(),
+            ps.metrics.avg_load(),
+            db.metrics.avg_load(),
+            ps_t / db_t.max(1e-9),
+            ps.metrics.max_load() as f64 / db.metrics.max_load().max(1) as f64,
+        );
+    }
+    println!();
+    println!("loads are per simulated rank ({} ranks); normalize each column by its PS value to match the paper's plot", simulated_ranks());
+}

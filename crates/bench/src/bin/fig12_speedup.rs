@@ -1,0 +1,43 @@
+//! Figure 12 — average speedup of the DB algorithm at high parallelism
+//! relative to low parallelism, per query and per graph.
+//!
+//! The paper reports the ratio of execution time at 32 ranks to 512 ranks
+//! (ideal 16x), observing 7.4x–15.8x. Here the ratio is single-thread time to
+//! all-threads time (ideal = number of hardware threads).
+
+use sgc_bench::*;
+use subgraph_counting::core::Algorithm;
+
+fn main() {
+    print_header("Figure 12: average DB speedup (1 thread -> all threads)");
+    // Parallel speedup needs enough work per join to amortise the fork/join
+    // overhead, so the scaling experiments run at 5x the base scale.
+    let scale = (experiment_scale() * 5.0).min(1.0);
+    println!("(scaling experiments use scale {scale})");
+    let graphs = benchmark_graphs(scale, &["enron", "astroph", "condMat"]);
+    let queries = benchmark_queries(&["glet2", "dros", "ecoli2", "glet1"]);
+    let threads = max_threads();
+    println!("ideal speedup = {threads}x");
+    println!();
+
+    let mut per_query: Vec<(&str, Vec<f64>)> = queries.iter().map(|q| (q.name, Vec::new())).collect();
+    let mut per_graph: Vec<(&str, Vec<f64>)> = graphs.iter().map(|g| (g.name, Vec::new())).collect();
+    for (gi, bg) in graphs.iter().enumerate() {
+        for (qi, bq) in queries.iter().enumerate() {
+            let (_, slow) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, 1, 42);
+            let (_, fast) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
+            let speedup = slow / fast.max(1e-9);
+            per_query[qi].1.push(speedup);
+            per_graph[gi].1.push(speedup);
+        }
+    }
+    println!("average speedup per query (across graphs):");
+    for (name, s) in &per_query {
+        println!("  {:<10} {:>6.2}x", name, s.iter().sum::<f64>() / s.len() as f64);
+    }
+    println!();
+    println!("average speedup per graph (across queries):");
+    for (name, s) in &per_graph {
+        println!("  {:<12} {:>6.2}x", name, s.iter().sum::<f64>() / s.len() as f64);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 13 (left) — strong scaling of the DB algorithm on the enron graph.
+//!
+//! The paper fixes the enron graph and sweeps 32..512 ranks, reporting
+//! speedup relative to the 32-rank baseline. Here the sweep is over thread
+//! counts 1, 2, 4, ... up to the hardware limit, with speedup relative to a
+//! single thread.
+
+use sgc_bench::*;
+use subgraph_counting::core::Algorithm;
+
+fn main() {
+    print_header("Figure 13 (left): strong scaling on the enron analog");
+    // Strong scaling needs enough per-join work to amortise fork/join
+    // overhead, so this experiment runs at 5x the base scale.
+    let scale = (experiment_scale() * 5.0).min(1.0);
+    println!("(strong scaling uses scale {scale})");
+    let graphs = benchmark_graphs(scale, &["enron"]);
+    let enron = &graphs[0];
+    let queries = benchmark_queries(&["glet2", "dros", "ecoli2", "glet1"]);
+
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().unwrap() * 2 <= max_threads() {
+        thread_counts.push(thread_counts.last().unwrap() * 2);
+    }
+
+    print!("{:<10}", "query");
+    for &t in &thread_counts {
+        print!(" {:>10}", format!("{t} thr"));
+    }
+    println!("   (speedup vs 1 thread)");
+    for bq in &queries {
+        print!("{:<10}", bq.name);
+        let mut baseline = None;
+        for &t in &thread_counts {
+            let (_, seconds) = timed_count(&enron.graph, &bq.plan, Algorithm::DegreeBased, t, 42);
+            let base = *baseline.get_or_insert(seconds);
+            print!(" {:>10.2}", base / seconds.max(1e-9));
+        }
+        println!();
+    }
+    println!();
+    println!("ideal column values equal the thread count; saturation indicates the serial merge fraction");
+}

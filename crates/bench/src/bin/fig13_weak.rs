@@ -1,0 +1,42 @@
+//! Figure 13 (right) — weak scaling of the DB algorithm on R-MAT graphs.
+//!
+//! The paper fixes 1K vertices per rank (R-MAT, Graph 500 parameters,
+//! edge factor 16) and sweeps 32..512 ranks; flat execution time indicates
+//! good weak scaling. Here the number of vertices grows proportionally to the
+//! thread count; a flat row is the ideal outcome.
+
+use sgc_bench::*;
+use subgraph_counting::core::Algorithm;
+use subgraph_counting::gen::rmat::{rmat, RmatParams};
+use subgraph_counting::query::heuristic_plan;
+
+fn main() {
+    print_header("Figure 13 (right): weak scaling on R-MAT (Graph 500 parameters)");
+    let vertices_per_thread_log2 = 10u32; // 1K vertices per thread, as in the paper
+    let queries = benchmark_queries(&["youtube", "glet1", "wiki", "ecoli1"]);
+
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().unwrap() * 2 <= max_threads() {
+        thread_counts.push(thread_counts.last().unwrap() * 2);
+    }
+
+    print!("{:<10}", "query");
+    for &t in &thread_counts {
+        let scale = vertices_per_thread_log2 + (t as f64).log2() as u32;
+        print!(" {:>14}", format!("{t} thr (2^{scale})"));
+    }
+    println!("   (seconds)");
+    for bq in &queries {
+        let plan = heuristic_plan(&bq.query).unwrap();
+        print!("{:<10}", bq.name);
+        for &t in &thread_counts {
+            let scale = vertices_per_thread_log2 + (t as f64).log2() as u32;
+            let graph = rmat(scale, RmatParams::paper(), 7);
+            let (_, seconds) = timed_count(&graph, &plan, Algorithm::DegreeBased, t, 42);
+            print!(" {:>14.3}", seconds);
+        }
+        println!();
+    }
+    println!();
+    println!("ideal weak scaling keeps each row flat as threads and graph size grow together");
+}

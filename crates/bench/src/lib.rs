@@ -1,0 +1,209 @@
+//! # sgc-bench — experiment harness
+//!
+//! Shared helpers for the experiment binaries that regenerate every table and
+//! figure of the paper's evaluation (Section 8) and for the Criterion
+//! microbenchmarks. Each binary prints the rows/series of the corresponding
+//! paper artifact; see `EXPERIMENTS.md` at the repository root for the
+//! mapping and for the recorded results.
+//!
+//! All experiments run at a configurable fraction of the paper's graph sizes
+//! (the `SGC_SCALE` environment variable, default `0.02`), because the paper
+//! used up to 512 Blue Gene/Q cores and this harness targets a laptop. The
+//! *shape* of the results (who wins, by what factor, how scaling behaves) is
+//! what is being reproduced, not the absolute numbers.
+
+use std::time::Instant;
+use subgraph_counting::core::driver::count_colorful_with_tree;
+use subgraph_counting::core::{Algorithm, CountConfig, CountResult};
+use subgraph_counting::engine::parallel::run_with_threads;
+use subgraph_counting::gen::catalog::{GraphSpec, TABLE1_ANALOGS};
+use subgraph_counting::graph::{Coloring, CsrGraph};
+use subgraph_counting::query::{catalog, heuristic_plan, DecompositionTree, QueryGraph};
+
+/// The default fraction of the paper's graph sizes used by the experiments.
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// Reads the experiment scale from `SGC_SCALE` (fraction of the paper's graph
+/// sizes), falling back to [`DEFAULT_SCALE`].
+pub fn experiment_scale() -> f64 {
+    std::env::var("SGC_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s > 0.0 && s <= 1.0)
+        .unwrap_or(DEFAULT_SCALE)
+}
+
+/// Whether the full 10×10 graph-query cross product should be run
+/// (`SGC_FULL=1`); the default is a representative quick subset so that every
+/// experiment binary finishes in minutes on a laptop.
+pub fn full_suite() -> bool {
+    std::env::var("SGC_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The graph subset selected by [`full_suite`].
+pub fn graph_subset() -> &'static [&'static str] {
+    if full_suite() {
+        &[]
+    } else {
+        QUICK_GRAPHS
+    }
+}
+
+/// The query subset selected by [`full_suite`].
+pub fn query_subset() -> &'static [&'static str] {
+    if full_suite() {
+        &[]
+    } else {
+        QUICK_QUERIES
+    }
+}
+
+/// Reads the number of simulated ranks from `SGC_RANKS` (default 64).
+pub fn simulated_ranks() -> usize {
+    std::env::var("SGC_RANKS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(64)
+}
+
+/// A named, generated benchmark graph.
+pub struct BenchGraph {
+    /// Table 1 name.
+    pub name: &'static str,
+    /// The generating spec.
+    pub spec: &'static GraphSpec,
+    /// The generated analog.
+    pub graph: CsrGraph,
+}
+
+/// Generates the Table 1 analog suite at the given scale.
+///
+/// `subset` limits the suite to the named graphs (empty = all ten).
+pub fn benchmark_graphs(scale: f64, subset: &[&str]) -> Vec<BenchGraph> {
+    TABLE1_ANALOGS
+        .iter()
+        .filter(|spec| subset.is_empty() || subset.contains(&spec.name))
+        .map(|spec| BenchGraph {
+            name: spec.name,
+            spec,
+            graph: spec.generate(scale, 0xC0FFEE),
+        })
+        .collect()
+}
+
+/// The graphs used by the quick experiment suite (a representative subset
+/// covering high skew, moderate skew and low skew).
+pub const QUICK_GRAPHS: &[&str] = &["condMat", "enron", "astroph", "roadNetCA"];
+
+/// A named benchmark query.
+pub struct BenchQuery {
+    /// Figure 8 name.
+    pub name: &'static str,
+    /// The query graph.
+    pub query: QueryGraph,
+    /// The heuristic decomposition plan.
+    pub plan: DecompositionTree,
+}
+
+/// The Figure 8 query suite with heuristic plans.
+pub fn benchmark_queries(subset: &[&str]) -> Vec<BenchQuery> {
+    catalog::FIGURE8_QUERIES
+        .iter()
+        .filter(|spec| subset.is_empty() || subset.contains(&spec.name))
+        .map(|spec| {
+            let query = (spec.build)();
+            let plan = heuristic_plan(&query).expect("catalog queries are treewidth-2");
+            BenchQuery {
+                name: spec.name,
+                query,
+                plan,
+            }
+        })
+        .collect()
+}
+
+/// The queries used by the quick experiment suite.
+pub const QUICK_QUERIES: &[&str] = &["youtube", "glet1", "glet2", "wiki", "dros", "ecoli1"];
+
+/// Runs one colorful count and returns the result together with the
+/// wall-clock seconds it took.
+pub fn timed_count(
+    graph: &CsrGraph,
+    plan: &DecompositionTree,
+    algorithm: Algorithm,
+    threads: usize,
+    seed: u64,
+) -> (CountResult, f64) {
+    let coloring = Coloring::random(graph.num_vertices(), plan.query.num_nodes(), seed);
+    let config = CountConfig::new(algorithm).with_ranks(simulated_ranks());
+    let started = Instant::now();
+    let result = run_with_threads(threads, || {
+        count_colorful_with_tree(graph, &coloring, plan, &config)
+    });
+    (result, started.elapsed().as_secs_f64())
+}
+
+/// The number of hardware threads used as the "high parallelism" setting.
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Geometric mean of a slice of positive numbers.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Prints the standard experiment header (scale, thread counts, ranks).
+pub fn print_header(title: &str) {
+    println!("==== {title} ====");
+    println!(
+        "scale = {} of the paper's graph sizes, threads = {}, simulated ranks = {}",
+        experiment_scale(),
+        max_threads(),
+        simulated_ranks()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_and_parses() {
+        // The environment is not modified here; just check the default range.
+        let s = experiment_scale();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn benchmark_suites_are_nonempty() {
+        let graphs = benchmark_graphs(0.005, QUICK_GRAPHS);
+        assert_eq!(graphs.len(), QUICK_GRAPHS.len());
+        let queries = benchmark_queries(QUICK_QUERIES);
+        assert_eq!(queries.len(), QUICK_QUERIES.len());
+        let all_queries = benchmark_queries(&[]);
+        assert_eq!(all_queries.len(), 10);
+    }
+
+    #[test]
+    fn timed_count_agrees_across_algorithms() {
+        let graphs = benchmark_graphs(0.003, &["condMat"]);
+        let queries = benchmark_queries(&["youtube"]);
+        let (ps, _) = timed_count(&graphs[0].graph, &queries[0].plan, Algorithm::PathSplitting, 2, 1);
+        let (db, _) = timed_count(&graphs[0].graph, &queries[0].plan, Algorithm::DegreeBased, 2, 1);
+        assert_eq!(ps.colorful_matches, db.colorful_matches);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! Brute-force reference counters.
+//!
+//! These enumerate matches explicitly by backtracking and therefore run in
+//! time exponential in the query size; they exist purely as the correctness
+//! oracle for the PS/DB implementations (and for the estimator's unbiasedness
+//! tests) on small graphs. The definitions follow Section 2 exactly:
+//!
+//! * a *match* is an injective mapping `π : V_Q → V_G` such that every query
+//!   edge maps to a data edge (non-induced subgraph semantics),
+//! * a *colorful match* additionally maps the query nodes to distinctly
+//!   colored data vertices.
+
+use sgc_engine::Count;
+use sgc_graph::{Coloring, CsrGraph, VertexId};
+use sgc_query::{QueryGraph, QueryNode};
+
+/// Counts all matches (injective homomorphisms) of `query` in `graph`.
+///
+/// Intended for small inputs only — the search is exponential in the query
+/// size.
+pub fn count_matches(graph: &CsrGraph, query: &QueryGraph) -> Count {
+    count_with_filter(graph, query, |_, _| true)
+}
+
+/// Counts the colorful matches of `query` in `graph` under `coloring`.
+pub fn count_colorful_matches(graph: &CsrGraph, query: &QueryGraph, coloring: &Coloring) -> Count {
+    assert_eq!(coloring.num_vertices(), graph.num_vertices());
+    let mut used_colors = vec![false; coloring.num_colors()];
+    // The filter tracks used colors via interior state captured per call; to
+    // keep the recursion simple we re-check distinctness over the partial
+    // mapping instead.
+    let _ = &mut used_colors;
+    count_with_filter(graph, query, |mapped, v| {
+        let color = coloring.color(v);
+        mapped
+            .iter()
+            .flatten()
+            .all(|&u| coloring.color(u) != color)
+    })
+}
+
+/// Shared backtracking search. `accept(mapped, candidate)` is invoked before
+/// extending the partial mapping with `candidate`; returning `false` prunes.
+fn count_with_filter(
+    graph: &CsrGraph,
+    query: &QueryGraph,
+    accept: impl Fn(&[Option<VertexId>], VertexId) -> bool,
+) -> Count {
+    let k = query.num_nodes();
+    if k == 0 {
+        return 1;
+    }
+    if k > graph.num_vertices() {
+        return 0;
+    }
+    // Order query nodes so each one (after the first) has a previously mapped
+    // neighbor; for connected queries a BFS order gives exactly that. For
+    // disconnected queries later nodes may lack mapped neighbors and fall back
+    // to scanning all vertices.
+    let order = bfs_order(query);
+    let mut mapping: Vec<Option<VertexId>> = vec![None; k];
+    let mut used = vec![false; graph.num_vertices()];
+    let mut count = 0;
+    extend(
+        graph,
+        query,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        &accept,
+        &mut count,
+    );
+    count
+}
+
+fn bfs_order(query: &QueryGraph) -> Vec<QueryNode> {
+    let k = query.num_nodes();
+    let mut order = Vec::with_capacity(k);
+    let mut seen = vec![false; k];
+    for start in 0..k as QueryNode {
+        if seen[start as usize] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start as usize] = true;
+        while let Some(a) = queue.pop_front() {
+            order.push(a);
+            for b in query.neighbors(a) {
+                if !seen[b as usize] {
+                    seen[b as usize] = true;
+                    queue.push_back(b);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    graph: &CsrGraph,
+    query: &QueryGraph,
+    order: &[QueryNode],
+    depth: usize,
+    mapping: &mut Vec<Option<VertexId>>,
+    used: &mut Vec<bool>,
+    accept: &impl Fn(&[Option<VertexId>], VertexId) -> bool,
+    count: &mut Count,
+) {
+    if depth == order.len() {
+        *count += 1;
+        return;
+    }
+    let a = order[depth];
+    // Candidate data vertices: neighbors of an already-mapped query neighbor
+    // if one exists (much cheaper), otherwise every vertex.
+    let anchor = query
+        .neighbors(a)
+        .find_map(|b| mapping[b as usize].map(|v| (b, v)));
+    let candidates: Vec<VertexId> = match anchor {
+        Some((_, v)) => graph.neighbors(v).to_vec(),
+        None => graph.vertices().collect(),
+    };
+    for v in candidates {
+        if used[v as usize] || !accept(mapping, v) {
+            continue;
+        }
+        // Every mapped query neighbor must be a data neighbor of v.
+        let consistent = query
+            .neighbors(a)
+            .all(|b| match mapping[b as usize] {
+                Some(u) => graph.has_edge(u, v),
+                None => true,
+            });
+        if !consistent {
+            continue;
+        }
+        mapping[a as usize] = Some(v);
+        used[v as usize] = true;
+        extend(graph, query, order, depth + 1, mapping, used, accept, count);
+        mapping[a as usize] = None;
+        used[v as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgc_graph::GraphBuilder;
+    use sgc_query::catalog;
+
+    fn complete_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triangle_matches_in_k4() {
+        // K4 has 4 triangles, each with 3! = 6 matches.
+        assert_eq!(count_matches(&complete_graph(4), &catalog::triangle()), 24);
+    }
+
+    #[test]
+    fn path_matches_in_complete_graph() {
+        // P3 matches in K4: ordered choices of 3 distinct vertices = 24.
+        assert_eq!(count_matches(&complete_graph(4), &catalog::path(3)), 24);
+    }
+
+    #[test]
+    fn cycle4_matches_in_k4() {
+        // K4 contains 3 distinct 4-cycles, each with aut(C4) = 8 matches.
+        assert_eq!(count_matches(&complete_graph(4), &catalog::cycle(4)), 24);
+    }
+
+    #[test]
+    fn no_matches_when_query_is_larger_than_graph() {
+        assert_eq!(count_matches(&complete_graph(3), &catalog::cycle(4)), 0);
+    }
+
+    #[test]
+    fn colorful_matches_respect_colors() {
+        let g = complete_graph(3);
+        let rainbow = Coloring::from_colors(vec![0, 1, 2], 3);
+        let mono = Coloring::from_colors(vec![0, 0, 0], 3);
+        assert_eq!(count_colorful_matches(&g, &catalog::triangle(), &rainbow), 6);
+        assert_eq!(count_colorful_matches(&g, &catalog::triangle(), &mono), 0);
+    }
+
+    #[test]
+    fn colorful_is_a_subset_of_all_matches() {
+        let g = complete_graph(5);
+        let coloring = Coloring::random(5, 4, 3);
+        let q = catalog::cycle(4);
+        assert!(count_colorful_matches(&g, &q, &coloring) <= count_matches(&g, &q));
+    }
+}

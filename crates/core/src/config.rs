@@ -1,0 +1,95 @@
+//! Run configuration for the counting algorithms.
+
+/// Which algorithm solves the cycle blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// The baseline Path Splitting algorithm (Figure 4): equivalent to the
+    /// dynamic program of Alon et al.; cycles are split at their boundary
+    /// nodes and paths are extended without any pruning.
+    PathSplitting,
+    /// The paper's Degree Based algorithm (Figures 5–7): cycles are split at
+    /// every possible highest node under the degree ordering, and only
+    /// high-starting paths are extended.
+    DegreeBased,
+}
+
+impl Algorithm {
+    /// Short name used in experiment output ("PS" / "DB").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Algorithm::PathSplitting => "PS",
+            Algorithm::DegreeBased => "DB",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Configuration of a single colorful-counting run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CountConfig {
+    /// Cycle-solving algorithm.
+    pub algorithm: Algorithm,
+    /// Number of simulated ranks used for load attribution (the paper uses
+    /// 32–512 MPI ranks; this only affects the reported load vectors, not the
+    /// result or the actual parallelism).
+    pub num_ranks: usize,
+}
+
+impl CountConfig {
+    /// Configuration for the given algorithm with the default rank count.
+    pub fn new(algorithm: Algorithm) -> Self {
+        CountConfig {
+            algorithm,
+            num_ranks: 64,
+        }
+    }
+
+    /// Sets the number of simulated ranks.
+    pub fn with_ranks(mut self, num_ranks: usize) -> Self {
+        assert!(num_ranks > 0, "need at least one rank");
+        self.num_ranks = num_ranks;
+        self
+    }
+}
+
+impl Default for CountConfig {
+    fn default() -> Self {
+        CountConfig::new(Algorithm::DegreeBased)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_degree_based() {
+        let c = CountConfig::default();
+        assert_eq!(c.algorithm, Algorithm::DegreeBased);
+        assert_eq!(c.num_ranks, 64);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = CountConfig::new(Algorithm::PathSplitting).with_ranks(512);
+        assert_eq!(c.algorithm, Algorithm::PathSplitting);
+        assert_eq!(c.num_ranks, 512);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Algorithm::PathSplitting.to_string(), "PS");
+        assert_eq!(Algorithm::DegreeBased.to_string(), "DB");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = CountConfig::default().with_ranks(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-run counting context.
+//!
+//! Bundles the immutable inputs every join needs — the data graph, the
+//! coloring, the degree ordering (for the DB algorithm's `u ≻ w` checks) and
+//! the simulated rank partition (for load attribution) — so that the
+//! algorithm code passes a single reference around.
+
+use sgc_engine::Signature;
+use sgc_graph::{BlockPartition, Coloring, CsrGraph, DegreeOrder, VertexId};
+
+/// Immutable state shared by every join of a counting run.
+pub struct Context<'a> {
+    /// The data graph.
+    pub graph: &'a CsrGraph,
+    /// The current random coloring (k colors, k = query size).
+    pub coloring: &'a Coloring,
+    /// Degree-based total order on data vertices (used by the DB algorithm).
+    pub order: DegreeOrder,
+    /// Simulated 1D block partition of vertices over ranks.
+    pub partition: BlockPartition,
+    /// Adjacency lists re-sorted by ascending degree rank; `ranked_offsets`
+    /// delimits each vertex's slice. Lets the DB algorithm enumerate only the
+    /// neighbors below a given rank (the MINBUCKET-style pruning) instead of
+    /// scanning the full list and rejecting.
+    ranked_neighbors: Vec<VertexId>,
+    ranked_offsets: Vec<usize>,
+}
+
+impl<'a> Context<'a> {
+    /// Builds a context for a run over `graph` with `coloring`, attributing
+    /// load to `num_ranks` simulated ranks.
+    pub fn new(graph: &'a CsrGraph, coloring: &'a Coloring, num_ranks: usize) -> Self {
+        assert_eq!(
+            coloring.num_vertices(),
+            graph.num_vertices(),
+            "coloring must cover every vertex of the graph"
+        );
+        let order = DegreeOrder::new(graph);
+        let mut ranked_neighbors = Vec::with_capacity(2 * graph.num_edges());
+        let mut ranked_offsets = Vec::with_capacity(graph.num_vertices() + 1);
+        ranked_offsets.push(0);
+        let mut scratch: Vec<VertexId> = Vec::new();
+        for v in graph.vertices() {
+            scratch.clear();
+            scratch.extend_from_slice(graph.neighbors(v));
+            scratch.sort_unstable_by_key(|&w| order.rank(w));
+            ranked_neighbors.extend_from_slice(&scratch);
+            ranked_offsets.push(ranked_neighbors.len());
+        }
+        Context {
+            graph,
+            coloring,
+            order,
+            partition: BlockPartition::new(graph.num_vertices(), num_ranks),
+            ranked_neighbors,
+            ranked_offsets,
+        }
+    }
+
+    /// Neighbors of `v` sorted by ascending degree rank.
+    #[inline]
+    pub fn neighbors_by_rank(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.ranked_neighbors[self.ranked_offsets[v]..self.ranked_offsets[v + 1]]
+    }
+
+    /// The neighbors of `v` that are strictly lower than `than` in the degree
+    /// ordering — the only candidates a high-starting path from `than` may
+    /// extend to.
+    #[inline]
+    pub fn lower_neighbors(&self, v: VertexId, than: VertexId) -> &[VertexId] {
+        let list = self.neighbors_by_rank(v);
+        let bound = self.order.rank(than);
+        let cut = list.partition_point(|&w| self.order.rank(w) < bound);
+        &list[..cut]
+    }
+
+    /// Color of data vertex `v`.
+    #[inline]
+    pub fn color(&self, v: VertexId) -> u8 {
+        self.coloring.color(v)
+    }
+
+    /// Signature containing only the color of `v`.
+    #[inline]
+    pub fn color_sig(&self, v: VertexId) -> Signature {
+        Signature::singleton(self.coloring.color(v))
+    }
+
+    /// Number of colors `k`.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.coloring.num_colors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgc_graph::GraphBuilder;
+
+    fn tiny() -> CsrGraph {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        b.build()
+    }
+
+    #[test]
+    fn context_exposes_colors_and_order() {
+        let g = tiny();
+        let col = Coloring::from_colors(vec![0, 1, 2, 0], 3);
+        let ctx = Context::new(&g, &col, 4);
+        assert_eq!(ctx.color(1), 1);
+        assert_eq!(ctx.color_sig(2), Signature::singleton(2));
+        assert_eq!(ctx.num_colors(), 3);
+        // Vertex 1 and 2 have degree 2, higher than endpoints.
+        assert!(ctx.order.higher(1, 0));
+        assert_eq!(ctx.partition.num_ranks(), 4);
+    }
+
+    #[test]
+    fn ranked_neighbors_are_sorted_and_prefixes_are_lower() {
+        let g = tiny();
+        let col = Coloring::from_colors(vec![0, 1, 2, 0], 3);
+        let ctx = Context::new(&g, &col, 2);
+        for v in g.vertices() {
+            let ranked = ctx.neighbors_by_rank(v);
+            assert_eq!(ranked.len(), g.degree(v));
+            assert!(ranked
+                .windows(2)
+                .all(|w| ctx.order.rank(w[0]) <= ctx.order.rank(w[1])));
+            for &than in &[0u32, 1, 2, 3] {
+                for &w in ctx.lower_neighbors(v, than) {
+                    assert!(ctx.order.higher(than, w));
+                }
+                let lower = ctx.lower_neighbors(v, than).len();
+                let full: usize = ranked
+                    .iter()
+                    .filter(|&&w| ctx.order.higher(than, w))
+                    .count();
+                assert_eq!(lower, full);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_coloring_panics() {
+        let g = tiny();
+        let col = Coloring::from_colors(vec![0, 1], 2);
+        let _ = Context::new(&g, &col, 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sgc-core — color coding beyond trees
+//!
+//! The paper's algorithms, built on the substrates in `sgc-graph`,
+//! `sgc-query` and `sgc-engine`:
+//!
+//! * [`ps`] / [`db`] — the Path Splitting baseline (the Alon et al. dynamic
+//!   program rephrased over the decomposition tree, Figure 4) and the Degree
+//!   Based algorithm (split every cycle at its highest-degree-ordered vertex
+//!   and count only high-starting paths, Figures 5–7),
+//! * [`blocks`] — solving individual blocks (leaf edges and annotated cycles)
+//!   into projection tables, shared by both algorithms,
+//! * [`driver`] — bottom-up traversal of a decomposition tree producing the
+//!   number of colorful matches, plus run metrics (per-rank loads, operation
+//!   counts),
+//! * [`estimator`] — the approximate subgraph counting loop: repeated random
+//!   colorings, the `k^k / k!` unbiased scaling and the precision metrics of
+//!   Figure 15,
+//! * [`treelet`] — the linear-time tree-query dynamic program (the FASCIA
+//!   special case the paper builds on), used as an independent cross-check,
+//! * [`brute`] — exponential-time reference counters used as the correctness
+//!   oracle in tests.
+
+pub mod blocks;
+pub mod brute;
+pub mod config;
+pub mod context;
+pub mod db;
+pub mod driver;
+pub mod estimator;
+pub mod metrics;
+pub mod paths;
+pub mod prelude;
+pub mod ps;
+pub mod treelet;
+
+pub use config::{Algorithm, CountConfig};
+pub use driver::{count_colorful, count_colorful_with_tree, CountResult};
+pub use estimator::{estimate_count, Estimate, EstimateConfig};
+pub use metrics::RunMetrics;

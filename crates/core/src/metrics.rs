@@ -1,0 +1,94 @@
+//! Run metrics: operation counts, per-rank loads, table sizes, timings.
+//!
+//! The paper's evaluation reports execution time (Figures 9, 10, 12, 13) and
+//! the per-processor load — "the number of projection function operations" —
+//! (Figure 11). [`RunMetrics`] collects both, plus table-size statistics
+//! useful for understanding memory behaviour.
+
+use sgc_engine::LoadStats;
+use std::time::Duration;
+
+/// Metrics accumulated over a single colorful-counting run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// Per-rank operation counts (projection function operations attributed
+    /// to the simulated owner rank).
+    pub load: LoadStats,
+    /// Total operations across all ranks (equals `load.total()`, cached for
+    /// convenience).
+    pub total_ops: u64,
+    /// Largest number of entries held by any single working table during the
+    /// run — a proxy for peak memory.
+    pub peak_table_entries: usize,
+    /// Total table entries produced across all joins.
+    pub entries_created: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl RunMetrics {
+    /// Creates empty metrics for `num_ranks` simulated ranks.
+    pub fn new(num_ranks: usize) -> Self {
+        RunMetrics {
+            load: LoadStats::new(num_ranks),
+            total_ops: 0,
+            peak_table_entries: 0,
+            entries_created: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Merges a partial load vector produced by one join into the totals.
+    pub fn absorb_load(&mut self, partial: &LoadStats) {
+        self.load.merge(partial);
+        self.total_ops = self.load.total();
+    }
+
+    /// Records the size of a freshly produced table.
+    pub fn observe_table(&mut self, entries: usize) {
+        self.peak_table_entries = self.peak_table_entries.max(entries);
+        self.entries_created += entries as u64;
+    }
+
+    /// Maximum per-rank load (Figure 11's "max load").
+    pub fn max_load(&self) -> u64 {
+        self.load.max()
+    }
+
+    /// Average per-rank load (Figure 11's "avg load").
+    pub fn avg_load(&self) -> f64 {
+        self.load.average()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_and_observe() {
+        let mut m = RunMetrics::new(4);
+        let mut l = LoadStats::new(4);
+        l.record(1, 10);
+        l.record(2, 4);
+        m.absorb_load(&l);
+        m.absorb_load(&l);
+        assert_eq!(m.total_ops, 28);
+        assert_eq!(m.max_load(), 20);
+        assert!((m.avg_load() - 7.0).abs() < 1e-12);
+
+        m.observe_table(100);
+        m.observe_table(40);
+        assert_eq!(m.peak_table_entries, 100);
+        assert_eq!(m.entries_created, 140);
+    }
+
+    #[test]
+    fn new_metrics_are_zeroed() {
+        let m = RunMetrics::new(8);
+        assert_eq!(m.total_ops, 0);
+        assert_eq!(m.max_load(), 0);
+        assert_eq!(m.peak_table_entries, 0);
+        assert_eq!(m.elapsed, Duration::ZERO);
+    }
+}

@@ -1,0 +1,464 @@
+//! Path-table construction along cycle segments.
+//!
+//! Both the PS and the DB algorithm reduce a cycle block to two path
+//! segments, build a table for each by a sequence of joins, and merge the two
+//! tables (Figures 4, 6 and 7). The joins are:
+//!
+//! * the **initial edge** — the first cycle edge, realized either by the data
+//!   graph's edges or by the binary projection table of the child block
+//!   annotating that edge,
+//! * **EdgeJoin** — extend every partial path by one cycle edge (again either
+//!   a graph edge or an annotated edge),
+//! * **NodeJoin** — fold in the unary projection table of a child block
+//!   annotating a cycle node.
+//!
+//! The DB algorithm additionally imposes the *high-starting* constraint: the
+//! image of the path's start node must be strictly higher (in the degree
+//! ordering) than the image of every other cycle node, which prunes the
+//! tables dramatically on skewed graphs.
+//!
+//! All joins are data-parallel over the current table's entries (rayon), and
+//! every examined candidate is attributed to the simulated rank owning the
+//! vertex at which the paper's distributed engine would have performed the
+//! operation.
+
+use crate::context::Context;
+use crate::metrics::RunMetrics;
+use sgc_engine::hash::FastMap;
+use sgc_engine::parallel::parallel_chunks;
+use sgc_engine::{Count, LoadStats, PathKey, PathTable, ProjectionTable, Signature};
+use sgc_graph::vertex::NO_VERTEX;
+use sgc_graph::VertexId;
+use sgc_query::{Block, BlockId, DecompositionTree, QueryNode};
+
+/// Which key field currently holds the image of a query node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Field {
+    /// The path's start vertex (`PathKey::start`).
+    Start,
+    /// The path's current end vertex (`PathKey::end`).
+    End,
+}
+
+/// How the edge between two consecutive cycle nodes is realized.
+enum EdgeRealization {
+    /// An original query edge, realized by the data graph.
+    Graph,
+    /// An annotated edge, realized by a child block's binary table grouped by
+    /// the image of the step's source node.
+    Child(FastMap<VertexId, Vec<(VertexId, Signature, Count)>>),
+}
+
+/// Builds path tables along the segments of one cycle (or leaf-edge) block.
+pub struct PathBuilder<'a, 'b> {
+    /// Shared run context.
+    pub ctx: &'b Context<'a>,
+    /// The decomposition tree the block belongs to.
+    pub tree: &'b DecompositionTree,
+    /// The block being solved.
+    pub block: &'b Block,
+    /// Projection tables of already-solved child blocks, indexed by block id.
+    pub child_tables: &'b [Option<ProjectionTable>],
+    /// Boundary node tracked in each extra slot (`None` when unused).
+    pub slot_nodes: [Option<QueryNode>; 2],
+    /// DB mode: require `start ≻ w` for every newly mapped cycle node `w`.
+    pub high_start: bool,
+}
+
+impl<'a, 'b> PathBuilder<'a, 'b> {
+    /// Creates a builder for `block`, assigning extra slots to its boundary
+    /// nodes in boundary order.
+    pub fn new(
+        ctx: &'b Context<'a>,
+        tree: &'b DecompositionTree,
+        block: &'b Block,
+        child_tables: &'b [Option<ProjectionTable>],
+        high_start: bool,
+    ) -> Self {
+        let mut slot_nodes = [None, None];
+        for (i, &b) in block.boundary.iter().enumerate() {
+            slot_nodes[i] = Some(b);
+        }
+        PathBuilder {
+            ctx,
+            tree,
+            block,
+            child_tables,
+            slot_nodes,
+            high_start,
+        }
+    }
+
+    /// The extra-slot index tracking `node`, if it is a boundary node.
+    fn slot_of(&self, node: QueryNode) -> Option<usize> {
+        self.slot_nodes.iter().position(|&s| s == Some(node))
+    }
+
+    fn record_extra(&self, mut key: PathKey, node: QueryNode, vertex: VertexId) -> PathKey {
+        if let Some(slot) = self.slot_of(node) {
+            key.extra[slot] = vertex;
+        }
+        key
+    }
+
+    /// The unary table of the child block annotating `node`, if any,
+    /// pre-grouped by vertex.
+    fn node_child(
+        &self,
+        node: QueryNode,
+    ) -> Option<FastMap<VertexId, Vec<(Signature, Count)>>> {
+        let child = self.block.node_annotation(node)?;
+        let table = self.child_tables[child]
+            .as_ref()
+            .expect("child table must be solved before its parent");
+        let unary = table
+            .as_unary()
+            .expect("node annotations correspond to unary child tables");
+        Some(unary.group_by_vertex())
+    }
+
+    /// The realization of the block edge `edge_index` traversed from
+    /// `from_node` to `to_node`.
+    fn edge_realization(
+        &self,
+        edge_index: usize,
+        from_node: QueryNode,
+        to_node: QueryNode,
+    ) -> EdgeRealization {
+        match self.block.edge_annotation(edge_index) {
+            None => EdgeRealization::Graph,
+            Some(child) => EdgeRealization::Child(self.child_binary_grouped(
+                child,
+                from_node,
+                to_node,
+            )),
+        }
+    }
+
+    /// The binary table of child block `child`, oriented so that the group
+    /// key is the image of `from_node` and the listed vertices are images of
+    /// `to_node`.
+    fn child_binary_grouped(
+        &self,
+        child: BlockId,
+        from_node: QueryNode,
+        to_node: QueryNode,
+    ) -> FastMap<VertexId, Vec<(VertexId, Signature, Count)>> {
+        let child_block = &self.tree.blocks[child];
+        let table = self.child_tables[child]
+            .as_ref()
+            .expect("child table must be solved before its parent");
+        let binary = table
+            .as_binary()
+            .expect("edge annotations correspond to binary child tables");
+        debug_assert_eq!(child_block.boundary.len(), 2);
+        let first = child_block.boundary[0];
+        let second = child_block.boundary[1];
+        if first == from_node && second == to_node {
+            binary.group_by_first()
+        } else {
+            debug_assert_eq!(
+                (first, second),
+                (to_node, from_node),
+                "child boundary must match the traversed edge"
+            );
+            binary.transpose().group_by_first()
+        }
+    }
+
+    /// Builds the table for the path visiting the block nodes at `positions`
+    /// (indices into the cycle's node list, in traversal order).
+    ///
+    /// Node annotations are folded in for every visited node except:
+    /// the start node unless `include_start_annotation`, and the end node
+    /// unless `include_end_annotation` — the caller uses these flags to ensure
+    /// each annotation is joined by exactly one of the two paths.
+    pub fn build_path(
+        &self,
+        positions: &[usize],
+        include_start_annotation: bool,
+        include_end_annotation: bool,
+        metrics: &mut RunMetrics,
+    ) -> PathTable {
+        assert!(positions.len() >= 2, "a path needs at least one edge");
+        let nodes = self.cycle_nodes();
+        let first = nodes[positions[0]];
+        let second = nodes[positions[1]];
+        let mut table = self.initial_table(
+            self.edge_index_between(positions[0], positions[1]),
+            first,
+            second,
+            metrics,
+        );
+        if include_start_annotation {
+            if let Some(child) = self.node_child(first) {
+                table = self.node_join(table, Field::Start, first, &child, metrics);
+            }
+        }
+        for idx in 1..positions.len() {
+            let node = nodes[positions[idx]];
+            if idx > 1 {
+                let prev = nodes[positions[idx - 1]];
+                let edge_index = self.edge_index_between(positions[idx - 1], positions[idx]);
+                table = self.edge_join(table, edge_index, prev, node, metrics);
+            }
+            let is_end = idx == positions.len() - 1;
+            if !is_end || include_end_annotation {
+                if let Some(child) = self.node_child(node) {
+                    table = self.node_join(table, Field::End, node, &child, metrics);
+                }
+            }
+        }
+        table
+    }
+
+    /// Block nodes in cyclic order (for a leaf edge, the two endpoints).
+    fn cycle_nodes(&self) -> Vec<QueryNode> {
+        self.block.kind.nodes()
+    }
+
+    /// The block edge index connecting positions `i` and `j` (which must be
+    /// adjacent on the cycle, or the single edge of a leaf block).
+    fn edge_index_between(&self, i: usize, j: usize) -> usize {
+        let l = self.block.kind.len();
+        if l == 2 {
+            return 0;
+        }
+        if (i + 1) % l == j {
+            i
+        } else {
+            debug_assert_eq!((j + 1) % l, i, "positions {i} and {j} are not adjacent");
+            j
+        }
+    }
+
+    /// Builds the initial table for the first edge of a path.
+    pub fn initial_table(
+        &self,
+        edge_index: usize,
+        from_node: QueryNode,
+        to_node: QueryNode,
+        metrics: &mut RunMetrics,
+    ) -> PathTable {
+        let ctx = self.ctx;
+        let mut table = PathTable::new();
+        let mut load = LoadStats::new(ctx.partition.num_ranks());
+        match self.edge_realization(edge_index, from_node, to_node) {
+            EdgeRealization::Graph => {
+                for u in ctx.graph.vertices() {
+                    let cu = ctx.color(u);
+                    // In DB mode only the neighbors strictly below the start
+                    // vertex in the degree order can appear on a high-starting
+                    // path, so the pruned list is enumerated directly.
+                    let neighbors = if self.high_start {
+                        ctx.lower_neighbors(u, u)
+                    } else {
+                        ctx.graph.neighbors(u)
+                    };
+                    load.record_vertex(&ctx.partition, u, neighbors.len() as u64);
+                    for &w in neighbors {
+                        let cw = ctx.color(w);
+                        if cu == cw {
+                            continue;
+                        }
+                        let sig = Signature::pair(cu, cw);
+                        let mut key = PathKey::new(u, w, sig);
+                        key = self.record_extra(key, from_node, u);
+                        key = self.record_extra(key, to_node, w);
+                        table.add(key, 1);
+                    }
+                }
+            }
+            EdgeRealization::Child(grouped) => {
+                for (&u, list) in &grouped {
+                    load.record_vertex(&ctx.partition, u, list.len() as u64);
+                    for &(w, sig, count) in list {
+                        if self.high_start && !ctx.order.higher(u, w) {
+                            continue;
+                        }
+                        let mut key = PathKey::new(u, w, sig);
+                        key = self.record_extra(key, from_node, u);
+                        key = self.record_extra(key, to_node, w);
+                        table.add(key, count);
+                    }
+                }
+            }
+        }
+        metrics.absorb_load(&load);
+        metrics.observe_table(table.len());
+        table
+    }
+
+    /// Joins the unary table of a child block at the given key field.
+    pub fn node_join(
+        &self,
+        table: PathTable,
+        field: Field,
+        _node: QueryNode,
+        child: &FastMap<VertexId, Vec<(Signature, Count)>>,
+        metrics: &mut RunMetrics,
+    ) -> PathTable {
+        let ctx = self.ctx;
+        let entries = table.into_entries();
+        let partials = parallel_chunks(&entries, |chunk| {
+            let mut out = PathTable::new();
+            let mut load = LoadStats::new(ctx.partition.num_ranks());
+            for &(key, count) in chunk {
+                let x = match field {
+                    Field::Start => key.start,
+                    Field::End => key.end,
+                };
+                let Some(list) = child.get(&x) else { continue };
+                load.record_vertex(&ctx.partition, x, list.len() as u64);
+                let shared = ctx.color_sig(x);
+                for &(sig2, count2) in list {
+                    if key.sig.intersection(sig2) != shared {
+                        continue;
+                    }
+                    let mut new_key = key;
+                    new_key.sig = key.sig.union(sig2);
+                    out.add(new_key, count * count2);
+                }
+            }
+            (out, load)
+        });
+        self.merge_partials(partials, metrics)
+    }
+
+    /// Extends every path in `table` by one block edge, from `from_node`
+    /// (the current end) to `to_node`.
+    pub fn edge_join(
+        &self,
+        table: PathTable,
+        edge_index: usize,
+        from_node: QueryNode,
+        to_node: QueryNode,
+        metrics: &mut RunMetrics,
+    ) -> PathTable {
+        let ctx = self.ctx;
+        let realization = self.edge_realization(edge_index, from_node, to_node);
+        let entries = table.into_entries();
+        let partials = parallel_chunks(&entries, |chunk| {
+            let mut out = PathTable::new();
+            let mut load = LoadStats::new(ctx.partition.num_ranks());
+            for &(key, count) in chunk {
+                let v = key.end;
+                let shared = ctx.color_sig(v);
+                match &realization {
+                    EdgeRealization::Graph => {
+                        let neighbors = if self.high_start {
+                            ctx.lower_neighbors(v, key.start)
+                        } else {
+                            ctx.graph.neighbors(v)
+                        };
+                        load.record_vertex(&ctx.partition, v, neighbors.len() as u64);
+                        for &w in neighbors {
+                            let cw = ctx.color(w);
+                            if key.sig.contains(cw) {
+                                continue;
+                            }
+                            let mut new_key = key;
+                            new_key.end = w;
+                            new_key.sig = key.sig.with(cw);
+                            new_key = self.record_extra(new_key, to_node, w);
+                            out.add(new_key, count);
+                        }
+                    }
+                    EdgeRealization::Child(grouped) => {
+                        let Some(list) = grouped.get(&v) else { continue };
+                        load.record_vertex(&ctx.partition, v, list.len() as u64);
+                        for &(w, sig2, count2) in list {
+                            if self.high_start && !ctx.order.higher(key.start, w) {
+                                continue;
+                            }
+                            if key.sig.intersection(sig2) != shared {
+                                continue;
+                            }
+                            let mut new_key = key;
+                            new_key.end = w;
+                            new_key.sig = key.sig.union(sig2);
+                            new_key = self.record_extra(new_key, to_node, w);
+                            out.add(new_key, count * count2);
+                        }
+                    }
+                }
+            }
+            (out, load)
+        });
+        self.merge_partials(partials, metrics)
+    }
+
+    fn merge_partials(
+        &self,
+        partials: Vec<(PathTable, LoadStats)>,
+        metrics: &mut RunMetrics,
+    ) -> PathTable {
+        // Loads are tiny vectors — absorb them sequentially. The tables can be
+        // large, so merge them with a parallel pairwise reduction to keep the
+        // serial fraction of each join small.
+        let mut tables = Vec::with_capacity(partials.len());
+        for (table, load) in partials {
+            metrics.absorb_load(&load);
+            tables.push(table);
+        }
+        let merged = parallel_table_merge(tables);
+        metrics.observe_table(merged.len());
+        merged
+    }
+}
+
+/// Merges many path tables into one by parallel pairwise reduction.
+fn parallel_table_merge(mut tables: Vec<PathTable>) -> PathTable {
+    use rayon::prelude::*;
+    while tables.len() > 1 {
+        tables = tables
+            .into_par_iter()
+            .chunks(2)
+            .map(|mut pair| {
+                if pair.len() == 2 {
+                    let second = pair.pop().unwrap();
+                    let mut first = pair.pop().unwrap();
+                    first.merge(second);
+                    first
+                } else {
+                    pair.pop().unwrap()
+                }
+            })
+            .collect();
+    }
+    tables.pop().unwrap_or_default()
+}
+
+/// A defensive check used by the path-merge step: extras recorded on both
+/// sides for the same slot must agree (they can only both be set when the
+/// tracked node is one of the shared endpoints).
+pub fn combine_extras(a: [VertexId; 2], b: [VertexId; 2]) -> Option<[VertexId; 2]> {
+    let mut out = [NO_VERTEX, NO_VERTEX];
+    for slot in 0..2 {
+        out[slot] = match (a[slot], b[slot]) {
+            (NO_VERTEX, x) => x,
+            (x, NO_VERTEX) => x,
+            (x, y) if x == y => x,
+            _ => return None,
+        };
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_extras_prefers_set_slots() {
+        assert_eq!(
+            combine_extras([5, NO_VERTEX], [NO_VERTEX, 9]),
+            Some([5, 9])
+        );
+        assert_eq!(
+            combine_extras([5, NO_VERTEX], [5, NO_VERTEX]),
+            Some([5, NO_VERTEX])
+        );
+        assert_eq!(combine_extras([5, 1], [6, 1]), None);
+    }
+}

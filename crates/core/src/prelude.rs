@@ -1,0 +1,13 @@
+//! Convenience re-exports for downstream users.
+//!
+//! `use sgc_core::prelude::*;` (or `use subgraph_counting::prelude::*;` via
+//! the facade crate) brings in the types needed for the common workflow:
+//! build a data graph, pick a query, estimate its count.
+
+pub use crate::config::{Algorithm, CountConfig};
+pub use crate::driver::{count_colorful, count_colorful_with_tree, CountResult};
+pub use crate::estimator::{estimate_count, Estimate, EstimateConfig};
+pub use crate::metrics::RunMetrics;
+pub use sgc_engine::{Count, Signature};
+pub use sgc_graph::{Coloring, CsrGraph, GraphBuilder, VertexId};
+pub use sgc_query::{decompose, heuristic_plan, DecompositionTree, QueryGraph};

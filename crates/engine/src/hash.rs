@@ -1,0 +1,131 @@
+//! A fast, non-cryptographic hasher for table keys.
+//!
+//! The projection tables are hit billions of times on larger runs; Rust's
+//! default SipHash is designed for HashDoS resistance, which is irrelevant
+//! here (keys are vertex ids and bitmasks we generate ourselves). This is the
+//! FxHash multiply-rotate scheme used by rustc, implemented locally so the
+//! workspace stays within its approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style hasher: fold every 8/4/1-byte chunk into the state with a
+/// rotate + xor + multiply.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Creates an empty [`FastMap`] with the given capacity.
+pub fn fast_map_with_capacity<K, V>(capacity: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        let builder: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        builder.hash_one(value)
+    }
+
+    #[test]
+    fn equal_values_hash_equally() {
+        assert_eq!(hash_of(&(1u32, 2u32, 3u32)), hash_of(&(1u32, 2u32, 3u32)));
+        assert_ne!(hash_of(&(1u32, 2u32, 3u32)), hash_of(&(1u32, 2u32, 4u32)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 2), i as u64);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(10, 20)], 10);
+        assert!(!m.contains_key(&(10, 21)));
+    }
+
+    #[test]
+    fn distribution_is_reasonable() {
+        // Sequential keys should not collapse onto a few buckets: count
+        // distinct hash values modulo a small table size.
+        let mut buckets = vec![0usize; 64];
+        for i in 0..6400u64 {
+            buckets[(hash_of(&i) as usize) % 64] += 1;
+        }
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 400, "bucket imbalance too high: {max}");
+    }
+
+    #[test]
+    fn set_alias_works() {
+        let mut s: FastSet<u64> = FastSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        assert_eq!(hash_of(&"hello world"), hash_of(&"hello world"));
+        assert_ne!(hash_of(&"hello world"), hash_of(&"hello worlds"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # sgc-engine — tables, joins and the simulated distributed engine
+//!
+//! The paper's "engine" layer (Section 7) stores the data graph and the
+//! projection tables in a distributed fashion and exposes join routines to
+//! the plan solver. This crate provides the shared-memory equivalent:
+//!
+//! * [`Signature`] — color sets as bitmasks with the disjointness /
+//!   containment operations used by every join,
+//! * [`hash`] — an FxHash-style hasher and the [`FastMap`](hash::FastMap)
+//!   alias used for all tables (projection-table lookups dominate runtime, so
+//!   SipHash would be a measurable tax),
+//! * [`table`] — unary / binary projection tables, the scalar root table and
+//!   the path tables (with up to two extra tracked boundary fields) used
+//!   while solving cycles,
+//! * [`load`] — per-rank load accounting over a
+//!   [`sgc_graph::BlockPartition`], reproducing the paper's
+//!   "number of projection function operations per processor" metric,
+//! * [`parallel`] — small rayon helpers (chunked map-reduce over table
+//!   entries, scoped thread pools for the scaling experiments).
+
+pub mod hash;
+pub mod load;
+pub mod parallel;
+pub mod signature;
+pub mod table;
+
+pub use hash::FastMap;
+pub use load::LoadStats;
+pub use signature::{Color, Signature};
+pub use table::{BinaryTable, Count, PathKey, PathTable, ProjectionTable, UnaryTable};

@@ -1,0 +1,163 @@
+//! Color signatures.
+//!
+//! A *signature* is the set of colors used by a colorful match of a subquery
+//! (Section 4.2). With at most 32 colors (queries of at most 32 nodes) a
+//! signature fits in a `u32` bitmask, and the compatibility checks performed
+//! inside joins — disjointness except for the colors of shared boundary
+//! vertices — become a couple of bitwise instructions, exactly as in the
+//! paper's implementation ("signatures are maintained as bitmaps").
+
+/// A color in `0..k`.
+pub type Color = u8;
+
+/// A set of colors, stored as a bitmask.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Signature(pub u32);
+
+impl Signature {
+    /// The empty signature.
+    #[inline]
+    pub const fn empty() -> Self {
+        Signature(0)
+    }
+
+    /// The signature containing a single color.
+    #[inline]
+    pub const fn singleton(color: Color) -> Self {
+        Signature(1 << color)
+    }
+
+    /// The signature containing two colors (not necessarily distinct).
+    #[inline]
+    pub const fn pair(a: Color, b: Color) -> Self {
+        Signature((1 << a) | (1 << b))
+    }
+
+    /// The full signature of `k` colors `{0, ..., k-1}`.
+    #[inline]
+    pub fn full(k: usize) -> Self {
+        debug_assert!(k <= 32);
+        if k == 32 {
+            Signature(u32::MAX)
+        } else {
+            Signature((1u32 << k) - 1)
+        }
+    }
+
+    /// Whether the signature contains `color`.
+    #[inline]
+    pub const fn contains(self, color: Color) -> bool {
+        (self.0 >> color) & 1 == 1
+    }
+
+    /// Inserts a color, returning the new signature.
+    #[inline]
+    pub const fn with(self, color: Color) -> Self {
+        Signature(self.0 | (1 << color))
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: Self) -> Self {
+        Signature(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: Self) -> Self {
+        Signature(self.0 & other.0)
+    }
+
+    /// Whether the two signatures share no color.
+    #[inline]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[inline]
+    pub const fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Number of colors in the signature.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the signature is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The colors in increasing order.
+    pub fn colors(self) -> impl Iterator<Item = Color> {
+        (0..32u8).filter(move |&c| self.contains(c))
+    }
+}
+
+impl std::fmt::Display for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.colors() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let s = Signature::empty().with(3).with(7);
+        assert!(s.contains(3));
+        assert!(s.contains(7));
+        assert!(!s.contains(0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(Signature::pair(2, 2).len(), 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = Signature::pair(0, 1);
+        let b = Signature::pair(1, 2);
+        assert_eq!(a.union(b), Signature::full(3));
+        assert_eq!(a.intersection(b), Signature::singleton(1));
+        assert!(!a.is_disjoint(b));
+        assert!(a.is_disjoint(Signature::singleton(5)));
+        assert!(a.is_subset_of(Signature::full(4)));
+        assert!(!Signature::full(4).is_subset_of(a));
+    }
+
+    #[test]
+    fn full_signature_edges() {
+        assert_eq!(Signature::full(1), Signature::singleton(0));
+        assert_eq!(Signature::full(32).len(), 32);
+        assert!(Signature::full(0).is_empty());
+    }
+
+    #[test]
+    fn colors_iterator_round_trips() {
+        let s = Signature::empty().with(1).with(4).with(31);
+        let cs: Vec<Color> = s.colors().collect();
+        assert_eq!(cs, vec![1, 4, 31]);
+        let rebuilt = cs.iter().fold(Signature::empty(), |acc, &c| acc.with(c));
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn display_formats_as_set() {
+        assert_eq!(Signature::pair(0, 2).to_string(), "{0,2}");
+        assert_eq!(Signature::empty().to_string(), "{}");
+    }
+}

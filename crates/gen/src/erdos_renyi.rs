@@ -1,0 +1,91 @@
+//! Erdős–Rényi random graphs.
+//!
+//! Used as low-skew baselines in tests and in the property-based correctness
+//! suite (random small graphs on which brute force, PS and DB must agree).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgc_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Samples `G(n, m)`: a graph with `n` vertices and (up to) `m` distinct
+/// uniformly random edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    if n < 2 {
+        return builder.build();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    // Rejection sampling is fine for the sparse graphs we generate.
+    let mut seen = std::collections::HashSet::with_capacity(target * 2);
+    let mut guard = 0usize;
+    while seen.len() < target && guard < target * 50 + 1000 {
+        guard += 1;
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+/// Samples `G(n, p)`: each of the `n(n-1)/2` possible edges appears
+/// independently with probability `p`. Quadratic; intended for small `n`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_has_requested_edges_when_feasible() {
+        let g = gnm(100, 300, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn gnm_caps_at_complete_graph() {
+        let g = gnm(5, 1000, 2);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 3).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 3).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_density_close_to_p() {
+        let g = gnp(200, 0.1, 4);
+        let expected = 0.1 * (200.0 * 199.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!((m - expected).abs() < expected * 0.3);
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        assert_eq!(gnm(0, 10, 0).num_vertices(), 0);
+        assert_eq!(gnm(1, 10, 0).num_edges(), 0);
+        assert_eq!(gnp(1, 0.5, 0).num_edges(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Truncated power-law expected-degree sequences.
+//!
+//! Section 9.2 of the paper defines a degree sequence as satisfying the
+//! *truncated power law* with exponent `α ∈ (1, 2)` when, for each
+//! `0 ≤ j ≤ ½·log₂ n`, the number of vertices with degree in `[2^j, 2^{j+1})`
+//! is `Θ(n / 2^{αj})`. The maximum degree is therefore `≈ √n`, and such
+//! sequences are `λ`-balanced for `λ = O(n^{α/2 - 1})` (Claim 10.1).
+//!
+//! [`power_law_degrees`] produces exactly that shape deterministically: for
+//! every bucket `j` it emits `⌈n / 2^{αj}⌉` vertices of degree `2^j`, then
+//! truncates or pads with degree-1 vertices so that precisely `n` degrees are
+//! returned.
+
+/// Generates a truncated power-law degree sequence of length `n` with
+/// exponent `alpha`.
+///
+/// Degrees are capped at `√n` per the model's assumption `max d_u ≤ √n`.
+///
+/// # Panics
+/// Panics unless `1.0 < alpha < 2.0` and `n > 0`.
+pub fn power_law_degrees(n: usize, alpha: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one vertex");
+    assert!(
+        alpha > 1.0 && alpha < 2.0,
+        "truncated power law requires alpha in (1, 2), got {alpha}"
+    );
+    let max_bucket = (0.5 * (n as f64).log2()).floor() as u32;
+    // Normalise the bucket sizes so that Σ_j c·n/2^{αj} = n exactly: the
+    // paper's Θ(n/2^{αj}) counts determine the shape, the constant c the total.
+    let norm: f64 = (0..=max_bucket).map(|j| 2f64.powf(-alpha * j as f64)).sum();
+    let mut degrees: Vec<f64> = Vec::with_capacity(n);
+    // Highest-degree vertices first so truncation to n keeps the tail intact.
+    for j in (0..=max_bucket).rev() {
+        let count = ((n as f64 / norm) / 2f64.powf(alpha * j as f64)).ceil() as usize;
+        let degree = 2f64.powi(j as i32).min((n as f64).sqrt());
+        for _ in 0..count {
+            if degrees.len() == n {
+                return normalize_order(degrees);
+            }
+            degrees.push(degree.max(1.0));
+        }
+    }
+    while degrees.len() < n {
+        degrees.push(1.0);
+    }
+    normalize_order(degrees)
+}
+
+/// Sorts ascending so that vertex id correlates with degree only through the
+/// caller's shuffling; generators shuffle ids themselves.
+fn normalize_order(mut degrees: Vec<f64>) -> Vec<f64> {
+    degrees.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    degrees
+}
+
+/// Sum of the s-th powers of a degree sequence, `Σ d_u^s`, the moments that
+/// drive the runtime bounds of Section 9.
+pub fn degree_moment(degrees: &[f64], s: f64) -> f64 {
+    degrees.iter().map(|&d| d.powf(s)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_has_requested_length_and_min_degree_one() {
+        for &n in &[10usize, 100, 1000, 4096] {
+            let d = power_law_degrees(n, 1.5);
+            assert_eq!(d.len(), n);
+            assert!(d.iter().all(|&x| x >= 1.0));
+        }
+    }
+
+    #[test]
+    fn max_degree_is_at_most_sqrt_n() {
+        let n = 10_000;
+        let d = power_law_degrees(n, 1.3);
+        let max = d.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max <= (n as f64).sqrt() + 1e-9);
+        assert!(max >= (n as f64).sqrt() / 4.0, "tail should reach close to sqrt(n)");
+    }
+
+    #[test]
+    fn smaller_alpha_gives_heavier_tail() {
+        let n = 10_000;
+        let heavy = power_law_degrees(n, 1.2);
+        let light = power_law_degrees(n, 1.9);
+        let sum2_heavy = degree_moment(&heavy, 2.0);
+        let sum2_light = degree_moment(&light, 2.0);
+        assert!(
+            sum2_heavy > sum2_light,
+            "alpha=1.2 second moment {sum2_heavy} should exceed alpha=1.9 {sum2_light}"
+        );
+    }
+
+    #[test]
+    fn bucket_counts_follow_power_law_shape() {
+        let n = 1 << 14;
+        let alpha = 1.5;
+        let d = power_law_degrees(n, alpha);
+        // Count vertices with degree in [2^j, 2^{j+1}) for a few buckets and
+        // check the ratio between consecutive buckets is roughly 2^alpha.
+        let mut buckets = vec![0usize; 16];
+        for &x in &d {
+            let j = (x.log2().floor() as usize).min(15);
+            buckets[j] += 1;
+        }
+        for j in 0..4 {
+            if buckets[j + 1] == 0 {
+                continue;
+            }
+            let ratio = buckets[j] as f64 / buckets[j + 1] as f64;
+            assert!(
+                ratio > 2f64.powf(alpha) * 0.5 && ratio < 2f64.powf(alpha) * 2.0,
+                "bucket ratio {ratio} at j={j} not near 2^alpha"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_out_of_range_panics() {
+        let _ = power_law_degrees(100, 2.5);
+    }
+
+    #[test]
+    fn moments_are_monotone_in_s() {
+        let d = power_law_degrees(1000, 1.5);
+        let m1 = degree_moment(&d, 1.0);
+        let m2 = degree_moment(&d, 2.0);
+        assert!(m2 >= m1);
+    }
+}

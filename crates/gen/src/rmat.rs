@@ -1,0 +1,144 @@
+//! R-MAT recursive-matrix graph generator.
+//!
+//! The paper's weak-scaling study (Section 8.4) uses R-MAT graphs with the
+//! Graph 500 parameters `A = 0.5, B = 0.1, C = 0.1, D = 0.3` and edge
+//! factor 16. R-MAT recursively subdivides the adjacency matrix into four
+//! quadrants and drops each edge into a quadrant with those probabilities,
+//! producing skewed, community-like degree distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgc_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// R-MAT quadrant probabilities and edge factor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+    /// Probability of the bottom-right quadrant.
+    pub d: f64,
+    /// Number of generated edges per vertex (before dedup).
+    pub edge_factor: usize,
+}
+
+impl RmatParams {
+    /// The parameters used by the paper's weak-scaling experiment
+    /// (Graph 500 specification): `A=0.5, B=0.1, C=0.1, D=0.3`, edge factor 16.
+    pub fn paper() -> Self {
+        RmatParams {
+            a: 0.5,
+            b: 0.1,
+            c: 0.1,
+            d: 0.3,
+            edge_factor: 16,
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1, got {sum}"
+        );
+        assert!(self.edge_factor > 0, "edge factor must be positive");
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams::paper()
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices.
+///
+/// Self-loops and duplicate edges produced by the recursive process are
+/// removed, so the final edge count is slightly below
+/// `edge_factor * 2^scale`, as in standard Graph 500 practice.
+pub fn rmat(scale: u32, params: RmatParams, seed: u64) -> CsrGraph {
+    params.validate();
+    let n = 1usize << scale;
+    let target_edges = n * params.edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, target_edges);
+    for _ in 0..target_edges {
+        let (u, v) = sample_edge(scale, &params, &mut rng);
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+fn sample_edge(scale: u32, p: &RmatParams, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for _ in 0..scale {
+        let r: f64 = rng.gen();
+        let (du, dv) = if r < p.a {
+            (0, 0)
+        } else if r < p.a + p.b {
+            (0, 1)
+        } else if r < p.a + p.b + p.c {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        u = (u << 1) | du;
+        v = (v << 1) | dv;
+    }
+    (u as VertexId, v as VertexId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgc_graph::DegreeStats;
+
+    #[test]
+    fn paper_params_sum_to_one() {
+        RmatParams::paper().validate();
+    }
+
+    #[test]
+    fn vertex_and_edge_counts_are_plausible() {
+        let g = rmat(10, RmatParams::paper(), 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Dedup removes some edges but the bulk should remain.
+        assert!(g.num_edges() > 1024 * 16 / 3);
+        assert!(g.num_edges() <= 1024 * 16);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, RmatParams::paper(), 2);
+        let stats = DegreeStats::compute(&g);
+        assert!(
+            stats.skew() > 5.0,
+            "R-MAT with Graph500 params should be skewed, got skew {}",
+            stats.skew()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(8, RmatParams::paper(), 9);
+        let b = rmat(8, RmatParams::paper(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probabilities_panic() {
+        let p = RmatParams {
+            a: 0.9,
+            b: 0.9,
+            c: 0.0,
+            d: 0.0,
+            edge_factor: 4,
+        };
+        let _ = rmat(4, p, 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Deterministic small graphs for tests and examples.
+//!
+//! These include the classic structured graphs (paths, cycles, cliques,
+//! stars, grids, the Petersen graph) and Zachary's karate-club network — a
+//! tiny real social network in the public domain — so that examples can show
+//! the counting pipeline on a "real" graph without shipping large datasets.
+
+use sgc_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Path graph `P_n` on `n` vertices.
+pub fn path(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge((i - 1) as VertexId, i as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i as VertexId, ((i + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Star graph with one center (id 0) and `leaves` leaves.
+pub fn star(leaves: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// 2D grid graph of `rows × cols` vertices.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The Petersen graph (10 vertices, 15 edges, girth 5).
+pub fn petersen() -> CsrGraph {
+    let mut b = GraphBuilder::new(10);
+    // Outer 5-cycle 0..4, inner 5-cycle 5..9 connected as a pentagram.
+    for i in 0..5u32 {
+        b.add_edge(i, (i + 1) % 5);
+        b.add_edge(5 + i, 5 + (i + 2) % 5);
+        b.add_edge(i, 5 + i);
+    }
+    b.build()
+}
+
+/// Zachary's karate-club network: 34 vertices, 78 edges.
+pub fn karate_club() -> CsrGraph {
+    const EDGES: &[(VertexId, VertexId)] = &[
+        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
+        (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31), (1, 2), (1, 3), (1, 7), (1, 13),
+        (1, 17), (1, 19), (1, 21), (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27),
+        (2, 28), (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10), (5, 16),
+        (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33), (14, 32), (14, 33), (15, 32),
+        (15, 33), (18, 32), (18, 33), (19, 33), (20, 32), (20, 33), (22, 32), (22, 33),
+        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33), (24, 25), (24, 27), (24, 31),
+        (25, 31), (26, 29), (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33),
+        (30, 32), (30, 33), (31, 32), (31, 33), (32, 33),
+    ];
+    let mut b = GraphBuilder::new(34);
+    b.extend_edges(EDGES.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(cycle(3).num_edges(), 3);
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(7);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // horizontal + vertical
+    }
+
+    #[test]
+    fn petersen_is_cubic_with_15_edges() {
+        let g = petersen();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 15);
+        for u in g.vertices() {
+            assert_eq!(g.degree(u), 3);
+        }
+    }
+
+    #[test]
+    fn karate_club_has_known_size() {
+        let g = karate_club();
+        assert_eq!(g.num_vertices(), 34);
+        assert_eq!(g.num_edges(), 78);
+        assert_eq!(g.max_degree(), 17); // vertex 33 (the instructor)
+        // Connected.
+        let comp = g.connected_components();
+        assert!(comp.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_of_length_two_panics() {
+        let _ = cycle(2);
+    }
+}

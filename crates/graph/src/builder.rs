@@ -1,0 +1,129 @@
+//! Edge-list builder producing [`CsrGraph`]s.
+//!
+//! The builder accepts edges in any order, ignores self loops, deduplicates
+//! parallel edges and symmetrises the adjacency, mirroring the preprocessing
+//! the paper applies to the SNAP graphs (which are treated as simple
+//! undirected graphs).
+
+use crate::csr::CsrGraph;
+use crate::vertex::VertexId;
+
+/// Accumulates an edge list and produces a clean [`CsrGraph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices
+    /// (ids `0..num_vertices`).
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with a pre-reserved edge capacity.
+    pub fn with_capacity(num_vertices: usize, edge_capacity: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::with_capacity(edge_capacity),
+        }
+    }
+
+    /// Number of vertices the final graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge. Self loops are silently dropped; duplicates
+    /// are removed at [`build`](Self::build) time. Endpoints beyond the
+    /// declared vertex count grow the graph.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        if u == v {
+            return;
+        }
+        let max = u.max(v) as usize;
+        if max >= self.num_vertices {
+            self.num_vertices = max + 1;
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+    }
+
+    /// Adds every edge of an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (VertexId, VertexId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge(u, v);
+        }
+    }
+
+    /// Finalises the builder into a [`CsrGraph`].
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        // Count degrees, then fill adjacency lists.
+        let n = self.num_vertices;
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for &(u, v) in &self.edges {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        CsrGraph::from_sorted_adjacency(adjacency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_and_self_loops_are_removed() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        b.add_edge(2, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn vertex_count_grows_to_fit_edges() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 7);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 8);
+        assert!(g.has_edge(7, 0));
+    }
+
+    #[test]
+    fn extend_edges_adds_all() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn triangle_has_expected_adjacency() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(2, 0), (0, 1), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+    }
+}

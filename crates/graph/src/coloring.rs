@@ -1,0 +1,134 @@
+//! Random k-colorings of the data graph.
+//!
+//! Color coding assigns every data vertex an independent uniformly random
+//! color in `{0, ..., k-1}` where `k` is the number of query nodes, and then
+//! counts only *colorful* matches (all query nodes mapped to distinctly
+//! colored vertices). This module holds the coloring itself; the estimator in
+//! `sgc-core` handles the `k^k / k!` scaling and repeated trials.
+
+use crate::vertex::VertexId;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Maximum supported number of colors. Signatures are stored as `u32`
+/// bitmasks, and queries in the paper have at most ~10 nodes, so 32 colors is
+/// a comfortable bound.
+pub const MAX_COLORS: usize = 32;
+
+/// A fixed assignment of one of `k` colors to every data vertex.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coloring {
+    colors: Vec<u8>,
+    num_colors: usize,
+}
+
+impl Coloring {
+    /// Colors `num_vertices` vertices uniformly at random with `num_colors`
+    /// colors using a seeded RNG (deterministic per seed).
+    ///
+    /// # Panics
+    /// Panics if `num_colors` is zero or exceeds [`MAX_COLORS`].
+    pub fn random(num_vertices: usize, num_colors: usize, seed: u64) -> Self {
+        assert!(
+            num_colors > 0 && num_colors <= MAX_COLORS,
+            "num_colors must be in 1..={MAX_COLORS}, got {num_colors}"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dist = Uniform::new(0, num_colors as u8);
+        let colors = (0..num_vertices).map(|_| dist.sample(&mut rng)).collect();
+        Coloring { colors, num_colors }
+    }
+
+    /// Builds a coloring from an explicit color array (used by tests and the
+    /// brute-force oracle).
+    ///
+    /// # Panics
+    /// Panics if any color is `>= num_colors` or `num_colors > MAX_COLORS`.
+    pub fn from_colors(colors: Vec<u8>, num_colors: usize) -> Self {
+        assert!(num_colors > 0 && num_colors <= MAX_COLORS);
+        assert!(
+            colors.iter().all(|&c| (c as usize) < num_colors),
+            "color out of range"
+        );
+        Coloring { colors, num_colors }
+    }
+
+    /// The number of colors `k`.
+    #[inline]
+    pub fn num_colors(&self) -> usize {
+        self.num_colors
+    }
+
+    /// The number of colored vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Color of vertex `u` in `0..k`.
+    #[inline]
+    pub fn color(&self, u: VertexId) -> u8 {
+        self.colors[u as usize]
+    }
+
+    /// Histogram of colors (length `k`).
+    pub fn histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_colors];
+        for &c in &self.colors {
+            h[c as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_coloring_is_deterministic_per_seed() {
+        let a = Coloring::random(1000, 5, 42);
+        let b = Coloring::random(1000, 5, 42);
+        let c = Coloring::random(1000, 5, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn colors_are_in_range_and_roughly_uniform() {
+        let k = 7;
+        let col = Coloring::random(70_000, k, 1);
+        let hist = col.histogram();
+        assert_eq!(hist.len(), k);
+        assert_eq!(hist.iter().sum::<usize>(), 70_000);
+        let expected = 70_000 / k;
+        for &count in &hist {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "color count {count} far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_colors_roundtrips() {
+        let col = Coloring::from_colors(vec![0, 1, 2, 1], 3);
+        assert_eq!(col.color(0), 0);
+        assert_eq!(col.color(3), 1);
+        assert_eq!(col.num_colors(), 3);
+        assert_eq!(col.num_vertices(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_color_panics() {
+        let _ = Coloring::from_colors(vec![0, 3], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_colors_panics() {
+        let _ = Coloring::random(10, MAX_COLORS + 1, 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Compressed sparse row (CSR) representation of an undirected data graph.
+//!
+//! The graph is stored as a single `offsets` array of length `n + 1` and a
+//! `neighbors` array of length `2m` holding the sorted adjacency list of every
+//! vertex. Neighbor lists are sorted by vertex id, which gives `O(log d)` edge
+//! probes via binary search and cache-friendly sequential scans during the
+//! path-extension joins of the PS and DB algorithms.
+
+use crate::vertex::VertexId;
+
+/// An immutable undirected graph in CSR form.
+///
+/// Self-loops and parallel edges are removed at construction time (see
+/// [`crate::builder::GraphBuilder`]); the structure stores each undirected
+/// edge twice, once per endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from per-vertex sorted adjacency lists.
+    ///
+    /// This is the low-level constructor used by [`crate::builder::GraphBuilder`];
+    /// callers must guarantee that the lists are sorted, deduplicated,
+    /// self-loop free and symmetric. Debug builds assert these invariants.
+    pub fn from_sorted_adjacency(adjacency: Vec<Vec<VertexId>>) -> Self {
+        let n = adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let total: usize = adjacency.iter().map(|a| a.len()).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        for (u, list) in adjacency.iter().enumerate() {
+            debug_assert!(
+                list.windows(2).all(|w| w[0] < w[1]),
+                "adjacency list of {u} must be strictly sorted"
+            );
+            debug_assert!(
+                !list.contains(&(u as VertexId)),
+                "self loop on vertex {u}"
+            );
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(total % 2, 0, "undirected edge count must be even");
+        CsrGraph {
+            offsets,
+            neighbors,
+            num_edges: total / 2,
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of vertex `u`.
+    #[inline]
+    pub fn degree(&self, u: VertexId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sorted neighbor list of vertex `u`.
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[VertexId] {
+        let u = u as usize;
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. `O(log deg(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Probe the smaller adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over every vertex id.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The degree sequence `d_0, ..., d_{n-1}` indexed by vertex id.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        (0..self.num_vertices() as VertexId)
+            .map(|u| self.degree(u))
+            .collect()
+    }
+
+    /// Returns the connected components as a vector mapping each vertex to a
+    /// component id in `0..num_components`.
+    pub fn connected_components(&self) -> Vec<usize> {
+        let n = self.num_vertices();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0usize;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start as VertexId);
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if comp[v as usize] == usize::MAX {
+                        comp[v as usize] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as VertexId, (i + 1) as VertexId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_sorted_adjacency(vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(3, 3));
+    }
+
+    #[test]
+    fn edges_enumerated_once_each() {
+        let g = path_graph(6);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        for (u, v) in edges {
+            assert!(u < v);
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn connected_components_of_two_paths() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        let g = b.build();
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(comp.iter().copied().max().unwrap(), 1);
+    }
+
+    #[test]
+    fn degree_sequence_matches_degrees() {
+        let g = path_graph(4);
+        assert_eq!(g.degree_sequence(), vec![1, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Plain edge-list IO.
+//!
+//! The SNAP graphs used by the paper ship as whitespace-separated edge lists
+//! with optional `#` comment lines. These readers/writers let users of this
+//! library run the algorithms on their own downloads of those datasets; the
+//! bundled experiments use the synthetic analogs from `sgc-gen` instead.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::vertex::VertexId;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line that is neither a comment nor a `u v` pair.
+    Parse { line_number: usize, line: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "io error: {e}"),
+            EdgeListError::Parse { line_number, line } => {
+                write!(f, "cannot parse edge on line {line_number}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Reads an undirected edge list (`u v` per line, `#` comments allowed) from a
+/// reader. Vertex ids may be arbitrary `u64`s; they are remapped to dense ids
+/// in first-seen order.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    let mut remap: std::collections::HashMap<u64, VertexId> = std::collections::HashMap::new();
+    let intern = |raw: u64, remap: &mut std::collections::HashMap<u64, VertexId>| -> VertexId {
+        let next = remap.len() as VertexId;
+        *remap.entry(raw).or_insert(next)
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| s.and_then(|t| t.parse::<u64>().ok());
+        match (parse(parts.next()), parse(parts.next())) {
+            (Some(a), Some(b)) => {
+                let u = intern(a, &mut remap);
+                let v = intern(b, &mut remap);
+                builder.add_edge(u, v);
+            }
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line_number: idx + 1,
+                    line: line.clone(),
+                })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes a graph as an edge list (`u v` per line, each undirected edge once).
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# undirected edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &CsrGraph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn parses_comments_and_edges() {
+        let text = "# a comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn remaps_sparse_ids() {
+        let text = "1000000 5\n5 70\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Parse { line_number, .. } => assert_eq!(line_number, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_then_read() {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+}

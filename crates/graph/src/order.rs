@@ -1,0 +1,142 @@
+//! The degree-based total order on data vertices.
+//!
+//! The DB algorithm of the paper arranges data vertices "in the increasing
+//! order of their degree; if two vertices have the same degree, the tie is
+//! broken arbitrarily, say by placing the vertex having the least id first"
+//! (Section 5.1). A vertex `u` is *higher* than `v` (written `u ≻ v`) when it
+//! appears later in that order, i.e. when `(deg(u), u) > (deg(v), v)`.
+//!
+//! [`DegreeOrder`] precomputes the rank of every vertex in this order so that
+//! the `u ≻ w` checks inside the hot join loops are a single array lookup and
+//! integer comparison.
+
+use crate::csr::CsrGraph;
+use crate::vertex::VertexId;
+
+/// Precomputed degree-based total order (the MINBUCKET order) on the vertices
+/// of a data graph.
+#[derive(Clone, Debug)]
+pub struct DegreeOrder {
+    /// `rank[u]` is the position of `u` in the increasing (degree, id) order.
+    rank: Vec<u32>,
+}
+
+impl DegreeOrder {
+    /// Builds the order for a graph.
+    pub fn new(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut by_order: Vec<VertexId> = (0..n as VertexId).collect();
+        by_order.sort_unstable_by_key(|&u| (graph.degree(u), u));
+        let mut rank = vec![0u32; n];
+        for (pos, &u) in by_order.iter().enumerate() {
+            rank[u as usize] = pos as u32;
+        }
+        DegreeOrder { rank }
+    }
+
+    /// Builds an order from an arbitrary key per vertex (ties broken by id).
+    /// Used in tests and by the theory crate's id-ordered baseline.
+    pub fn from_keys(keys: &[usize]) -> Self {
+        let n = keys.len();
+        let mut by_order: Vec<VertexId> = (0..n as VertexId).collect();
+        by_order.sort_unstable_by_key(|&u| (keys[u as usize], u));
+        let mut rank = vec![0u32; n];
+        for (pos, &u) in by_order.iter().enumerate() {
+            rank[u as usize] = pos as u32;
+        }
+        DegreeOrder { rank }
+    }
+
+    /// Number of vertices covered by the order.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Whether the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// Rank of vertex `u` in the increasing (degree, id) order.
+    #[inline]
+    pub fn rank(&self, u: VertexId) -> u32 {
+        self.rank[u as usize]
+    }
+
+    /// `u ≻ v`: vertex `u` is strictly higher than `v` in the order.
+    #[inline]
+    pub fn higher(&self, u: VertexId, v: VertexId) -> bool {
+        self.rank[u as usize] > self.rank[v as usize]
+    }
+
+    /// The highest vertex among a non-empty slice, or `None` for an empty one.
+    pub fn highest_of(&self, vertices: &[VertexId]) -> Option<VertexId> {
+        vertices.iter().copied().max_by_key(|&u| self.rank(u))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Star graph: center 0 has degree 4, leaves have degree 1.
+    fn star() -> CsrGraph {
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn center_of_star_is_highest() {
+        let g = star();
+        let ord = DegreeOrder::new(&g);
+        for v in 1..5 {
+            assert!(ord.higher(0, v), "center must be higher than leaf {v}");
+            assert!(!ord.higher(v, 0));
+        }
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let g = star();
+        let ord = DegreeOrder::new(&g);
+        // Leaves 1..5 all have degree 1; lower id sorts first, so higher id is "higher".
+        assert!(ord.higher(4, 1));
+        assert!(ord.higher(2, 1));
+        assert!(!ord.higher(1, 2));
+    }
+
+    #[test]
+    fn order_is_total_and_strict() {
+        let g = star();
+        let ord = DegreeOrder::new(&g);
+        for u in 0..5u32 {
+            assert!(!ord.higher(u, u));
+            for v in 0..5u32 {
+                if u != v {
+                    assert!(ord.higher(u, v) ^ ord.higher(v, u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn highest_of_picks_max_rank() {
+        let g = star();
+        let ord = DegreeOrder::new(&g);
+        assert_eq!(ord.highest_of(&[1, 2, 3]), Some(3));
+        assert_eq!(ord.highest_of(&[3, 0, 1]), Some(0));
+        assert_eq!(ord.highest_of(&[]), None);
+    }
+
+    #[test]
+    fn from_keys_orders_by_key_then_id() {
+        let ord = DegreeOrder::from_keys(&[5, 1, 5, 0]);
+        assert!(ord.higher(0, 1));
+        assert!(ord.higher(2, 0)); // same key, higher id
+        assert!(ord.higher(1, 3));
+    }
+}

@@ -1,0 +1,143 @@
+//! Degree-distribution statistics (the columns of the paper's Table 1).
+//!
+//! Table 1 characterises each benchmark graph by its vertex count, edge
+//! count, average degree and maximum degree; Section 8.2 relates runtime to
+//! the *skew* of the degree distribution. [`DegreeStats`] computes those
+//! quantities plus a few extra skew indicators used by the experiment
+//! binaries (power-law-style moments and the degree histogram in powers of
+//! two, matching the truncated-power-law definition of Section 9.2).
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Number of undirected edges `m`.
+    pub num_edges: usize,
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Second moment of the degree sequence, `Σ d_u²` — the quantity driving
+    /// the paper's E[Y(q)] lower bound (Lemma 9.5).
+    pub sum_degree_squared: f64,
+    /// Histogram of degrees bucketed by powers of two: bucket `j` counts
+    /// vertices with degree in `[2^j, 2^{j+1})`; degree-0 vertices are
+    /// counted in bucket 0.
+    pub log_histogram: Vec<usize>,
+}
+
+impl DegreeStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        let mut max_degree = 0usize;
+        let mut sum_sq = 0.0f64;
+        let mut log_histogram: Vec<usize> = Vec::new();
+        for u in graph.vertices() {
+            let d = graph.degree(u);
+            max_degree = max_degree.max(d);
+            sum_sq += (d as f64) * (d as f64);
+            let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+            if bucket >= log_histogram.len() {
+                log_histogram.resize(bucket + 1, 0);
+            }
+            log_histogram[bucket] += 1;
+        }
+        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        DegreeStats {
+            num_vertices: n,
+            num_edges: m,
+            avg_degree,
+            max_degree,
+            sum_degree_squared: sum_sq,
+            log_histogram,
+        }
+    }
+
+    /// A simple skew indicator: the ratio of the maximum degree to the
+    /// average degree. Road-like graphs have skew close to 1; social graphs
+    /// have skew in the hundreds (compare Table 1).
+    pub fn skew(&self) -> f64 {
+        if self.avg_degree == 0.0 {
+            0.0
+        } else {
+            self.max_degree as f64 / self.avg_degree
+        }
+    }
+
+    /// Formats the row of Table 1 this graph would occupy.
+    pub fn table_row(&self, name: &str, domain: &str) -> String {
+        format!(
+            "{name:<14} {domain:<10} {:>9} {:>10} {:>8.1} {:>8}",
+            self.num_vertices, self.num_edges, self.avg_degree, self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn star(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n as u32 {
+            b.add_edge(0, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = DegreeStats::compute(&star(11));
+        assert_eq!(s.num_vertices, 11);
+        assert_eq!(s.num_edges, 10);
+        assert_eq!(s.max_degree, 10);
+        assert!((s.avg_degree - 20.0 / 11.0).abs() < 1e-12);
+        // center contributes 100, leaves contribute 10 * 1
+        assert!((s.sum_degree_squared - 110.0).abs() < 1e-12);
+        assert!(s.skew() > 5.0);
+    }
+
+    #[test]
+    fn cycle_has_no_skew() {
+        let mut b = GraphBuilder::new(10);
+        for i in 0..10u32 {
+            b.add_edge(i, (i + 1) % 10);
+        }
+        let s = DegreeStats::compute(&b.build());
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_degree - 2.0).abs() < 1e-12);
+        assert!((s.skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_buckets_degrees() {
+        let s = DegreeStats::compute(&star(9));
+        // leaves: degree 1 -> bucket 0 (8 of them); center: degree 8 -> bucket 3.
+        assert_eq!(s.log_histogram[0], 8);
+        assert_eq!(s.log_histogram[3], 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.skew(), 0.0);
+    }
+
+    #[test]
+    fn table_row_contains_counts() {
+        let s = DegreeStats::compute(&star(5));
+        let row = s.table_row("star5", "synthetic");
+        assert!(row.contains("star5"));
+        assert!(row.contains('5'));
+        assert!(row.contains('4'));
+    }
+}

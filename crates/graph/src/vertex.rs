@@ -1,0 +1,24 @@
+//! Vertex identifiers.
+//!
+//! Data graphs in this workspace are indexed by dense `u32` vertex ids
+//! (`0..n`). The paper's graphs have at most a few million vertices, so `u32`
+//! halves the memory footprint of adjacency arrays and table keys compared to
+//! `usize`, which matters for the projection tables that dominate memory use.
+
+/// Dense vertex identifier of a data graph (`0..n`).
+pub type VertexId = u32;
+
+/// Sentinel value meaning "no vertex"; used for unused key slots in
+/// projection-table keys with optional boundary fields.
+pub const NO_VERTEX: VertexId = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_is_not_a_plausible_vertex() {
+        // Graphs are bounded well below u32::MAX vertices in this workspace.
+        assert_eq!(NO_VERTEX, u32::MAX);
+    }
+}

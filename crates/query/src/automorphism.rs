@@ -1,0 +1,143 @@
+//! Automorphism counting for query graphs.
+//!
+//! The algorithms count colorful *matches* (injective mappings); to report
+//! the number of colorful *subgraphs* isomorphic to the query, the match
+//! count is divided by `aut(Q)`, the number of automorphisms of the query
+//! (Section 2). Queries are tiny (≤ ~10 nodes), so a pruned backtracking
+//! search over vertex permutations is more than fast enough.
+
+use crate::graph::{QueryGraph, QueryNode};
+
+/// Counts the automorphisms of a query graph.
+///
+/// Uses degree-based candidate pruning and edge-consistency checks while
+/// extending a partial permutation node by node.
+pub fn count_automorphisms(query: &QueryGraph) -> u64 {
+    let n = query.num_nodes();
+    if n == 0 {
+        return 1;
+    }
+    let degrees: Vec<usize> = query.nodes().map(|a| query.degree(a)).collect();
+    let mut mapping: Vec<Option<QueryNode>> = vec![None; n];
+    let mut used = vec![false; n];
+    let mut count = 0u64;
+    extend(query, &degrees, 0, &mut mapping, &mut used, &mut count);
+    count
+}
+
+fn extend(
+    query: &QueryGraph,
+    degrees: &[usize],
+    next: usize,
+    mapping: &mut Vec<Option<QueryNode>>,
+    used: &mut Vec<bool>,
+    count: &mut u64,
+) {
+    let n = query.num_nodes();
+    if next == n {
+        *count += 1;
+        return;
+    }
+    let a = next as QueryNode;
+    for b in 0..n as QueryNode {
+        if used[b as usize] || degrees[a as usize] != degrees[b as usize] {
+            continue;
+        }
+        // Edge consistency against all previously mapped nodes (both
+        // presence and absence must be preserved for an automorphism).
+        let consistent = (0..next as QueryNode).all(|p| {
+            let q_img = mapping[p as usize].unwrap();
+            query.has_edge(a, p) == query.has_edge(b, q_img)
+        });
+        if !consistent {
+            continue;
+        }
+        mapping[a as usize] = Some(b);
+        used[b as usize] = true;
+        extend(query, degrees, next + 1, mapping, used, count);
+        mapping[a as usize] = None;
+        used[b as usize] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new(n);
+        for i in 0..n {
+            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+        }
+        q
+    }
+
+    fn path(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new(n);
+        for i in 1..n {
+            q.add_edge((i - 1) as QueryNode, i as QueryNode);
+        }
+        q
+    }
+
+    fn complete(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new(n);
+        for a in 0..n as QueryNode {
+            for b in (a + 1)..n as QueryNode {
+                q.add_edge(a, b);
+            }
+        }
+        q
+    }
+
+    fn factorial(n: u64) -> u64 {
+        (1..=n).product::<u64>().max(1)
+    }
+
+    #[test]
+    fn cycles_have_dihedral_symmetry() {
+        for n in 3..9 {
+            assert_eq!(count_automorphisms(&cycle(n)), 2 * n as u64, "C_{n}");
+        }
+    }
+
+    #[test]
+    fn paths_have_two_automorphisms() {
+        for n in 2..8 {
+            assert_eq!(count_automorphisms(&path(n)), 2, "P_{n}");
+        }
+    }
+
+    #[test]
+    fn complete_graphs_have_factorial_automorphisms() {
+        for n in 1..7 {
+            assert_eq!(count_automorphisms(&complete(n)), factorial(n as u64));
+        }
+    }
+
+    #[test]
+    fn star_automorphisms_are_leaf_permutations() {
+        let mut star = QueryGraph::new(6);
+        for leaf in 1..6 {
+            star.add_edge(0, leaf);
+        }
+        assert_eq!(count_automorphisms(&star), factorial(5));
+    }
+
+    #[test]
+    fn asymmetric_query_has_identity_only() {
+        // A triangle with a pendant path of length 2 attached to one node and
+        // a single pendant on another: no non-trivial symmetry.
+        let q = QueryGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (1, 5)],
+        );
+        assert_eq!(count_automorphisms(&q), 1);
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        assert_eq!(count_automorphisms(&QueryGraph::new(0)), 1);
+        assert_eq!(count_automorphisms(&QueryGraph::new(1)), 1);
+    }
+}

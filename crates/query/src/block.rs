@@ -1,0 +1,181 @@
+//! Blocks: the units of the decomposition tree.
+//!
+//! Section 4.1 decomposes a treewidth-2 query by repeatedly contracting a
+//! *block* — either a **leaf edge** (an edge with a degree-one endpoint) or a
+//! **contractible cycle** (an induced cycle with at most two boundary nodes).
+//! A block records:
+//!
+//! * its own nodes (in cyclic order for cycles),
+//! * its boundary nodes (the nodes shared with the rest of the query),
+//! * the *annotations* it inherited: child blocks attached to its nodes
+//!   (unary children, contracted earlier onto a node) and to its edges
+//!   (binary children, contracted earlier onto an edge).
+//!
+//! The engine turns each block into a projection table keyed by its boundary
+//! nodes' images; the annotations say which child tables must be joined in at
+//! which position (NodeJoin / EdgeJoin, Figure 7).
+
+use crate::graph::QueryNode;
+
+/// Index of a block within a [`crate::decomposition::DecompositionTree`].
+/// Blocks are numbered in construction (bottom-up) order, so every child id is
+/// smaller than its parent's id.
+pub type BlockId = usize;
+
+/// The structural kind of a block.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// A leaf edge `(boundary, leaf)`: `leaf` had degree one when the block
+    /// was contracted.
+    LeafEdge {
+        /// The endpoint that remains in the query after contraction.
+        boundary: QueryNode,
+        /// The degree-one endpoint removed by the contraction.
+        leaf: QueryNode,
+    },
+    /// A contractible cycle, nodes listed in cyclic order
+    /// (`nodes[i]`–`nodes[(i+1) % L]` are the cycle edges).
+    Cycle {
+        /// The cycle nodes in cyclic order.
+        nodes: Vec<QueryNode>,
+    },
+}
+
+impl BlockKind {
+    /// All nodes of the block. For a leaf edge this is `[boundary, leaf]`.
+    pub fn nodes(&self) -> Vec<QueryNode> {
+        match self {
+            BlockKind::LeafEdge { boundary, leaf } => vec![*boundary, *leaf],
+            BlockKind::Cycle { nodes } => nodes.clone(),
+        }
+    }
+
+    /// Number of nodes in the block.
+    pub fn len(&self) -> usize {
+        match self {
+            BlockKind::LeafEdge { .. } => 2,
+            BlockKind::Cycle { nodes } => nodes.len(),
+        }
+    }
+
+    /// Whether the block is a cycle.
+    pub fn is_cycle(&self) -> bool {
+        matches!(self, BlockKind::Cycle { .. })
+    }
+
+    /// The block's edges: for a cycle, `(nodes[i], nodes[i+1 mod L])` for each
+    /// `i`; for a leaf edge the single `(boundary, leaf)` pair.
+    pub fn edges(&self) -> Vec<(QueryNode, QueryNode)> {
+        match self {
+            BlockKind::LeafEdge { boundary, leaf } => vec![(*boundary, *leaf)],
+            BlockKind::Cycle { nodes } => {
+                let l = nodes.len();
+                (0..l).map(|i| (nodes[i], nodes[(i + 1) % l])).collect()
+            }
+        }
+    }
+}
+
+/// A node of the decomposition tree.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// This block's id within the tree.
+    pub id: BlockId,
+    /// Leaf edge or cycle.
+    pub kind: BlockKind,
+    /// Boundary nodes (0, 1 or 2 of them): nodes of the block that share an
+    /// edge with nodes outside the subquery represented by the block.
+    pub boundary: Vec<QueryNode>,
+    /// Child blocks attached to nodes of this block: `(node, child)` means
+    /// the unary projection table of `child` must be joined at `node`.
+    pub node_annotations: Vec<(QueryNode, BlockId)>,
+    /// Child blocks attached to edges of this block: `(edge_index, child)`
+    /// refers to the edge returned at that index by [`BlockKind::edges`]; the
+    /// binary projection table of `child` replaces the data-graph edge there.
+    pub edge_annotations: Vec<(usize, BlockId)>,
+}
+
+impl Block {
+    /// Ids of all children (annotation targets), node annotations first.
+    pub fn children(&self) -> Vec<BlockId> {
+        self.node_annotations
+            .iter()
+            .map(|&(_, b)| b)
+            .chain(self.edge_annotations.iter().map(|&(_, b)| b))
+            .collect()
+    }
+
+    /// The child block annotating `node`, if any.
+    pub fn node_annotation(&self, node: QueryNode) -> Option<BlockId> {
+        self.node_annotations
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, b)| b)
+    }
+
+    /// The child block annotating edge index `edge_index`, if any.
+    pub fn edge_annotation(&self, edge_index: usize) -> Option<BlockId> {
+        self.edge_annotations
+            .iter()
+            .find(|&&(e, _)| e == edge_index)
+            .map(|&(_, b)| b)
+    }
+
+    /// Total number of annotations (used by the plan-cost heuristic).
+    pub fn annotation_count(&self) -> usize {
+        self.node_annotations.len() + self.edge_annotations.len()
+    }
+
+    /// Length of the cycle if this block is a cycle, otherwise 0.
+    pub fn cycle_length(&self) -> usize {
+        match &self.kind {
+            BlockKind::Cycle { nodes } => nodes.len(),
+            BlockKind::LeafEdge { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cycle_block() -> Block {
+        Block {
+            id: 3,
+            kind: BlockKind::Cycle {
+                nodes: vec![0, 5, 6, 2],
+            },
+            boundary: vec![5, 6],
+            node_annotations: vec![(5, 1)],
+            edge_annotations: vec![(3, 0)],
+        }
+    }
+
+    #[test]
+    fn cycle_edges_wrap_around() {
+        let b = sample_cycle_block();
+        assert_eq!(b.kind.edges(), vec![(0, 5), (5, 6), (6, 2), (2, 0)]);
+        assert_eq!(b.kind.len(), 4);
+        assert!(b.kind.is_cycle());
+        assert_eq!(b.cycle_length(), 4);
+    }
+
+    #[test]
+    fn leaf_edge_shape() {
+        let k = BlockKind::LeafEdge { boundary: 2, leaf: 7 };
+        assert_eq!(k.nodes(), vec![2, 7]);
+        assert_eq!(k.edges(), vec![(2, 7)]);
+        assert!(!k.is_cycle());
+    }
+
+    #[test]
+    fn annotation_lookup() {
+        let b = sample_cycle_block();
+        assert_eq!(b.node_annotation(5), Some(1));
+        assert_eq!(b.node_annotation(6), None);
+        assert_eq!(b.edge_annotation(3), Some(0));
+        assert_eq!(b.edge_annotation(0), None);
+        assert_eq!(b.children(), vec![1, 0]);
+        assert_eq!(b.annotation_count(), 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Errors reported by the query-side machinery.
+
+/// Reasons a query graph cannot be processed by the treewidth-2 pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has no nodes.
+    Empty,
+    /// The query is not connected; color-coding counts are defined per
+    /// connected query in the paper, so disconnected inputs are rejected.
+    Disconnected,
+    /// The query has treewidth greater than two, so no block decomposition
+    /// exists (Lemma 4.1 only covers treewidth ≤ 2).
+    TreewidthExceeded,
+    /// The decomposition process could not find a leaf edge or contractible
+    /// cycle. For treewidth-≤2 queries this indicates a bug; it is also the
+    /// error surfaced when the treewidth check is bypassed.
+    NoBlockFound,
+    /// The query has more nodes than the number of supported colors.
+    TooManyNodes {
+        /// Number of nodes in the offending query.
+        nodes: usize,
+        /// Maximum supported number of query nodes / colors.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Empty => write!(f, "query graph has no nodes"),
+            QueryError::Disconnected => write!(f, "query graph is not connected"),
+            QueryError::TreewidthExceeded => {
+                write!(f, "query graph has treewidth greater than two")
+            }
+            QueryError::NoBlockFound => write!(
+                f,
+                "no leaf edge or contractible cycle found during decomposition"
+            ),
+            QueryError::TooManyNodes { nodes, max } => {
+                write!(f, "query has {nodes} nodes, more than the supported {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(QueryError::Disconnected.to_string().contains("connected"));
+        assert!(QueryError::TreewidthExceeded.to_string().contains("treewidth"));
+        assert!(QueryError::TooManyNodes { nodes: 40, max: 32 }
+            .to_string()
+            .contains("40"));
+    }
+}

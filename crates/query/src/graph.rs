@@ -1,0 +1,216 @@
+//! Small undirected query graphs.
+//!
+//! Query graphs in the paper have at most ~10 nodes ("queries of size up to
+//! 10 nodes", Section 1); this representation supports up to 32 nodes so that
+//! adjacency can be stored as per-node bitmasks, giving O(1) edge tests and
+//! cheap set operations during decomposition and automorphism counting.
+
+use crate::error::QueryError;
+
+/// Index of a query node (`0..k`, `k ≤ 32`).
+pub type QueryNode = u8;
+
+/// Maximum number of query nodes (limited by the `u32` adjacency bitmasks and
+/// the color-signature width used throughout the stack).
+pub const MAX_QUERY_NODES: usize = 32;
+
+/// An undirected query graph on at most [`MAX_QUERY_NODES`] nodes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryGraph {
+    /// `adjacency[a]` has bit `b` set iff edge `(a, b)` exists.
+    adjacency: Vec<u32>,
+}
+
+impl QueryGraph {
+    /// Creates an edgeless query graph with `num_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes` exceeds [`MAX_QUERY_NODES`].
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes <= MAX_QUERY_NODES,
+            "query graphs support at most {MAX_QUERY_NODES} nodes"
+        );
+        QueryGraph {
+            adjacency: vec![0; num_nodes],
+        }
+    }
+
+    /// Builds a query graph from an edge list.
+    pub fn from_edges(num_nodes: usize, edges: &[(QueryNode, QueryNode)]) -> Self {
+        let mut q = QueryGraph::new(num_nodes);
+        for &(a, b) in edges {
+            q.add_edge(a, b);
+        }
+        q
+    }
+
+    /// Adds the undirected edge `(a, b)`. Self loops are ignored.
+    pub fn add_edge(&mut self, a: QueryNode, b: QueryNode) {
+        if a == b {
+            return;
+        }
+        assert!(
+            (a as usize) < self.adjacency.len() && (b as usize) < self.adjacency.len(),
+            "edge ({a}, {b}) out of range for {}-node query",
+            self.adjacency.len()
+        );
+        self.adjacency[a as usize] |= 1 << b;
+        self.adjacency[b as usize] |= 1 << a;
+    }
+
+    /// Number of nodes `k`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency
+            .iter()
+            .map(|m| m.count_ones() as usize)
+            .sum::<usize>()
+            / 2
+    }
+
+    /// Whether the edge `(a, b)` exists.
+    #[inline]
+    pub fn has_edge(&self, a: QueryNode, b: QueryNode) -> bool {
+        (self.adjacency[a as usize] >> b) & 1 == 1
+    }
+
+    /// Degree of node `a`.
+    #[inline]
+    pub fn degree(&self, a: QueryNode) -> usize {
+        self.adjacency[a as usize].count_ones() as usize
+    }
+
+    /// Adjacency bitmask of node `a`.
+    #[inline]
+    pub fn neighbor_mask(&self, a: QueryNode) -> u32 {
+        self.adjacency[a as usize]
+    }
+
+    /// Iterator over the neighbors of `a` in increasing order.
+    pub fn neighbors(&self, a: QueryNode) -> impl Iterator<Item = QueryNode> + '_ {
+        let mask = self.adjacency[a as usize];
+        (0..self.num_nodes() as QueryNode).filter(move |&b| (mask >> b) & 1 == 1)
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = QueryNode> {
+        0..self.num_nodes() as QueryNode
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(QueryNode, QueryNode)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for a in self.nodes() {
+            for b in self.neighbors(a) {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the graph is connected (the empty graph is not).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        if n == 0 {
+            return false;
+        }
+        let mut visited = 1u32;
+        let mut stack = vec![0 as QueryNode];
+        while let Some(a) = stack.pop() {
+            let fresh = self.adjacency[a as usize] & !visited;
+            visited |= fresh;
+            for b in 0..n as QueryNode {
+                if (fresh >> b) & 1 == 1 {
+                    stack.push(b);
+                }
+            }
+        }
+        visited.count_ones() as usize == n
+    }
+
+    /// Validates that the query is usable by the counting pipeline: non-empty,
+    /// connected and small enough for the signature width.
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if self.num_nodes() == 0 {
+            return Err(QueryError::Empty);
+        }
+        if self.num_nodes() > MAX_QUERY_NODES {
+            return Err(QueryError::TooManyNodes {
+                nodes: self.num_nodes(),
+                max: MAX_QUERY_NODES,
+            });
+        }
+        if !self.is_connected() {
+            return Err(QueryError::Disconnected);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> QueryGraph {
+        QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = triangle();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.has_edge(0, 2));
+        assert!(!t.has_edge(0, 0));
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let t = triangle();
+        assert_eq!(t.edges(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(triangle().is_connected());
+        let mut q = QueryGraph::new(4);
+        q.add_edge(0, 1);
+        q.add_edge(2, 3);
+        assert!(!q.is_connected());
+        assert!(!QueryGraph::new(0).is_connected());
+        assert!(QueryGraph::new(1).is_connected());
+    }
+
+    #[test]
+    fn validate_rejects_bad_queries() {
+        assert_eq!(QueryGraph::new(0).validate(), Err(QueryError::Empty));
+        let mut q = QueryGraph::new(4);
+        q.add_edge(0, 1);
+        assert_eq!(q.validate(), Err(QueryError::Disconnected));
+        assert!(triangle().validate().is_ok());
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut q = QueryGraph::new(2);
+        q.add_edge(1, 1);
+        assert_eq!(q.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut q = QueryGraph::new(2);
+        q.add_edge(0, 5);
+    }
+}

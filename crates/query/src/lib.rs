@@ -1,0 +1,35 @@
+//! # sgc-query — query graphs and decomposition trees
+//!
+//! The query-side machinery of the paper:
+//!
+//! * [`QueryGraph`] — small undirected query graphs (≤ 32 nodes),
+//! * [`treewidth`] — treewidth-≤2 recognition via the degree-≤2 reduction
+//!   rule, plus tree recognition,
+//! * [`block`] / [`decomposition`] — the *blocks* (leaf edges and
+//!   contractible cycles) and the decomposition-tree construction of
+//!   Section 4.1, including annotations and parent inheritance,
+//! * [`plan`] — enumeration of all decomposition trees of a query and the
+//!   plan-selection heuristic of Section 6 (longest cycle, boundary nodes,
+//!   annotation count),
+//! * [`automorphism`] — automorphism counting, needed to convert match counts
+//!   into subgraph counts (Section 2),
+//! * [`catalog`] — the Figure 8 query suite (analogs) plus the paper's
+//!   `Satellite` worked example and assorted simple queries.
+//!
+//! Everything here is independent of the data graph: it is the paper's
+//! "planner" layer (Section 7) and runs in microseconds for 10-node queries.
+
+pub mod automorphism;
+pub mod block;
+pub mod catalog;
+pub mod decomposition;
+pub mod error;
+pub mod graph;
+pub mod plan;
+pub mod treewidth;
+
+pub use block::{Block, BlockId, BlockKind};
+pub use decomposition::{decompose, DecompositionTree};
+pub use error::QueryError;
+pub use graph::{QueryGraph, QueryNode};
+pub use plan::{enumerate_plans, heuristic_plan, PlanCost};

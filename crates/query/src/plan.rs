@@ -1,0 +1,248 @@
+//! Plan enumeration and the plan-selection heuristic (Section 6).
+//!
+//! A query usually admits several decomposition trees, and the paper reports
+//! up to a 13× runtime difference between the best and worst tree for the
+//! same graph-query pair. Section 6 observes that the tree can be chosen by
+//! looking only at the query, using three factors in decreasing order of
+//! importance:
+//!
+//! 1. the length of the longest cycle block (shorter is better),
+//! 2. the total number of boundary nodes (fewer is better),
+//! 3. the total number of node/edge annotations (fewer is better).
+//!
+//! [`enumerate_plans`] produces every distinct decomposition tree (used by the
+//! Figure 14 experiment to find the true optimum), and [`heuristic_plan`]
+//! implements the paper's selection rule on top of it.
+
+use crate::decomposition::{decompose, Contracted, DecompositionTree};
+use crate::error::QueryError;
+use crate::graph::QueryGraph;
+use crate::treewidth::treewidth_at_most_two;
+use std::collections::HashSet;
+
+/// The plan-cost vector of Section 6, compared lexicographically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlanCost {
+    /// Length of the longest cycle block.
+    pub longest_cycle: usize,
+    /// Total number of boundary nodes over all blocks.
+    pub boundary_nodes: usize,
+    /// Total number of node and edge annotations over all blocks.
+    pub annotations: usize,
+}
+
+impl PlanCost {
+    /// Computes the cost vector of a decomposition tree.
+    pub fn of(tree: &DecompositionTree) -> Self {
+        PlanCost {
+            longest_cycle: tree.longest_cycle(),
+            boundary_nodes: tree.total_boundary_nodes(),
+            annotations: tree.total_annotations(),
+        }
+    }
+}
+
+/// Upper bound on the number of distinct plans the enumerator will return;
+/// a safety valve for adversarial queries (the paper's 10-node queries stay
+/// in the tens of plans).
+pub const MAX_PLANS: usize = 20_000;
+
+/// Enumerates every distinct decomposition tree of `query`.
+///
+/// Distinctness is up to the tree's structural [`DecompositionTree::signature`];
+/// contraction orders that produce the same tree are merged. Returns an error
+/// for invalid queries (empty, disconnected, treewidth > 2).
+pub fn enumerate_plans(query: &QueryGraph) -> Result<Vec<DecompositionTree>, QueryError> {
+    query.validate()?;
+    if !treewidth_at_most_two(query) {
+        return Err(QueryError::TreewidthExceeded);
+    }
+    if query.num_nodes() == 1 {
+        return Ok(vec![decompose(query)?]);
+    }
+
+    let mut plans = Vec::new();
+    let mut seen_plans: HashSet<String> = HashSet::new();
+    let mut seen_states: HashSet<String> = HashSet::new();
+    let mut stack: Vec<(Contracted, Vec<crate::block::Block>)> =
+        vec![(Contracted::new(query), Vec::new())];
+
+    while let Some((state, blocks)) = stack.pop() {
+        if plans.len() >= MAX_PLANS {
+            break;
+        }
+        if state.alive_count() <= 1 {
+            if let Ok(root) = state.finish(&blocks) {
+                let tree = DecompositionTree {
+                    query: query.clone(),
+                    blocks,
+                    root,
+                };
+                if seen_plans.insert(tree.signature()) {
+                    plans.push(tree);
+                }
+            }
+            continue;
+        }
+        for candidate in state.candidates() {
+            let mut next_state = state.clone();
+            let mut next_blocks = blocks.clone();
+            next_state.contract(&candidate, &mut next_blocks);
+            // Merge contraction orders that reach an identical state: the key
+            // includes the recursive structure of the blocks referenced by
+            // the surviving annotations.
+            let sig_tree = DecompositionTree {
+                query: query.clone(),
+                blocks: next_blocks.clone(),
+                root: None,
+            };
+            let key = next_state.canonical_key(&next_blocks, &|b| sig_tree_signature(&sig_tree, b));
+            // Terminal states (0 or 1 alive nodes) may erase the distinguishing
+            // annotations (the root is no longer referenced anywhere), so they
+            // are never merged — the final plan dedup handles duplicates there.
+            if next_state.alive_count() <= 1 || seen_states.insert(key) {
+                stack.push((next_state, next_blocks));
+            }
+        }
+    }
+    if plans.is_empty() {
+        return Err(QueryError::NoBlockFound);
+    }
+    Ok(plans)
+}
+
+fn sig_tree_signature(tree: &DecompositionTree, block: crate::block::BlockId) -> String {
+    // DecompositionTree::signature only reports from the root; reuse the same
+    // recursive scheme starting from an arbitrary block.
+    let mut t = tree.clone();
+    t.root = Some(block);
+    t.signature()
+}
+
+/// Selects a decomposition tree for `query` using the paper's heuristic:
+/// enumerate plans and pick the one with the lexicographically smallest
+/// [`PlanCost`] (ties broken by signature for determinism).
+pub fn heuristic_plan(query: &QueryGraph) -> Result<DecompositionTree, QueryError> {
+    let plans = enumerate_plans(query)?;
+    Ok(plans
+        .into_iter()
+        .min_by_key(|t| (PlanCost::of(t), t.signature()))
+        .expect("enumerate_plans returned at least one plan"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::QueryNode;
+
+    fn cycle_query(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new(n);
+        for i in 0..n {
+            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+        }
+        q
+    }
+
+    /// brain1-style query from the paper's Section 6 discussion: a 4-cycle
+    /// and a 6-cycle sharing a single edge; it admits exactly two plans
+    /// (contract the 4-cycle first, or the 6-cycle first).
+    fn fused_cycles() -> QueryGraph {
+        // 6-cycle 0-1-2-3-4-5, 4-cycle 0-1-6-7 sharing edge (0,1).
+        QueryGraph::from_edges(
+            8,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
+                (1, 6), (6, 7), (7, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn pure_cycle_has_exactly_one_plan() {
+        let plans = enumerate_plans(&cycle_query(6)).unwrap();
+        assert_eq!(plans.len(), 1);
+    }
+
+    #[test]
+    fn fused_cycles_admit_two_plans() {
+        let plans = enumerate_plans(&fused_cycles()).unwrap();
+        assert_eq!(plans.len(), 2, "expected the two orders from Section 6");
+        for p in &plans {
+            p.verify().unwrap();
+        }
+        // The two plans differ in which cycle becomes the root.
+        let mut root_lengths: Vec<usize> = plans
+            .iter()
+            .map(|p| p.blocks[p.root.unwrap()].cycle_length())
+            .collect();
+        root_lengths.sort_unstable();
+        assert_eq!(root_lengths, vec![4, 6]);
+    }
+
+    #[test]
+    fn heuristic_prefers_shorter_longest_cycle() {
+        // For the fused-cycles query both plans share the same block lengths
+        // {4-cycle, 6-cycle}; the heuristic must still return one of them and
+        // be deterministic.
+        let a = heuristic_plan(&fused_cycles()).unwrap();
+        let b = heuristic_plan(&fused_cycles()).unwrap();
+        assert_eq!(a.signature(), b.signature());
+        a.verify().unwrap();
+    }
+
+    #[test]
+    fn plan_costs_are_ordered_lexicographically() {
+        let small = PlanCost {
+            longest_cycle: 4,
+            boundary_nodes: 10,
+            annotations: 10,
+        };
+        let large = PlanCost {
+            longest_cycle: 5,
+            boundary_nodes: 0,
+            annotations: 0,
+        };
+        assert!(small < large);
+    }
+
+    #[test]
+    fn every_enumerated_plan_verifies() {
+        let q = crate::decomposition::tests::satellite();
+        let plans = enumerate_plans(&q).unwrap();
+        assert!(!plans.is_empty());
+        for p in &plans {
+            p.verify().unwrap();
+            assert_eq!(p.subquery_nodes(p.root.unwrap()).len(), 11);
+        }
+        // Signatures are pairwise distinct.
+        let sigs: HashSet<String> = plans.iter().map(|p| p.signature()).collect();
+        assert_eq!(sigs.len(), plans.len());
+    }
+
+    #[test]
+    fn tree_queries_have_plans_without_cycles() {
+        let mut star = QueryGraph::new(5);
+        for leaf in 1..5 {
+            star.add_edge(0, leaf);
+        }
+        let plans = enumerate_plans(&star).unwrap();
+        for p in &plans {
+            assert_eq!(p.longest_cycle(), 0);
+            p.verify().unwrap();
+        }
+        let best = heuristic_plan(&star).unwrap();
+        assert_eq!(best.blocks.len(), 4);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let mut k4 = QueryGraph::new(4);
+        for a in 0..4u8 {
+            for b in (a + 1)..4 {
+                k4.add_edge(a, b);
+            }
+        }
+        assert_eq!(enumerate_plans(&k4), Err(QueryError::TreewidthExceeded));
+        assert_eq!(heuristic_plan(&QueryGraph::new(0)), Err(QueryError::Empty));
+    }
+}

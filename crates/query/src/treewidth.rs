@@ -1,0 +1,212 @@
+//! Treewidth-≤2 recognition.
+//!
+//! A connected graph has treewidth at most two iff it can be reduced to a
+//! single vertex by repeatedly applying the classic series-parallel style
+//! reduction rules: delete a vertex of degree ≤ 1, or delete a vertex of
+//! degree 2 after connecting its two neighbors (adding the edge if absent).
+//! This is the standard linear-time characterisation used for partial
+//! 2-trees and matches the class of queries handled by the paper (trees,
+//! cycles, series-parallel graphs "and beyond", Section 1).
+
+use crate::graph::{QueryGraph, QueryNode};
+
+/// Returns `true` iff the query has treewidth at most two.
+///
+/// Works on connected and disconnected graphs alike (each component is
+/// reduced independently by the same rule).
+pub fn treewidth_at_most_two(query: &QueryGraph) -> bool {
+    let n = query.num_nodes();
+    if n <= 2 {
+        return true;
+    }
+    // Mutable adjacency copy as bitmasks.
+    let mut adj: Vec<u32> = (0..n as QueryNode).map(|a| query.neighbor_mask(a)).collect();
+    let mut alive: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    loop {
+        let mut progressed = false;
+        for a in 0..n {
+            if (alive >> a) & 1 == 0 {
+                continue;
+            }
+            let deg = adj[a].count_ones();
+            match deg {
+                0 | 1 => {
+                    remove_vertex(&mut adj, &mut alive, a);
+                    progressed = true;
+                }
+                2 => {
+                    let mask = adj[a];
+                    let u = mask.trailing_zeros() as usize;
+                    let v = (31 - mask.leading_zeros()) as usize;
+                    remove_vertex(&mut adj, &mut alive, a);
+                    // Connect the two neighbors (series reduction).
+                    adj[u] |= 1 << v;
+                    adj[v] |= 1 << u;
+                    progressed = true;
+                }
+                _ => {}
+            }
+        }
+        if alive.count_ones() <= 1 {
+            return true;
+        }
+        if !progressed {
+            return false;
+        }
+    }
+}
+
+fn remove_vertex(adj: &mut [u32], alive: &mut u32, a: usize) {
+    let mask = adj[a];
+    for b in 0..adj.len() {
+        if (mask >> b) & 1 == 1 {
+            adj[b] &= !(1 << a);
+        }
+    }
+    adj[a] = 0;
+    *alive &= !(1 << a);
+}
+
+/// Returns `true` iff the query is a tree (connected and `m = n - 1`).
+pub fn is_tree(query: &QueryGraph) -> bool {
+    query.num_nodes() > 0
+        && query.is_connected()
+        && query.num_edges() == query.num_nodes() - 1
+}
+
+/// Returns `true` iff the query is acyclic (a forest).
+pub fn is_forest(query: &QueryGraph) -> bool {
+    // A graph is a forest iff every connected component has m = n - 1, which
+    // for the whole graph means m = n - #components. Use the reduction: a
+    // forest reduces to empty by repeatedly deleting degree-≤1 vertices.
+    let n = query.num_nodes();
+    let mut adj: Vec<u32> = (0..n as QueryNode).map(|a| query.neighbor_mask(a)).collect();
+    let mut alive: u32 = if n == 0 {
+        0
+    } else if n == 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    };
+    loop {
+        let mut progressed = false;
+        for a in 0..n {
+            if (alive >> a) & 1 == 1 && adj[a].count_ones() <= 1 {
+                remove_vertex(&mut adj, &mut alive, a);
+                progressed = true;
+            }
+        }
+        if alive == 0 {
+            return true;
+        }
+        if !progressed {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new(n);
+        for i in 0..n {
+            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+        }
+        q
+    }
+
+    fn complete(n: usize) -> QueryGraph {
+        let mut q = QueryGraph::new(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                q.add_edge(a as QueryNode, b as QueryNode);
+            }
+        }
+        q
+    }
+
+    #[test]
+    fn trees_have_treewidth_at_most_two() {
+        let mut star = QueryGraph::new(6);
+        for leaf in 1..6 {
+            star.add_edge(0, leaf);
+        }
+        assert!(treewidth_at_most_two(&star));
+        assert!(is_tree(&star));
+        assert!(is_forest(&star));
+    }
+
+    #[test]
+    fn cycles_are_treewidth_two_but_not_trees() {
+        for n in 3..10 {
+            let c = cycle(n);
+            assert!(treewidth_at_most_two(&c), "C_{n}");
+            assert!(!is_tree(&c));
+            assert!(!is_forest(&c));
+        }
+    }
+
+    #[test]
+    fn series_parallel_is_treewidth_two() {
+        // Three internally disjoint paths between nodes 0 and 1.
+        let mut q = QueryGraph::new(8);
+        q.add_edge(0, 2);
+        q.add_edge(2, 1);
+        q.add_edge(0, 3);
+        q.add_edge(3, 4);
+        q.add_edge(4, 1);
+        q.add_edge(0, 5);
+        q.add_edge(5, 6);
+        q.add_edge(6, 7);
+        q.add_edge(7, 1);
+        assert!(treewidth_at_most_two(&q));
+    }
+
+    #[test]
+    fn k4_and_larger_cliques_exceed_treewidth_two() {
+        assert!(!treewidth_at_most_two(&complete(4)));
+        assert!(!treewidth_at_most_two(&complete(5)));
+        assert!(treewidth_at_most_two(&complete(3)));
+    }
+
+    #[test]
+    fn k4_minus_an_edge_is_treewidth_two() {
+        let mut q = complete(4);
+        // Rebuild without edge (0, 1).
+        let mut r = QueryGraph::new(4);
+        for (a, b) in q.edges() {
+            if (a, b) != (0, 1) {
+                r.add_edge(a, b);
+            }
+        }
+        q = r;
+        assert!(treewidth_at_most_two(&q));
+    }
+
+    #[test]
+    fn small_graphs_are_trivially_fine() {
+        assert!(treewidth_at_most_two(&QueryGraph::new(1)));
+        assert!(treewidth_at_most_two(&QueryGraph::from_edges(2, &[(0, 1)])));
+    }
+
+    #[test]
+    fn grid_3x3_exceeds_treewidth_two() {
+        // The 3x3 grid has treewidth 3.
+        let mut q = QueryGraph::new(9);
+        let id = |r: usize, c: usize| (r * 3 + c) as QueryNode;
+        for r in 0..3 {
+            for c in 0..3 {
+                if r + 1 < 3 {
+                    q.add_edge(id(r, c), id(r + 1, c));
+                }
+                if c + 1 < 3 {
+                    q.add_edge(id(r, c), id(r, c + 1));
+                }
+            }
+        }
+        assert!(!treewidth_at_most_two(&q));
+    }
+}

@@ -1,0 +1,15 @@
+//! # subgraph-counting
+//!
+//! Facade crate re-exporting the full public API of the workspace: a
+//! reproduction of *"Subgraph Counting: Color Coding Beyond Trees"*
+//! (Chakaravarthy et al., IPDPS 2016). See the README for a tour and
+//! `DESIGN.md` for the system inventory.
+
+pub use sgc_core as core;
+pub use sgc_engine as engine;
+pub use sgc_gen as gen;
+pub use sgc_graph as graph;
+pub use sgc_query as query;
+pub use sgc_theory as theory;
+
+pub use sgc_core::prelude::*;

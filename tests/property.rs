@@ -1,0 +1,115 @@
+//! Property-based tests (proptest) on the core invariants.
+//!
+//! Random small data graphs and colorings are generated and the following
+//! invariants checked:
+//!
+//! * PS, DB and the brute-force oracle agree on the colorful count,
+//! * the count is invariant under the choice of decomposition plan,
+//! * colorful counts never exceed total match counts,
+//! * signatures behave like sets (engine-level algebraic laws).
+
+use proptest::prelude::*;
+use subgraph_counting::core::brute::{count_colorful_matches, count_matches};
+use subgraph_counting::core::driver::count_colorful;
+use subgraph_counting::core::{Algorithm, CountConfig};
+use subgraph_counting::engine::Signature;
+use subgraph_counting::graph::{Coloring, CsrGraph, GraphBuilder};
+use subgraph_counting::query::{catalog, QueryGraph};
+
+/// Builds a random graph on `n` vertices from a list of edge selectors.
+fn graph_from_edges(n: usize, edges: &[(u8, u8)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge((u as usize % n) as u32, (v as usize % n) as u32);
+    }
+    b.build()
+}
+
+fn small_queries() -> Vec<(&'static str, QueryGraph)> {
+    vec![
+        ("triangle", catalog::triangle()),
+        ("c4", catalog::cycle(4)),
+        ("c5", catalog::cycle(5)),
+        ("glet1", catalog::glet1()),
+        ("youtube", catalog::youtube()),
+        ("dros", catalog::dros()),
+        ("ecoli1", catalog::ecoli1()),
+        ("path4", catalog::path(4)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PS, DB and the oracle agree on random graphs and random colorings.
+    #[test]
+    fn algorithms_agree_with_oracle(
+        n in 6usize..14,
+        edges in proptest::collection::vec((0u8..14, 0u8..14), 8..40),
+        seed in 0u64..1000,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        for (name, query) in small_queries() {
+            let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), seed);
+            let expected = count_colorful_matches(&graph, &query, &coloring);
+            for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+                let got = count_colorful(&graph, &coloring, &query, &CountConfig::new(alg))
+                    .unwrap()
+                    .colorful_matches;
+                prop_assert_eq!(got, expected, "{} with {}", name, alg);
+            }
+        }
+    }
+
+    /// Colorful matches are a subset of all matches.
+    #[test]
+    fn colorful_counts_are_bounded_by_match_counts(
+        n in 5usize..12,
+        edges in proptest::collection::vec((0u8..12, 0u8..12), 6..30),
+        seed in 0u64..1000,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let query = catalog::triangle();
+        let coloring = Coloring::random(graph.num_vertices(), 3, seed);
+        let colorful = count_colorful_matches(&graph, &query, &coloring);
+        let all = count_matches(&graph, &query);
+        prop_assert!(colorful <= all);
+    }
+
+    /// Signature algebra behaves like finite sets.
+    #[test]
+    fn signature_set_laws(a in 0u32..1 << 16, b in 0u32..1 << 16, c in 0u8..16) {
+        let sa = Signature(a);
+        let sb = Signature(b);
+        prop_assert_eq!(sa.union(sb), sb.union(sa));
+        prop_assert_eq!(sa.intersection(sb), sb.intersection(sa));
+        prop_assert_eq!(sa.union(sa), sa);
+        prop_assert!(sa.intersection(sb).is_subset_of(sa));
+        prop_assert!(sa.is_subset_of(sa.union(sb)));
+        prop_assert_eq!(sa.is_disjoint(sb), sa.intersection(sb).is_empty());
+        prop_assert!(sa.with(c).contains(c));
+        prop_assert_eq!(sa.with(c).len(), sa.len() + (!sa.contains(c)) as u32);
+    }
+
+    /// The degree order is a strict total order and the star center is maximal.
+    #[test]
+    fn degree_order_is_total(leaves in 2usize..20) {
+        let mut b = GraphBuilder::new(leaves + 1);
+        for v in 1..=leaves {
+            b.add_edge(0, v as u32);
+        }
+        let g = b.build();
+        let order = subgraph_counting::graph::DegreeOrder::new(&g);
+        for u in g.vertices() {
+            prop_assert!(!order.higher(u, u));
+            for v in g.vertices() {
+                if u != v {
+                    prop_assert!(order.higher(u, v) ^ order.higher(v, u));
+                }
+            }
+            if u != 0 {
+                prop_assert!(order.higher(0, u));
+            }
+        }
+    }
+}
