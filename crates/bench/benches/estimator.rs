@@ -8,9 +8,8 @@
 //! special case).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use subgraph_counting::core::driver::count_colorful_with_tree;
 use subgraph_counting::core::treelet::count_colorful_treelet;
-use subgraph_counting::core::{Algorithm, CountConfig};
+use subgraph_counting::core::{Algorithm, Engine};
 use subgraph_counting::gen::{chung_lu, power_law_degrees};
 use subgraph_counting::graph::Coloring;
 use subgraph_counting::query::{catalog, heuristic_plan};
@@ -18,16 +17,28 @@ use subgraph_counting::query::{catalog, heuristic_plan};
 fn bench_estimator(c: &mut Criterion) {
     let mut group = c.benchmark_group("estimator");
     group.sample_size(10);
-    let degrees: Vec<f64> = power_law_degrees(2000, 1.5).iter().map(|d| d * 2.0).collect();
+    let degrees: Vec<f64> = power_law_degrees(2000, 1.5)
+        .iter()
+        .map(|d| d * 2.0)
+        .collect();
     let graph = chung_lu(&degrees, 21);
+    let engine = Engine::new(&graph);
 
     let query = catalog::glet1();
     let plan = heuristic_plan(&query).unwrap();
     let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 4);
     for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
         group.bench_function(format!("db_vs_ps_trial/{}", algorithm.short_name()), |b| {
-            let config = CountConfig::new(algorithm).with_ranks(16);
-            b.iter(|| count_colorful_with_tree(&graph, &coloring, &plan, &config));
+            b.iter(|| {
+                engine
+                    .count(&query)
+                    .plan(&plan)
+                    .algorithm(algorithm)
+                    .ranks(16)
+                    .coloring(&coloring)
+                    .run()
+                    .unwrap()
+            });
         });
     }
 
@@ -38,8 +49,16 @@ fn bench_estimator(c: &mut Criterion) {
         b.iter(|| count_colorful_treelet(&graph, &tree_coloring, &tree_query));
     });
     group.bench_function("treelet_vs_general/general_db", |b| {
-        let config = CountConfig::new(Algorithm::DegreeBased).with_ranks(16);
-        b.iter(|| count_colorful_with_tree(&graph, &tree_coloring, &tree_plan, &config));
+        b.iter(|| {
+            engine
+                .count(&tree_query)
+                .plan(&tree_plan)
+                .algorithm(Algorithm::DegreeBased)
+                .ranks(16)
+                .coloring(&tree_coloring)
+                .run()
+                .unwrap()
+        });
     });
 
     group.finish();

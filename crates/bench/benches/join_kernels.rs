@@ -26,7 +26,10 @@ fn bench_tables(c: &mut Criterion) {
         let make = |offset: u32| {
             let mut t = PathTable::new();
             for i in 0u32..50_000 {
-                t.add(PathKey::new((i + offset) % 997, i % 1009, Signature(i % 512)), 1);
+                t.add(
+                    PathKey::new((i + offset) % 997, i % 1009, Signature(i % 512)),
+                    1,
+                );
             }
             t
         };

@@ -6,14 +6,16 @@
 //! to PS on the low-skew graph.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use subgraph_counting::core::driver::count_colorful_with_tree;
-use subgraph_counting::core::{Algorithm, CountConfig};
+use subgraph_counting::core::{Algorithm, CountConfig, Engine};
 use subgraph_counting::gen::{chung_lu, power_law_degrees, road_like};
 use subgraph_counting::graph::{Coloring, CsrGraph};
 use subgraph_counting::query::{catalog, heuristic_plan};
 
 fn graphs() -> Vec<(&'static str, CsrGraph)> {
-    let degrees: Vec<f64> = power_law_degrees(1500, 1.45).iter().map(|d| d * 2.0).collect();
+    let degrees: Vec<f64> = power_law_degrees(1500, 1.45)
+        .iter()
+        .map(|d| d * 2.0)
+        .collect();
     vec![
         ("powerlaw1500", chung_lu(&degrees, 11)),
         ("road1600", road_like(40, 0.65, 0.02, 11)),
@@ -24,6 +26,7 @@ fn bench_ps_vs_db(c: &mut Criterion) {
     let mut group = c.benchmark_group("ps_vs_db");
     group.sample_size(10);
     for (gname, graph) in graphs() {
+        let engine = Engine::new(&graph);
         for qname in ["youtube", "glet2", "dros"] {
             let query = catalog::query_by_name(qname).unwrap();
             let plan = heuristic_plan(&query).unwrap();
@@ -34,7 +37,15 @@ fn bench_ps_vs_db(c: &mut Criterion) {
                     BenchmarkId::new(format!("{gname}/{qname}"), algorithm.short_name()),
                     &config,
                     |b, cfg| {
-                        b.iter(|| count_colorful_with_tree(&graph, &coloring, &plan, cfg));
+                        b.iter(|| {
+                            engine
+                                .count(&query)
+                                .plan(&plan)
+                                .config(*cfg)
+                                .coloring(&coloring)
+                                .run()
+                                .unwrap()
+                        });
                     },
                 );
             }

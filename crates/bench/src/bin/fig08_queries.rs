@@ -34,7 +34,7 @@ fn main() {
     let sat = catalog::satellite();
     let plan = heuristic_plan(&sat).unwrap();
     println!(
-        "{:<10} {:>6} {:>6} {:>14} {:>8} {:>8} {:>6}  {}",
+        "{:<10} {:>6} {:>6} {:>14} {:>8} {:>8} {:>6}  the paper's Figure 2 worked example",
         "satellite",
         sat.num_nodes(),
         sat.num_edges(),
@@ -42,6 +42,5 @@ fn main() {
         plan.blocks.len(),
         enumerate_plans(&sat).unwrap().len(),
         count_automorphisms(&sat),
-        "the paper's Figure 2 worked example"
     );
 }

@@ -16,24 +16,33 @@ fn main() {
     let queries = benchmark_queries(query_subset());
     let threads = max_threads();
 
-    let mut per_graph: Vec<(&str, Vec<f64>)> = graphs.iter().map(|g| (g.name, Vec::new())).collect();
-    let mut per_query: Vec<(&str, Vec<f64>)> = queries.iter().map(|q| (q.name, Vec::new())).collect();
+    let mut per_graph: Vec<(&str, Vec<f64>)> =
+        graphs.iter().map(|g| (g.name, Vec::new())).collect();
+    let mut per_query: Vec<(&str, Vec<f64>)> =
+        queries.iter().map(|q| (q.name, Vec::new())).collect();
 
     for (gi, bg) in graphs.iter().enumerate() {
         for (qi, bq) in queries.iter().enumerate() {
-            let (_, seconds) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
+            let (_, seconds) =
+                timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
             per_graph[gi].1.push(seconds);
             per_query[qi].1.push(seconds);
         }
     }
 
-    println!("average execution time per graph (seconds, across {} queries):", queries.len());
+    println!(
+        "average execution time per graph (seconds, across {} queries):",
+        queries.len()
+    );
     for (name, times) in &per_graph {
         let avg = times.iter().sum::<f64>() / times.len() as f64;
         println!("  {:<12} {:>10.4}", name, avg);
     }
     println!();
-    println!("average execution time per query (seconds, across {} graphs):", graphs.len());
+    println!(
+        "average execution time per query (seconds, across {} graphs):",
+        graphs.len()
+    );
     for (name, times) in &per_query {
         let avg = times.iter().sum::<f64>() / times.len() as f64;
         println!("  {:<10} {:>10.4}", name, avg);

@@ -16,7 +16,10 @@ fn main() {
     let graphs = benchmark_graphs(experiment_scale(), graph_subset());
     let queries = benchmark_queries(query_subset());
 
-    for (setting, threads) in [("low parallelism (1 thread)", 1), ("high parallelism", max_threads())] {
+    for (setting, threads) in [
+        ("low parallelism (1 thread)", 1),
+        ("high parallelism", max_threads()),
+    ] {
         println!("--- {setting} ---");
         print!("{:<12}", "graph\\query");
         for q in &queries {
@@ -28,8 +31,10 @@ fn main() {
         for bg in &graphs {
             print!("{:<12}", bg.name);
             for bq in &queries {
-                let (ps_res, ps_t) = timed_count(&bg.graph, &bq.plan, Algorithm::PathSplitting, threads, 42);
-                let (db_res, db_t) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
+                let (ps_res, ps_t) =
+                    timed_count(&bg.graph, &bq.plan, Algorithm::PathSplitting, threads, 42);
+                let (db_res, db_t) =
+                    timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
                 assert_eq!(ps_res.colorful_matches, db_res.colorful_matches);
                 let improvement = ps_t / db_t.max(1e-9);
                 all_ifs.push(improvement);

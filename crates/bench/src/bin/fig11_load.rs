@@ -18,10 +18,24 @@ fn main() {
 
     println!(
         "{:<10} | {:>9} {:>9} | {:>12} {:>12} | {:>12} {:>12} | {:>9} {:>9}",
-        "query", "PS time", "DB time", "PS max load", "DB max load", "PS avg load", "DB avg load", "IF time", "IF maxld"
+        "query",
+        "PS time",
+        "DB time",
+        "PS max load",
+        "DB max load",
+        "PS avg load",
+        "DB avg load",
+        "IF time",
+        "IF maxld"
     );
     for bq in &queries {
-        let (ps, ps_t) = timed_count(&enron.graph, &bq.plan, Algorithm::PathSplitting, threads, 42);
+        let (ps, ps_t) = timed_count(
+            &enron.graph,
+            &bq.plan,
+            Algorithm::PathSplitting,
+            threads,
+            42,
+        );
         let (db, db_t) = timed_count(&enron.graph, &bq.plan, Algorithm::DegreeBased, threads, 42);
         assert_eq!(ps.colorful_matches, db.colorful_matches);
         println!(

@@ -20,8 +20,10 @@ fn main() {
     println!("ideal speedup = {threads}x");
     println!();
 
-    let mut per_query: Vec<(&str, Vec<f64>)> = queries.iter().map(|q| (q.name, Vec::new())).collect();
-    let mut per_graph: Vec<(&str, Vec<f64>)> = graphs.iter().map(|g| (g.name, Vec::new())).collect();
+    let mut per_query: Vec<(&str, Vec<f64>)> =
+        queries.iter().map(|q| (q.name, Vec::new())).collect();
+    let mut per_graph: Vec<(&str, Vec<f64>)> =
+        graphs.iter().map(|g| (g.name, Vec::new())).collect();
     for (gi, bg) in graphs.iter().enumerate() {
         for (qi, bq) in queries.iter().enumerate() {
             let (_, slow) = timed_count(&bg.graph, &bq.plan, Algorithm::DegreeBased, 1, 42);
@@ -33,11 +35,19 @@ fn main() {
     }
     println!("average speedup per query (across graphs):");
     for (name, s) in &per_query {
-        println!("  {:<10} {:>6.2}x", name, s.iter().sum::<f64>() / s.len() as f64);
+        println!(
+            "  {:<10} {:>6.2}x",
+            name,
+            s.iter().sum::<f64>() / s.len() as f64
+        );
     }
     println!();
     println!("average speedup per graph (across queries):");
     for (name, s) in &per_graph {
-        println!("  {:<12} {:>6.2}x", name, s.iter().sum::<f64>() / s.len() as f64);
+        println!(
+            "  {:<12} {:>6.2}x",
+            name,
+            s.iter().sum::<f64>() / s.len() as f64
+        );
     }
 }

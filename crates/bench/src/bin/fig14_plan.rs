@@ -15,7 +15,11 @@ fn main() {
     // Only queries with more than one plan are interesting here.
     let queries: Vec<_> = catalog::FIGURE8_QUERIES
         .iter()
-        .filter(|spec| query_subset().is_empty() || query_subset().contains(&spec.name) || spec.name.starts_with("brain"))
+        .filter(|spec| {
+            query_subset().is_empty()
+                || query_subset().contains(&spec.name)
+                || spec.name.starts_with("brain")
+        })
         .map(|spec| (spec.name, (spec.build)()))
         .collect();
     let threads = max_threads();
@@ -37,7 +41,8 @@ fn main() {
             let mut best_time = f64::INFINITY;
             let mut heuristic_time = f64::NAN;
             for plan in &plans {
-                let (_, seconds) = timed_count(&bg.graph, plan, Algorithm::DegreeBased, threads, 42);
+                let (_, seconds) =
+                    timed_count(&bg.graph, plan, Algorithm::DegreeBased, threads, 42);
                 if plan.signature() == heuristic_sig {
                     heuristic_time = seconds;
                 }

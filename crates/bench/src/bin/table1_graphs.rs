@@ -11,7 +11,17 @@ fn main() {
     print_header("Table 1: data graphs (paper values vs generated analogs)");
     println!(
         "{:<12} {:<10} | {:>9} {:>10} {:>7} {:>7} | {:>9} {:>10} {:>7} {:>7} {:>7}",
-        "graph", "domain", "paper n", "paper m", "avg", "max", "gen n", "gen m", "avg", "max", "skew"
+        "graph",
+        "domain",
+        "paper n",
+        "paper m",
+        "avg",
+        "max",
+        "gen n",
+        "gen m",
+        "avg",
+        "max",
+        "skew"
     );
     let scale = experiment_scale();
     for bg in benchmark_graphs(scale, &[]) {

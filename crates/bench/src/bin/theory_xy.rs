@@ -47,5 +47,7 @@ fn main() {
         }
     }
     println!();
-    println!("expected shape: the X/Y ratio (measured and bounded) shrinks as n grows — Corollary 9.9");
+    println!(
+        "expected shape: the X/Y ratio (measured and bounded) shrinks as n grows — Corollary 9.9"
+    );
 }

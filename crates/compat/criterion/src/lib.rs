@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to a crate registry, so this
+//! crate vendors the subset of the criterion API the workspace's benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], `b.iter(..)`,
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: after one warm-up call, each
+//! benchmark body is re-run until either `sample_size` iterations or a small
+//! wall-clock budget is reached, and the minimum / mean / maximum iteration
+//! times are printed. When the binary is invoked with `--test` (as `cargo
+//! test` does for `harness = false` bench targets) every benchmark runs
+//! exactly once, as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmark body.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark (`function_name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+    budget: Duration,
+    max_iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: u64, test_mode: bool) -> Self {
+        Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            budget: if test_mode {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(200)
+            },
+            max_iters: if test_mode { 1 } else { sample_size },
+        }
+    }
+
+    /// Runs `routine` repeatedly, recording per-iteration wall-clock times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, not recorded
+        loop {
+            let started = Instant::now();
+            black_box(routine());
+            let elapsed = started.elapsed();
+            self.iters_done += 1;
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.max = self.max.max(elapsed);
+            if self.iters_done >= self.max_iters || self.total >= self.budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters_done == 0 {
+            println!("{id:<50} (no iterations recorded)");
+            return;
+        }
+        let mean = self.total / self.iters_done as u32;
+        println!(
+            "{id:<50} time: [{:>12?} {:>12?} {:>12?}]  ({} iterations)",
+            self.min, mean, self.max, self.iters_done
+        );
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: u64,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 20,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op in the stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.test_mode);
+        f(&mut bencher);
+        bencher.report(&id.into());
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut bencher = Bencher::new(sample_size, self.criterion.test_mode);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks a function against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -56,7 +56,13 @@ fn solve_leaf_edge(
     // The "path" here is the single edge a -> b; both endpoint annotations
     // are folded in (there is no second path to share them with).
     let table = builder.build_path(&[0, 1], true, true, metrics);
-    project_path_onto_boundary(ctx, block, &[(a, Field::Start), (b, Field::End)], table, metrics)
+    project_path_onto_boundary(
+        ctx,
+        block,
+        &[(a, Field::Start), (b, Field::End)],
+        table,
+        metrics,
+    )
 }
 
 /// Solves a cycle block with the chosen algorithm.
@@ -317,7 +323,8 @@ mod tests {
         let coloring = Coloring::from_colors(vec![0, 1, 2], 3);
         let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let tree = decompose(&query).unwrap();
-        let ctx = Context::new(&g, &coloring, 4);
+        let prep = crate::context::GraphPrep::new(&g);
+        let ctx = Context::new(&g, &prep, &coloring, 4).unwrap();
         for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
             let mut metrics = RunMetrics::new(4);
             let table = solve_block(
@@ -342,7 +349,8 @@ mod tests {
         let coloring = Coloring::from_colors(vec![0, 0, 1], 3);
         let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let tree = decompose(&query).unwrap();
-        let ctx = Context::new(&g, &coloring, 2);
+        let prep = crate::context::GraphPrep::new(&g);
+        let ctx = Context::new(&g, &prep, &coloring, 2).unwrap();
         for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
             let mut metrics = RunMetrics::new(2);
             let table = solve_block(

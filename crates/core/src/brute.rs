@@ -32,10 +32,7 @@ pub fn count_colorful_matches(graph: &CsrGraph, query: &QueryGraph, coloring: &C
     let _ = &mut used_colors;
     count_with_filter(graph, query, |mapped, v| {
         let color = coloring.color(v);
-        mapped
-            .iter()
-            .flatten()
-            .all(|&u| coloring.color(u) != color)
+        mapped.iter().flatten().all(|&u| coloring.color(u) != color)
     })
 }
 
@@ -127,12 +124,10 @@ fn extend(
             continue;
         }
         // Every mapped query neighbor must be a data neighbor of v.
-        let consistent = query
-            .neighbors(a)
-            .all(|b| match mapping[b as usize] {
-                Some(u) => graph.has_edge(u, v),
-                None => true,
-            });
+        let consistent = query.neighbors(a).all(|b| match mapping[b as usize] {
+            Some(u) => graph.has_edge(u, v),
+            None => true,
+        });
         if !consistent {
             continue;
         }
@@ -188,7 +183,10 @@ mod tests {
         let g = complete_graph(3);
         let rainbow = Coloring::from_colors(vec![0, 1, 2], 3);
         let mono = Coloring::from_colors(vec![0, 0, 0], 3);
-        assert_eq!(count_colorful_matches(&g, &catalog::triangle(), &rainbow), 6);
+        assert_eq!(
+            count_colorful_matches(&g, &catalog::triangle(), &rainbow),
+            6
+        );
         assert_eq!(count_colorful_matches(&g, &catalog::triangle(), &mono), 0);
     }
 

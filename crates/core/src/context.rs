@@ -1,23 +1,46 @@
-//! The per-run counting context.
+//! The per-run counting context and the reusable graph preprocessing.
 //!
-//! Bundles the immutable inputs every join needs — the data graph, the
-//! coloring, the degree ordering (for the DB algorithm's `u ≻ w` checks) and
-//! the simulated rank partition (for load attribution) — so that the
-//! algorithm code passes a single reference around.
+//! The paper amortizes one expensive preprocessing pass over the data graph —
+//! the degree-based total order and the rank-sorted adjacency lists — across
+//! hundreds of random-coloring trials. That pass lives in [`GraphPrep`],
+//! built once per [`Engine`](crate::Engine) (or once per call in the
+//! deprecated free functions). [`Context`] then bundles a `GraphPrep` with
+//! the *per-trial* inputs — the coloring and the simulated rank partition —
+//! so that the algorithm code passes a single reference around.
 
+use crate::error::SgcError;
 use sgc_engine::Signature;
 use sgc_graph::{BlockPartition, Coloring, CsrGraph, DegreeOrder, VertexId};
+use std::cell::Cell;
 
-/// Immutable state shared by every join of a counting run.
-pub struct Context<'a> {
-    /// The data graph.
-    pub graph: &'a CsrGraph,
-    /// The current random coloring (k colors, k = query size).
-    pub coloring: &'a Coloring,
+thread_local! {
+    /// Number of [`GraphPrep`] constructions performed by this thread. Used
+    /// by tests to verify that an [`Engine`](crate::Engine) amortizes the
+    /// preprocessing instead of redoing it per trial. Thread-local rather
+    /// than process-global so that concurrently running tests (libtest runs
+    /// tests on several threads of one process) cannot perturb each other's
+    /// deltas.
+    static PREP_BUILDS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of [`GraphPrep`] constructions performed by the calling thread.
+///
+/// To assert "no hidden rebuilds" across a multi-trial estimation, run the
+/// estimation with `.parallel(false)` so every trial executes on the calling
+/// thread and any rebuild would be visible here.
+pub fn prep_build_count() -> usize {
+    PREP_BUILDS.with(|c| c.get())
+}
+
+/// The coloring-independent preprocessing of a data graph: the degree-based
+/// total order and the adjacency lists re-sorted by ascending degree rank.
+///
+/// Building this is `O(m log m)` (a sort of every adjacency list); everything
+/// else in a counting run only reads it. Build it once and share it across
+/// trials.
+pub struct GraphPrep {
     /// Degree-based total order on data vertices (used by the DB algorithm).
     pub order: DegreeOrder,
-    /// Simulated 1D block partition of vertices over ranks.
-    pub partition: BlockPartition,
     /// Adjacency lists re-sorted by ascending degree rank; `ranked_offsets`
     /// delimits each vertex's slice. Lets the DB algorithm enumerate only the
     /// neighbors below a given rank (the MINBUCKET-style pruning) instead of
@@ -26,15 +49,10 @@ pub struct Context<'a> {
     ranked_offsets: Vec<usize>,
 }
 
-impl<'a> Context<'a> {
-    /// Builds a context for a run over `graph` with `coloring`, attributing
-    /// load to `num_ranks` simulated ranks.
-    pub fn new(graph: &'a CsrGraph, coloring: &'a Coloring, num_ranks: usize) -> Self {
-        assert_eq!(
-            coloring.num_vertices(),
-            graph.num_vertices(),
-            "coloring must cover every vertex of the graph"
-        );
+impl GraphPrep {
+    /// Runs the preprocessing pass over `graph`.
+    pub fn new(graph: &CsrGraph) -> Self {
+        PREP_BUILDS.with(|c| c.set(c.get() + 1));
         let order = DegreeOrder::new(graph);
         let mut ranked_neighbors = Vec::with_capacity(2 * graph.num_edges());
         let mut ranked_offsets = Vec::with_capacity(graph.num_vertices() + 1);
@@ -47,21 +65,69 @@ impl<'a> Context<'a> {
             ranked_neighbors.extend_from_slice(&scratch);
             ranked_offsets.push(ranked_neighbors.len());
         }
-        Context {
-            graph,
-            coloring,
+        GraphPrep {
             order,
-            partition: BlockPartition::new(graph.num_vertices(), num_ranks),
             ranked_neighbors,
             ranked_offsets,
         }
+    }
+}
+
+/// Immutable state shared by every join of a counting run: the data graph,
+/// its reusable preprocessing, and the per-trial coloring and partition.
+pub struct Context<'a> {
+    /// The data graph.
+    pub graph: &'a CsrGraph,
+    /// The current random coloring (k colors, k = query size).
+    pub coloring: &'a Coloring,
+    /// Simulated 1D block partition of vertices over ranks.
+    pub partition: BlockPartition,
+    prep: &'a GraphPrep,
+}
+
+impl<'a> Context<'a> {
+    /// Builds a context for one run over `graph` with `coloring`, reusing the
+    /// preprocessing in `prep` and attributing load to `num_ranks` simulated
+    /// ranks.
+    ///
+    /// # Errors
+    /// [`SgcError::ColoringSizeMismatch`] if the coloring does not cover
+    /// every vertex of the graph; [`SgcError::ZeroRanks`] if `num_ranks` is
+    /// zero.
+    pub fn new(
+        graph: &'a CsrGraph,
+        prep: &'a GraphPrep,
+        coloring: &'a Coloring,
+        num_ranks: usize,
+    ) -> Result<Self, SgcError> {
+        if coloring.num_vertices() != graph.num_vertices() {
+            return Err(SgcError::ColoringSizeMismatch {
+                graph_vertices: graph.num_vertices(),
+                coloring_vertices: coloring.num_vertices(),
+            });
+        }
+        if num_ranks == 0 {
+            return Err(SgcError::ZeroRanks);
+        }
+        Ok(Context {
+            graph,
+            coloring,
+            partition: BlockPartition::new(graph.num_vertices(), num_ranks),
+            prep,
+        })
+    }
+
+    /// The degree-based total order on data vertices.
+    #[inline]
+    pub fn order(&self) -> &DegreeOrder {
+        &self.prep.order
     }
 
     /// Neighbors of `v` sorted by ascending degree rank.
     #[inline]
     pub fn neighbors_by_rank(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
-        &self.ranked_neighbors[self.ranked_offsets[v]..self.ranked_offsets[v + 1]]
+        &self.prep.ranked_neighbors[self.prep.ranked_offsets[v]..self.prep.ranked_offsets[v + 1]]
     }
 
     /// The neighbors of `v` that are strictly lower than `than` in the degree
@@ -70,8 +136,8 @@ impl<'a> Context<'a> {
     #[inline]
     pub fn lower_neighbors(&self, v: VertexId, than: VertexId) -> &[VertexId] {
         let list = self.neighbors_by_rank(v);
-        let bound = self.order.rank(than);
-        let cut = list.partition_point(|&w| self.order.rank(w) < bound);
+        let bound = self.prep.order.rank(than);
+        let cut = list.partition_point(|&w| self.prep.order.rank(w) < bound);
         &list[..cut]
     }
 
@@ -108,35 +174,37 @@ mod tests {
     #[test]
     fn context_exposes_colors_and_order() {
         let g = tiny();
+        let prep = GraphPrep::new(&g);
         let col = Coloring::from_colors(vec![0, 1, 2, 0], 3);
-        let ctx = Context::new(&g, &col, 4);
+        let ctx = Context::new(&g, &prep, &col, 4).unwrap();
         assert_eq!(ctx.color(1), 1);
         assert_eq!(ctx.color_sig(2), Signature::singleton(2));
         assert_eq!(ctx.num_colors(), 3);
         // Vertex 1 and 2 have degree 2, higher than endpoints.
-        assert!(ctx.order.higher(1, 0));
+        assert!(ctx.order().higher(1, 0));
         assert_eq!(ctx.partition.num_ranks(), 4);
     }
 
     #[test]
     fn ranked_neighbors_are_sorted_and_prefixes_are_lower() {
         let g = tiny();
+        let prep = GraphPrep::new(&g);
         let col = Coloring::from_colors(vec![0, 1, 2, 0], 3);
-        let ctx = Context::new(&g, &col, 2);
+        let ctx = Context::new(&g, &prep, &col, 2).unwrap();
         for v in g.vertices() {
             let ranked = ctx.neighbors_by_rank(v);
             assert_eq!(ranked.len(), g.degree(v));
             assert!(ranked
                 .windows(2)
-                .all(|w| ctx.order.rank(w[0]) <= ctx.order.rank(w[1])));
+                .all(|w| ctx.order().rank(w[0]) <= ctx.order().rank(w[1])));
             for &than in &[0u32, 1, 2, 3] {
                 for &w in ctx.lower_neighbors(v, than) {
-                    assert!(ctx.order.higher(than, w));
+                    assert!(ctx.order().higher(than, w));
                 }
                 let lower = ctx.lower_neighbors(v, than).len();
                 let full: usize = ranked
                     .iter()
-                    .filter(|&&w| ctx.order.higher(than, w))
+                    .filter(|&&w| ctx.order().higher(than, w))
                     .count();
                 assert_eq!(lower, full);
             }
@@ -144,10 +212,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn mismatched_coloring_panics() {
+    fn one_prep_serves_many_colorings() {
         let g = tiny();
+        let before = prep_build_count();
+        let prep = GraphPrep::new(&g);
+        for seed in 0..5 {
+            let col = Coloring::random(g.num_vertices(), 3, seed);
+            let ctx = Context::new(&g, &prep, &col, 2).unwrap();
+            assert_eq!(ctx.num_colors(), 3);
+        }
+        assert_eq!(prep_build_count() - before, 1);
+    }
+
+    #[test]
+    fn mismatched_coloring_is_an_error() {
+        let g = tiny();
+        let prep = GraphPrep::new(&g);
         let col = Coloring::from_colors(vec![0, 1], 2);
-        let _ = Context::new(&g, &col, 2);
+        match Context::new(&g, &prep, &col, 2).err() {
+            Some(SgcError::ColoringSizeMismatch {
+                graph_vertices,
+                coloring_vertices,
+            }) => {
+                assert_eq!(graph_vertices, 4);
+                assert_eq!(coloring_vertices, 2);
+            }
+            other => panic!("expected ColoringSizeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_ranks_is_an_error() {
+        let g = tiny();
+        let prep = GraphPrep::new(&g);
+        let col = Coloring::from_colors(vec![0, 1, 2, 0], 3);
+        assert!(matches!(
+            Context::new(&g, &prep, &col, 0),
+            Err(SgcError::ZeroRanks)
+        ));
     }
 }

@@ -9,24 +9,25 @@
 //! tables, which both reduces total work and balances the per-rank load —
 //! the MINBUCKET idea lifted from triangles to arbitrary treewidth-2 queries.
 
-use crate::config::{Algorithm, CountConfig};
-use crate::driver::{count_colorful, CountResult};
+use crate::config::Algorithm;
+use crate::driver::CountResult;
+use crate::engine::Engine;
+use crate::error::SgcError;
 use sgc_graph::{Coloring, CsrGraph};
-use sgc_query::{QueryError, QueryGraph};
+use sgc_query::QueryGraph;
 
-/// Counts colorful matches with the DB algorithm (convenience wrapper around
-/// [`count_colorful`] with [`Algorithm::DegreeBased`]).
+/// Counts colorful matches with the DB algorithm (one-shot convenience
+/// wrapper around [`Engine`] with [`Algorithm::DegreeBased`]).
 pub fn count_colorful_db(
     graph: &CsrGraph,
     coloring: &Coloring,
     query: &QueryGraph,
-) -> Result<CountResult, QueryError> {
-    count_colorful(
-        graph,
-        coloring,
-        query,
-        &CountConfig::new(Algorithm::DegreeBased),
-    )
+) -> Result<CountResult, SgcError> {
+    Engine::new(graph)
+        .count(query)
+        .algorithm(Algorithm::DegreeBased)
+        .coloring(coloring)
+        .run()
 }
 
 #[cfg(test)]

@@ -4,14 +4,21 @@
 //! tree bottom-up, compute each block's projection table from its children's
 //! tables, and report the root's aggregate as the number of colorful matches
 //! of the whole query under the given coloring.
+//!
+//! The [`Engine`](crate::Engine) is the public entry point; the free
+//! functions in this module are deprecated shims kept for callers that have
+//! not migrated yet. They rebuild the graph preprocessing on every call —
+//! exactly the cost the engine amortizes away.
 
 use crate::blocks::solve_block;
-use crate::config::CountConfig;
-use crate::context::Context;
+use crate::config::{Algorithm, CountConfig};
+use crate::context::{Context, GraphPrep};
+use crate::engine::Engine;
+use crate::error::SgcError;
 use crate::metrics::RunMetrics;
 use sgc_engine::{Count, ProjectionTable};
 use sgc_graph::{Coloring, CsrGraph};
-use sgc_query::{heuristic_plan, DecompositionTree, QueryError, QueryGraph};
+use sgc_query::{DecompositionTree, QueryGraph};
 use std::time::Instant;
 
 /// The outcome of one colorful-counting run.
@@ -23,35 +30,24 @@ pub struct CountResult {
     pub metrics: RunMetrics,
 }
 
-/// Counts the colorful matches of the query represented by `tree` in `graph`
-/// under `coloring`.
-///
-/// # Panics
-/// Panics if the coloring does not use exactly as many colors as the query
-/// has nodes, or does not cover the graph.
-pub fn count_colorful_with_tree(
-    graph: &CsrGraph,
-    coloring: &Coloring,
+/// Evaluates `tree` bottom-up in `ctx`. The context is assumed validated
+/// (coloring covers the graph, positive rank count); the color count must
+/// match the query, which callers in this crate check before building `ctx`.
+pub(crate) fn count_with_context(
+    ctx: &Context<'_>,
     tree: &DecompositionTree,
-    config: &CountConfig,
+    algorithm: Algorithm,
 ) -> CountResult {
-    assert_eq!(
-        coloring.num_colors(),
-        tree.query.num_nodes(),
-        "color coding uses exactly k colors for a k-node query"
-    );
     let started = Instant::now();
-    let ctx = Context::new(graph, coloring, config.num_ranks);
-    let mut metrics = RunMetrics::new(config.num_ranks);
+    let mut metrics = RunMetrics::new(ctx.partition.num_ranks());
 
     let colorful_matches = match tree.root {
         // Single-node query: every vertex is a colorful match.
-        None => graph.num_vertices() as Count,
+        None => ctx.graph.num_vertices() as Count,
         Some(root) => {
             let mut tables: Vec<Option<ProjectionTable>> = vec![None; tree.blocks.len()];
             for block in &tree.blocks {
-                let table =
-                    solve_block(&ctx, tree, block, &tables, config.algorithm, &mut metrics);
+                let table = solve_block(ctx, tree, block, &tables, algorithm, &mut metrics);
                 tables[block.id] = Some(table);
             }
             tables[root]
@@ -67,22 +63,81 @@ pub fn count_colorful_with_tree(
     }
 }
 
+/// Counts the colorful matches of the query represented by `tree` in `graph`
+/// under `coloring`.
+///
+/// Deprecated: this rebuilds the graph preprocessing on every call. Bind an
+/// [`Engine`] once and reuse it instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::new(&graph).count(&tree.query).plan(&tree).coloring(&coloring).run()"
+)]
+pub fn count_colorful_with_tree(
+    graph: &CsrGraph,
+    coloring: &Coloring,
+    tree: &DecompositionTree,
+    config: &CountConfig,
+) -> Result<CountResult, SgcError> {
+    Engine::new(graph)
+        .count(&tree.query)
+        .plan(tree)
+        .coloring(coloring)
+        .config(*config)
+        .run()
+}
+
 /// Counts the colorful matches of `query` in `graph` under `coloring`,
 /// planning the decomposition with the Section 6 heuristic.
+///
+/// Deprecated: this rebuilds the graph preprocessing on every call. Bind an
+/// [`Engine`] once and reuse it instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::new(&graph).count(&query).coloring(&coloring).run()"
+)]
 pub fn count_colorful(
     graph: &CsrGraph,
     coloring: &Coloring,
     query: &QueryGraph,
     config: &CountConfig,
-) -> Result<CountResult, QueryError> {
-    let tree = heuristic_plan(query)?;
-    Ok(count_colorful_with_tree(graph, coloring, &tree, config))
+) -> Result<CountResult, SgcError> {
+    Engine::new(graph)
+        .count(query)
+        .coloring(coloring)
+        .config(*config)
+        .run()
+}
+
+/// One-shot counting that builds a fresh [`GraphPrep`] per call, mirroring
+/// the pre-`Engine` behaviour so the `engine_reuse` benchmark can pin the
+/// amortization win.
+///
+/// Hidden from docs: this is benchmark support, not a supported third
+/// counting path — it deliberately defeats the amortization the [`Engine`]
+/// provides.
+#[doc(hidden)]
+pub fn count_colorful_fresh_prep(
+    graph: &CsrGraph,
+    coloring: &Coloring,
+    tree: &DecompositionTree,
+    config: &CountConfig,
+) -> Result<CountResult, SgcError> {
+    if coloring.num_colors() != tree.query.num_nodes() {
+        return Err(SgcError::WrongColorCount {
+            expected: tree.query.num_nodes(),
+            actual: coloring.num_colors(),
+        });
+    }
+    let prep = GraphPrep::new(graph);
+    let ctx = Context::new(graph, &prep, coloring, config.num_ranks)?;
+    Ok(count_with_context(&ctx, tree, config.algorithm))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Algorithm;
+    use crate::engine::Engine;
     use sgc_graph::GraphBuilder;
 
     fn cycle_graph(n: usize) -> CsrGraph {
@@ -98,10 +153,16 @@ mod tests {
         // C4 data graph with 4 distinct colors; the C4 query has 8
         // automorphism-distinct colorful matches (aut(C4) = 8, one subgraph).
         let g = cycle_graph(4);
+        let engine = Engine::new(&g);
         let coloring = Coloring::from_colors(vec![0, 1, 2, 3], 4);
         let query = sgc_query::catalog::cycle(4);
         for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
-            let res = count_colorful(&g, &coloring, &query, &CountConfig::new(alg)).unwrap();
+            let res = engine
+                .count(&query)
+                .algorithm(alg)
+                .coloring(&coloring)
+                .run()
+                .unwrap();
             assert_eq!(res.colorful_matches, 8, "{alg}");
         }
     }
@@ -113,10 +174,16 @@ mod tests {
         let mut b = GraphBuilder::new(3);
         b.extend_edges([(0, 1), (1, 2)]);
         let g = b.build();
+        let engine = Engine::new(&g);
         let coloring = Coloring::from_colors(vec![0, 1, 2], 3);
         let query = sgc_query::catalog::path(3);
         for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
-            let res = count_colorful(&g, &coloring, &query, &CountConfig::new(alg)).unwrap();
+            let res = engine
+                .count(&query)
+                .algorithm(alg)
+                .coloring(&coloring)
+                .run()
+                .unwrap();
             assert_eq!(res.colorful_matches, 2, "{alg}");
         }
     }
@@ -126,7 +193,11 @@ mod tests {
         let g = cycle_graph(5);
         let coloring = Coloring::from_colors(vec![0; 5], 1);
         let query = QueryGraph::new(1);
-        let res = count_colorful(&g, &coloring, &query, &CountConfig::default()).unwrap();
+        let res = Engine::new(&g)
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
         assert_eq!(res.colorful_matches, 5);
     }
 
@@ -139,30 +210,57 @@ mod tests {
         let g = b.build();
         let coloring = Coloring::from_colors(vec![0, 1, 0], 2);
         let query = QueryGraph::from_edges(2, &[(0, 1)]);
-        let res = count_colorful(&g, &coloring, &query, &CountConfig::default()).unwrap();
+        let res = Engine::new(&g)
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
         assert_eq!(res.colorful_matches, 4);
     }
 
     #[test]
-    fn rejects_invalid_queries() {
-        let g = cycle_graph(4);
-        let coloring = Coloring::from_colors(vec![0; 4], 4);
-        let mut k4 = QueryGraph::new(4);
-        for a in 0..4u8 {
-            for b in (a + 1)..4 {
-                k4.add_edge(a, b);
-            }
-        }
-        assert!(count_colorful(&g, &coloring, &k4, &CountConfig::default()).is_err());
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_the_engine() {
+        let g = cycle_graph(6);
+        let coloring = Coloring::random(g.num_vertices(), 4, 3);
+        let query = sgc_query::catalog::cycle(4);
+        let config = CountConfig::default();
+        let tree = sgc_query::decompose(&query).unwrap();
+        let via_engine = Engine::new(&g)
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap()
+            .colorful_matches;
+        let via_free = count_colorful(&g, &coloring, &query, &config)
+            .unwrap()
+            .colorful_matches;
+        let via_tree = count_colorful_with_tree(&g, &coloring, &tree, &config)
+            .unwrap()
+            .colorful_matches;
+        let via_fresh = count_colorful_fresh_prep(&g, &coloring, &tree, &config)
+            .unwrap()
+            .colorful_matches;
+        assert_eq!(via_engine, via_free);
+        assert_eq!(via_engine, via_tree);
+        assert_eq!(via_engine, via_fresh);
     }
 
     #[test]
-    #[should_panic]
-    fn wrong_color_count_panics() {
+    #[allow(deprecated)]
+    fn wrong_color_count_is_an_error_not_a_panic() {
         let g = cycle_graph(4);
         let coloring = Coloring::from_colors(vec![0; 4], 2);
         let query = sgc_query::catalog::cycle(4);
         let tree = sgc_query::decompose(&query).unwrap();
-        let _ = count_colorful_with_tree(&g, &coloring, &tree, &CountConfig::default());
+        let err =
+            count_colorful_with_tree(&g, &coloring, &tree, &CountConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SgcError::WrongColorCount {
+                expected: 4,
+                actual: 2
+            }
+        );
     }
 }

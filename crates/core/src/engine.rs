@@ -1,0 +1,577 @@
+//! The bind-once counting front door.
+//!
+//! [`Engine::new`] binds to a data graph and runs the expensive
+//! coloring-independent preprocessing (degree order, rank-sorted adjacency)
+//! exactly once. Every subsequent request — exact colorful counts or
+//! multi-trial estimates, for any query — reuses that work. Decomposition
+//! plans are cached per query, so repeated queries skip the planner too.
+//!
+//! ```
+//! use sgc_core::{Algorithm, Engine};
+//! use sgc_graph::GraphBuilder;
+//! use sgc_query::catalog;
+//!
+//! let mut b = GraphBuilder::new(5);
+//! b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+//! let graph = b.build();
+//!
+//! let engine = Engine::new(&graph); // preprocessing happens here, once
+//! let estimate = engine
+//!     .count(&catalog::triangle())
+//!     .algorithm(Algorithm::DegreeBased)
+//!     .trials(32)
+//!     .seed(7)
+//!     .estimate()
+//!     .unwrap();
+//! assert!(estimate.estimated_matches >= 0.0);
+//! ```
+
+use crate::config::{Algorithm, CountConfig};
+use crate::context::{Context, GraphPrep};
+use crate::driver::{count_with_context, CountResult};
+use crate::error::SgcError;
+use crate::estimator::{summarize_trials, Estimate, EstimateConfig};
+use sgc_engine::parallel::parallel_indexed;
+use sgc_engine::Count;
+use sgc_graph::{Coloring, CsrGraph};
+use sgc_query::{heuristic_plan, DecompositionTree, QueryGraph};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Canonical cache key of a query: node count plus sorted edge list.
+type PlanKey = (usize, Vec<(u8, u8)>);
+
+fn plan_key(query: &QueryGraph) -> PlanKey {
+    let mut edges = query.edges();
+    edges.sort_unstable();
+    (query.num_nodes(), edges)
+}
+
+/// A long-lived counting engine bound to one data graph.
+///
+/// Construction runs the `O(m log m)` preprocessing pass ([`GraphPrep`]);
+/// requests created with [`Engine::count`] share it across queries, trials
+/// and threads. The engine also memoizes decomposition plans per query.
+pub struct Engine<'g> {
+    graph: &'g CsrGraph,
+    prep: GraphPrep,
+    plan_cache: Mutex<HashMap<PlanKey, Arc<DecompositionTree>>>,
+    default_config: CountConfig,
+}
+
+impl<'g> Engine<'g> {
+    /// Binds an engine to `graph` with the default [`CountConfig`], running
+    /// the preprocessing pass once.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Engine::with_config(graph, CountConfig::default())
+    }
+
+    /// Binds an engine to `graph` with `config` as the default for every
+    /// request (individual requests can still override it).
+    pub fn with_config(graph: &'g CsrGraph, config: CountConfig) -> Self {
+        Engine {
+            graph,
+            prep: GraphPrep::new(graph),
+            plan_cache: Mutex::new(HashMap::new()),
+            default_config: config,
+        }
+    }
+
+    /// The bound data graph.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The reusable preprocessing (degree order, rank-sorted adjacency).
+    pub fn prep(&self) -> &GraphPrep {
+        &self.prep
+    }
+
+    /// The decomposition plan for `query`, planned with the Section 6
+    /// heuristic on first use and served from the cache afterwards.
+    ///
+    /// # Errors
+    /// [`SgcError::Query`] if the query has no treewidth-≤2 decomposition.
+    pub fn plan(&self, query: &QueryGraph) -> Result<Arc<DecompositionTree>, SgcError> {
+        let key = plan_key(query);
+        if let Some(plan) = self.lock_cache().get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        // Plan outside the critical section: concurrent planners of distinct
+        // queries don't serialize, and a panicking planner can't poison the
+        // cache for the rest of the engine's life. Racing threads may both
+        // plan the same query; the first insert wins and both get that plan.
+        let plan = Arc::new(heuristic_plan(query)?);
+        Ok(Arc::clone(self.lock_cache().entry(key).or_insert(plan)))
+    }
+
+    /// Number of distinct queries currently held in the plan cache.
+    pub fn cached_plans(&self) -> usize {
+        self.lock_cache().len()
+    }
+
+    /// Locks the plan cache, recovering from poisoning: the cache only holds
+    /// completed `Arc<DecompositionTree>` entries, so a panic elsewhere
+    /// cannot leave it in a torn state.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<DecompositionTree>>> {
+        self.plan_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Starts a counting request for `query`, to be finished with
+    /// [`CountRequest::run`] or [`CountRequest::estimate`]. Trial count and
+    /// seed default to [`EstimateConfig::default`]'s values.
+    pub fn count<'e, 'a>(&'e self, query: &'a QueryGraph) -> CountRequest<'e, 'g, 'a> {
+        let estimate_defaults = EstimateConfig::default();
+        CountRequest {
+            engine: self,
+            query,
+            algorithm: self.default_config.algorithm,
+            num_ranks: self.default_config.num_ranks,
+            coloring: None,
+            plan: None,
+            trials: estimate_defaults.trials,
+            seed: estimate_defaults.seed,
+            parallel: true,
+        }
+    }
+}
+
+/// Either a caller-supplied plan or a cache-owned one.
+enum PlanRef<'a> {
+    Borrowed(&'a DecompositionTree),
+    Cached(Arc<DecompositionTree>),
+}
+
+impl std::ops::Deref for PlanRef<'_> {
+    type Target = DecompositionTree;
+
+    fn deref(&self) -> &DecompositionTree {
+        match self {
+            PlanRef::Borrowed(tree) => tree,
+            PlanRef::Cached(tree) => tree,
+        }
+    }
+}
+
+/// A builder for one counting or estimation request.
+///
+/// Created by [`Engine::count`]; terminated by [`run`](CountRequest::run)
+/// (one exact colorful count) or [`estimate`](CountRequest::estimate)
+/// (multi-trial approximate counting).
+#[must_use = "a CountRequest does nothing until .run() or .estimate() is called"]
+pub struct CountRequest<'e, 'g, 'a> {
+    engine: &'e Engine<'g>,
+    query: &'a QueryGraph,
+    algorithm: Algorithm,
+    num_ranks: usize,
+    coloring: Option<&'a Coloring>,
+    plan: Option<&'a DecompositionTree>,
+    trials: usize,
+    seed: u64,
+    parallel: bool,
+}
+
+impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
+    /// Selects the cycle-solving algorithm (default: the engine's).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the number of simulated ranks for load attribution (default: the
+    /// engine's). Zero is rejected at run time with [`SgcError::ZeroRanks`].
+    pub fn ranks(mut self, num_ranks: usize) -> Self {
+        self.num_ranks = num_ranks;
+        self
+    }
+
+    /// Applies a whole [`CountConfig`] (algorithm and ranks) at once.
+    pub fn config(mut self, config: CountConfig) -> Self {
+        self.algorithm = config.algorithm;
+        self.num_ranks = config.num_ranks;
+        self
+    }
+
+    /// Uses an explicit coloring for [`run`](CountRequest::run) instead of a
+    /// seeded random one. Incompatible with
+    /// [`estimate`](CountRequest::estimate), which draws its own per-trial
+    /// colorings and rejects the combination with
+    /// [`SgcError::ColoringWithEstimate`].
+    pub fn coloring(mut self, coloring: &'a Coloring) -> Self {
+        self.coloring = Some(coloring);
+        self
+    }
+
+    /// Uses an explicit decomposition plan instead of the engine's cached
+    /// heuristic plan. The plan must decompose the same query.
+    pub fn plan(mut self, plan: &'a DecompositionTree) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Number of independent random colorings for
+    /// [`estimate`](CountRequest::estimate) (default 3).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Base RNG seed. Trial `i` always colors with `seed + i`, regardless of
+    /// how trials are scheduled over threads.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables trial-level parallelism for
+    /// [`estimate`](CountRequest::estimate) (default on). The estimate is
+    /// bit-identical either way; this only exists for measurement and tests.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    fn resolve_plan(&self) -> Result<PlanRef<'a>, SgcError> {
+        match self.plan {
+            Some(tree) => {
+                // Same canonical form as the cache key, so "is this plan for
+                // this query" and "would the cache treat these queries as
+                // equal" can never diverge.
+                if plan_key(&tree.query) != plan_key(self.query) {
+                    return Err(SgcError::PlanQueryMismatch {
+                        query_nodes: self.query.num_nodes(),
+                        plan_nodes: tree.query.num_nodes(),
+                        query_edges: self.query.num_edges(),
+                        plan_edges: tree.query.num_edges(),
+                    });
+                }
+                Ok(PlanRef::Borrowed(tree))
+            }
+            None => Ok(PlanRef::Cached(self.engine.plan(self.query)?)),
+        }
+    }
+
+    /// Runs one colorful count under the request's coloring (explicit via
+    /// [`coloring`](CountRequest::coloring), or a random one drawn from
+    /// [`seed`](CountRequest::seed)).
+    ///
+    /// # Errors
+    /// [`SgcError::Query`] for unplannable queries,
+    /// [`SgcError::PlanQueryMismatch`] for a plan of a different query,
+    /// [`SgcError::WrongColorCount`] / [`SgcError::ColoringSizeMismatch`]
+    /// for an unusable coloring, and [`SgcError::ZeroRanks`] for a zero rank
+    /// count.
+    pub fn run(self) -> Result<CountResult, SgcError> {
+        let plan = self.resolve_plan()?;
+        let k = self.query.num_nodes();
+        let fresh;
+        let coloring = match self.coloring {
+            Some(coloring) => {
+                if coloring.num_colors() != k {
+                    return Err(SgcError::WrongColorCount {
+                        expected: k,
+                        actual: coloring.num_colors(),
+                    });
+                }
+                coloring
+            }
+            None => {
+                fresh = Coloring::random(self.engine.graph.num_vertices(), k, self.seed);
+                &fresh
+            }
+        };
+        let ctx = Context::new(
+            self.engine.graph,
+            &self.engine.prep,
+            coloring,
+            self.num_ranks,
+        )?;
+        Ok(count_with_context(&ctx, &plan, self.algorithm))
+    }
+
+    /// Runs `trials` independent colorful counts (trial `i` colored with
+    /// `seed + i`) and scales them into an estimate of the match count.
+    ///
+    /// Trials run in parallel over the current thread pool unless
+    /// [`parallel(false)`](CountRequest::parallel) was set; the result is
+    /// bit-identical either way. The engine's preprocessing is reused by
+    /// every trial — nothing graph-dependent is rebuilt.
+    ///
+    /// # Errors
+    /// [`SgcError::ZeroTrials`] for zero trials,
+    /// [`SgcError::ColoringWithEstimate`] if an explicit coloring was set,
+    /// plus every error [`run`](CountRequest::run) can report except the
+    /// coloring-shape ones.
+    pub fn estimate(self) -> Result<Estimate, SgcError> {
+        if self.trials == 0 {
+            return Err(SgcError::ZeroTrials);
+        }
+        if self.coloring.is_some() {
+            return Err(SgcError::ColoringWithEstimate);
+        }
+        if self.num_ranks == 0 {
+            return Err(SgcError::ZeroRanks);
+        }
+        let plan = self.resolve_plan()?;
+        let graph = self.engine.graph;
+        let prep = &self.engine.prep;
+        let k = self.query.num_nodes();
+        let run_trial = |trial: usize| -> (Count, f64) {
+            let coloring = Coloring::random(
+                graph.num_vertices(),
+                k,
+                self.seed.wrapping_add(trial as u64),
+            );
+            let ctx = Context::new(graph, prep, &coloring, self.num_ranks)
+                .expect("engine-drawn colorings always cover the graph");
+            let result = count_with_context(&ctx, &plan, self.algorithm);
+            (
+                result.colorful_matches,
+                result.metrics.elapsed.as_secs_f64(),
+            )
+        };
+        let outcomes: Vec<(Count, f64)> = if self.parallel {
+            parallel_indexed(self.trials, run_trial)
+        } else {
+            (0..self.trials).map(run_trial).collect()
+        };
+        let total_seconds = outcomes.iter().map(|&(_, secs)| secs).sum();
+        let per_trial = outcomes.into_iter().map(|(count, _)| count).collect();
+        Ok(summarize_trials(per_trial, &plan.query, total_seconds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::prep_build_count;
+    use sgc_graph::GraphBuilder;
+    use sgc_query::{catalog, decompose, enumerate_plans, QueryError};
+
+    fn demo_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(10);
+        b.extend_edges([
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (5, 6),
+            (6, 1),
+            (2, 7),
+            (7, 8),
+            (8, 3),
+            (4, 9),
+            (9, 0),
+            (5, 2),
+            (6, 3),
+        ]);
+        b.build()
+    }
+
+    #[test]
+    fn engine_counts_match_the_standalone_path() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let query = catalog::triangle();
+        let coloring = Coloring::random(g.num_vertices(), 3, 5);
+        let via_engine = engine
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap()
+            .colorful_matches;
+        let expected = crate::brute::count_colorful_matches(&g, &query, &coloring);
+        assert_eq!(via_engine, expected);
+    }
+
+    #[test]
+    fn both_algorithms_agree_through_the_engine() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let query = catalog::glet1();
+        let coloring = Coloring::random(g.num_vertices(), query.num_nodes(), 3);
+        let ps = engine
+            .count(&query)
+            .algorithm(Algorithm::PathSplitting)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
+        let db = engine
+            .count(&query)
+            .algorithm(Algorithm::DegreeBased)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
+        assert_eq!(ps.colorful_matches, db.colorful_matches);
+    }
+
+    #[test]
+    fn estimation_reuses_the_preprocessing() {
+        let g = demo_graph();
+        let engine = Engine::new(&g); // one build
+        let before = prep_build_count();
+        // Sequential trials keep every (hypothetical) rebuild on this
+        // thread, where the thread-local build counter would see it.
+        let est = engine
+            .count(&catalog::triangle())
+            .trials(25)
+            .seed(11)
+            .parallel(false)
+            .estimate()
+            .unwrap();
+        assert_eq!(est.per_trial.len(), 25);
+        assert_eq!(
+            prep_build_count() - before,
+            0,
+            "estimation must not rebuild the graph preprocessing"
+        );
+    }
+
+    #[test]
+    fn plans_are_cached_per_query() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        assert_eq!(engine.cached_plans(), 0);
+        let p1 = engine.plan(&catalog::triangle()).unwrap();
+        let p2 = engine.plan(&catalog::triangle()).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "second lookup must hit the cache");
+        assert_eq!(engine.cached_plans(), 1);
+        engine.plan(&catalog::cycle(4)).unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+        // Structurally equal queries built independently share a plan.
+        let again = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let p3 = engine.plan(&again).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3));
+        assert_eq!(engine.cached_plans(), 2);
+    }
+
+    #[test]
+    fn serial_and_parallel_estimates_are_bit_identical() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let query = catalog::triangle();
+        let serial = engine
+            .count(&query)
+            .trials(16)
+            .seed(42)
+            .parallel(false)
+            .estimate()
+            .unwrap();
+        // Force a 3-thread pool so the parallel path crosses real threads
+        // even when the host reports a single CPU.
+        let parallel = sgc_engine::parallel::run_with_threads(3, || {
+            engine.count(&query).trials(16).seed(42).estimate().unwrap()
+        });
+        assert_eq!(serial.per_trial, parallel.per_trial);
+        assert_eq!(serial.estimated_matches, parallel.estimated_matches);
+    }
+
+    #[test]
+    fn explicit_plans_are_honored_and_validated() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let query = catalog::cycle(4);
+        let coloring = Coloring::random(g.num_vertices(), query.num_nodes(), 2);
+        let reference = engine
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap()
+            .colorful_matches;
+        for plan in enumerate_plans(&query).unwrap() {
+            let got = engine
+                .count(&query)
+                .plan(&plan)
+                .coloring(&coloring)
+                .run()
+                .unwrap()
+                .colorful_matches;
+            assert_eq!(got, reference);
+        }
+        // A plan for a different query is rejected.
+        let wrong = decompose(&catalog::triangle()).unwrap();
+        let err = engine
+            .count(&query)
+            .plan(&wrong)
+            .coloring(&coloring)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SgcError::PlanQueryMismatch { .. }));
+    }
+
+    #[test]
+    fn error_paths_return_typed_errors() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let triangle = catalog::triangle();
+
+        // Wrong number of colors for the query.
+        let two_colors = Coloring::random(g.num_vertices(), 2, 0);
+        assert_eq!(
+            engine
+                .count(&triangle)
+                .coloring(&two_colors)
+                .run()
+                .unwrap_err(),
+            SgcError::WrongColorCount {
+                expected: 3,
+                actual: 2
+            }
+        );
+
+        // Coloring that does not cover the graph.
+        let short = Coloring::from_colors(vec![0, 1, 2], 3);
+        assert!(matches!(
+            engine.count(&triangle).coloring(&short).run(),
+            Err(SgcError::ColoringSizeMismatch { .. })
+        ));
+
+        // Zero trials and zero ranks.
+        assert_eq!(
+            engine.count(&triangle).trials(0).estimate().unwrap_err(),
+            SgcError::ZeroTrials
+        );
+        assert_eq!(
+            engine.count(&triangle).ranks(0).estimate().unwrap_err(),
+            SgcError::ZeroRanks
+        );
+        assert!(matches!(
+            engine.count(&triangle).ranks(0).run(),
+            Err(SgcError::ZeroRanks)
+        ));
+
+        // Treewidth > 2 queries are rejected, not panicked on.
+        let mut k4 = QueryGraph::new(4);
+        for a in 0..4u8 {
+            for b in (a + 1)..4 {
+                k4.add_edge(a, b);
+            }
+        }
+        assert_eq!(
+            engine.count(&k4).run().unwrap_err(),
+            SgcError::Query(QueryError::TreewidthExceeded)
+        );
+    }
+
+    #[test]
+    fn run_without_an_explicit_coloring_is_seeded_and_deterministic() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let query = catalog::triangle();
+        let a = engine.count(&query).seed(9).run().unwrap().colorful_matches;
+        let b = engine.count(&query).seed(9).run().unwrap().colorful_matches;
+        assert_eq!(a, b);
+        let coloring = Coloring::random(g.num_vertices(), 3, 9);
+        let explicit = engine
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap()
+            .colorful_matches;
+        assert_eq!(a, explicit);
+    }
+}

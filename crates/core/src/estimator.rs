@@ -5,15 +5,22 @@
 //! number of matches. Averaging over independent colorings reduces the
 //! variance; Figure 15 evaluates the precision by the coefficient of
 //! variation of the per-trial estimates over 3 and 10 trials.
+//!
+//! The estimation loop itself lives in
+//! [`CountRequest::estimate`](crate::CountRequest::estimate); this module
+//! holds the statistics ([`Estimate`], [`scaling_factor`]) and the
+//! deprecated free-function shims.
 
 use crate::config::CountConfig;
-use crate::driver::count_colorful_with_tree;
+use crate::engine::Engine;
+use crate::error::SgcError;
 use sgc_engine::Count;
-use sgc_graph::{Coloring, CsrGraph};
+use sgc_graph::CsrGraph;
 use sgc_query::automorphism::count_automorphisms;
-use sgc_query::{heuristic_plan, DecompositionTree, QueryError, QueryGraph};
+use sgc_query::{DecompositionTree, QueryGraph};
 
-/// Configuration of an estimation run.
+/// Configuration of an estimation run (used by the deprecated shims; the
+/// [`Engine`] builder expresses the same settings as methods).
 #[derive(Clone, Copy, Debug)]
 pub struct EstimateConfig {
     /// Number of independent random colorings.
@@ -69,33 +76,14 @@ pub fn scaling_factor(k: usize) -> f64 {
     factor
 }
 
-/// Estimates the number of matches (and subgraphs) of `query` in `graph` by
-/// running `config.trials` independent colorful counts.
-pub fn estimate_count(
-    graph: &CsrGraph,
+/// Folds per-trial colorful counts into the scaled estimate and its
+/// precision statistics.
+pub(crate) fn summarize_trials(
+    per_trial: Vec<Count>,
     query: &QueryGraph,
-    config: &EstimateConfig,
-) -> Result<Estimate, QueryError> {
-    let tree = heuristic_plan(query)?;
-    Ok(estimate_count_with_tree(graph, &tree, config))
-}
-
-/// Estimates using an already-planned decomposition tree.
-pub fn estimate_count_with_tree(
-    graph: &CsrGraph,
-    tree: &DecompositionTree,
-    config: &EstimateConfig,
+    total_seconds: f64,
 ) -> Estimate {
-    assert!(config.trials > 0, "at least one trial required");
-    let k = tree.query.num_nodes();
-    let mut per_trial = Vec::with_capacity(config.trials);
-    let mut total_seconds = 0.0;
-    for trial in 0..config.trials {
-        let coloring = Coloring::random(graph.num_vertices(), k, config.seed + trial as u64);
-        let result = count_colorful_with_tree(graph, &coloring, tree, &config.count);
-        total_seconds += result.metrics.elapsed.as_secs_f64();
-        per_trial.push(result.colorful_matches);
-    }
+    let k = query.num_nodes();
     let n = per_trial.len() as f64;
     let mean = per_trial.iter().map(|&c| c as f64).sum::<f64>() / n;
     let variance = if per_trial.len() > 1 {
@@ -113,7 +101,7 @@ pub fn estimate_count_with_tree(
         0.0
     };
     let scale = scaling_factor(k);
-    let automorphisms = count_automorphisms(&tree.query).max(1);
+    let automorphisms = count_automorphisms(query).max(1);
     let estimated_matches = scale * mean;
     Estimate {
         per_trial,
@@ -126,6 +114,50 @@ pub fn estimate_count_with_tree(
         coefficient_of_variation,
         total_seconds,
     }
+}
+
+/// Estimates the number of matches (and subgraphs) of `query` in `graph` by
+/// running `config.trials` independent colorful counts.
+///
+/// Deprecated: this rebuilds the graph preprocessing on every call. Bind an
+/// [`Engine`] once and reuse it instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::new(&graph).count(&query).trials(n).seed(s).estimate()"
+)]
+pub fn estimate_count(
+    graph: &CsrGraph,
+    query: &QueryGraph,
+    config: &EstimateConfig,
+) -> Result<Estimate, SgcError> {
+    Engine::new(graph)
+        .count(query)
+        .config(config.count)
+        .trials(config.trials)
+        .seed(config.seed)
+        .estimate()
+}
+
+/// Estimates using an already-planned decomposition tree.
+///
+/// Deprecated: this rebuilds the graph preprocessing on every call. Bind an
+/// [`Engine`] once and reuse it instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Engine::new(&graph).count(&tree.query).plan(&tree).trials(n).seed(s).estimate()"
+)]
+pub fn estimate_count_with_tree(
+    graph: &CsrGraph,
+    tree: &DecompositionTree,
+    config: &EstimateConfig,
+) -> Result<Estimate, SgcError> {
+    Engine::new(graph)
+        .count(&tree.query)
+        .plan(tree)
+        .config(config.count)
+        .trials(config.trials)
+        .seed(config.seed)
+        .estimate()
 }
 
 #[cfg(test)]
@@ -149,22 +181,31 @@ mod tests {
         // Small random-ish graph where brute force is exact.
         let mut b = GraphBuilder::new(10);
         b.extend_edges([
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (5, 6), (6, 1),
-            (2, 7), (7, 8), (8, 3), (4, 9), (9, 0), (5, 2), (6, 3),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (5, 6),
+            (6, 1),
+            (2, 7),
+            (7, 8),
+            (8, 3),
+            (4, 9),
+            (9, 0),
+            (5, 2),
+            (6, 3),
         ]);
         let g = b.build();
         let query = catalog::triangle();
         let exact = count_matches(&g, &query) as f64;
-        let est = estimate_count(
-            &g,
-            &query,
-            &EstimateConfig {
-                trials: 400,
-                seed: 11,
-                count: CountConfig::default(),
-            },
-        )
-        .unwrap();
+        let est = Engine::new(&g)
+            .count(&query)
+            .trials(400)
+            .seed(11)
+            .estimate()
+            .unwrap();
         // 400 trials of a 3-color coding: expect within ~30% of the truth.
         let rel_err = (est.estimated_matches - exact).abs() / exact.max(1.0);
         assert!(
@@ -182,11 +223,11 @@ mod tests {
         let mut b = GraphBuilder::new(4);
         b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
         let g = b.build();
-        let est = estimate_count(&g, &catalog::triangle(), &EstimateConfig {
-            trials: 1,
-            ..Default::default()
-        })
-        .unwrap();
+        let est = Engine::new(&g)
+            .count(&catalog::triangle())
+            .trials(1)
+            .estimate()
+            .unwrap();
         assert_eq!(est.variance, 0.0);
         assert_eq!(est.per_trial.len(), 1);
     }
@@ -196,18 +237,52 @@ mod tests {
         let mut b = GraphBuilder::new(4);
         b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
         let g = b.build();
-        let est = estimate_count(&g, &catalog::triangle(), &EstimateConfig::default()).unwrap();
+        let est = Engine::new(&g)
+            .count(&catalog::triangle())
+            .estimate()
+            .unwrap();
         assert!((est.estimated_subgraphs * 6.0 - est.estimated_matches).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic]
-    fn zero_trials_panics() {
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine() {
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let g = b.build();
+        let query = catalog::triangle();
+        let config = EstimateConfig {
+            trials: 8,
+            seed: 21,
+            count: CountConfig::default(),
+        };
+        let tree = sgc_query::decompose(&query).unwrap();
+        let via_engine = Engine::new(&g)
+            .count(&query)
+            .trials(8)
+            .seed(21)
+            .estimate()
+            .unwrap();
+        let via_free = estimate_count(&g, &query, &config).unwrap();
+        let via_tree = estimate_count_with_tree(&g, &tree, &config).unwrap();
+        assert_eq!(via_engine.per_trial, via_free.per_trial);
+        assert_eq!(via_engine.per_trial, via_tree.per_trial);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn zero_trials_is_an_error_not_a_panic() {
         let g = GraphBuilder::new(3).build();
         let tree = sgc_query::decompose(&catalog::triangle()).unwrap();
-        let _ = estimate_count_with_tree(&g, &tree, &EstimateConfig {
-            trials: 0,
-            ..Default::default()
-        });
+        let err = estimate_count_with_tree(
+            &g,
+            &tree,
+            &EstimateConfig {
+                trials: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SgcError::ZeroTrials);
     }
 }

@@ -12,9 +12,13 @@
 //! * [`driver`] — bottom-up traversal of a decomposition tree producing the
 //!   number of colorful matches, plus run metrics (per-rank loads, operation
 //!   counts),
-//! * [`estimator`] — the approximate subgraph counting loop: repeated random
-//!   colorings, the `k^k / k!` unbiased scaling and the precision metrics of
-//!   Figure 15,
+//! * [`engine`] — the public front door: a long-lived [`Engine`] bound to a
+//!   data graph that amortizes the preprocessing across trials and queries,
+//!   caches decomposition plans, and reports typed [`SgcError`]s instead of
+//!   panicking on bad input,
+//! * [`estimator`] — the approximate subgraph counting statistics: the
+//!   `k^k / k!` unbiased scaling and the precision metrics of Figure 15
+//!   (the trial loop itself lives in [`CountRequest::estimate`]),
 //! * [`treelet`] — the linear-time tree-query dynamic program (the FASCIA
 //!   special case the paper builds on), used as an independent cross-check,
 //! * [`brute`] — exponential-time reference counters used as the correctness
@@ -26,6 +30,8 @@ pub mod config;
 pub mod context;
 pub mod db;
 pub mod driver;
+pub mod engine;
+pub mod error;
 pub mod estimator;
 pub mod metrics;
 pub mod paths;
@@ -34,6 +40,13 @@ pub mod ps;
 pub mod treelet;
 
 pub use config::{Algorithm, CountConfig};
-pub use driver::{count_colorful, count_colorful_with_tree, CountResult};
-pub use estimator::{estimate_count, Estimate, EstimateConfig};
+pub use driver::CountResult;
+pub use engine::{CountRequest, Engine};
+pub use error::SgcError;
+pub use estimator::{Estimate, EstimateConfig};
 pub use metrics::RunMetrics;
+
+#[allow(deprecated)]
+pub use driver::{count_colorful, count_colorful_with_tree};
+#[allow(deprecated)]
+pub use estimator::estimate_count;

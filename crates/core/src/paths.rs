@@ -103,10 +103,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
 
     /// The unary table of the child block annotating `node`, if any,
     /// pre-grouped by vertex.
-    fn node_child(
-        &self,
-        node: QueryNode,
-    ) -> Option<FastMap<VertexId, Vec<(Signature, Count)>>> {
+    fn node_child(&self, node: QueryNode) -> Option<FastMap<VertexId, Vec<(Signature, Count)>>> {
         let child = self.block.node_annotation(node)?;
         let table = self.child_tables[child]
             .as_ref()
@@ -127,11 +124,9 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
     ) -> EdgeRealization {
         match self.block.edge_annotation(edge_index) {
             None => EdgeRealization::Graph,
-            Some(child) => EdgeRealization::Child(self.child_binary_grouped(
-                child,
-                from_node,
-                to_node,
-            )),
+            Some(child) => {
+                EdgeRealization::Child(self.child_binary_grouped(child, from_node, to_node))
+            }
         }
     }
 
@@ -273,7 +268,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
                 for (&u, list) in &grouped {
                     load.record_vertex(&ctx.partition, u, list.len() as u64);
                     for &(w, sig, count) in list {
-                        if self.high_start && !ctx.order.higher(u, w) {
+                        if self.high_start && !ctx.order().higher(u, w) {
                             continue;
                         }
                         let mut key = PathKey::new(u, w, sig);
@@ -365,10 +360,12 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
                         }
                     }
                     EdgeRealization::Child(grouped) => {
-                        let Some(list) = grouped.get(&v) else { continue };
+                        let Some(list) = grouped.get(&v) else {
+                            continue;
+                        };
                         load.record_vertex(&ctx.partition, v, list.len() as u64);
                         for &(w, sig2, count2) in list {
-                            if self.high_start && !ctx.order.higher(key.start, w) {
+                            if self.high_start && !ctx.order().higher(key.start, w) {
                                 continue;
                             }
                             if key.sig.intersection(sig2) != shared {
@@ -451,10 +448,7 @@ mod tests {
 
     #[test]
     fn combine_extras_prefers_set_slots() {
-        assert_eq!(
-            combine_extras([5, NO_VERTEX], [NO_VERTEX, 9]),
-            Some([5, 9])
-        );
+        assert_eq!(combine_extras([5, NO_VERTEX], [NO_VERTEX, 9]), Some([5, 9]));
         assert_eq!(
             combine_extras([5, NO_VERTEX], [5, NO_VERTEX]),
             Some([5, NO_VERTEX])

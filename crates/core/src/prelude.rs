@@ -2,12 +2,20 @@
 //!
 //! `use sgc_core::prelude::*;` (or `use subgraph_counting::prelude::*;` via
 //! the facade crate) brings in the types needed for the common workflow:
-//! build a data graph, pick a query, estimate its count.
+//! build a data graph, bind an [`Engine`] to it, pick a query, count or
+//! estimate.
 
 pub use crate::config::{Algorithm, CountConfig};
-pub use crate::driver::{count_colorful, count_colorful_with_tree, CountResult};
-pub use crate::estimator::{estimate_count, Estimate, EstimateConfig};
+pub use crate::driver::CountResult;
+pub use crate::engine::{CountRequest, Engine};
+pub use crate::error::SgcError;
+pub use crate::estimator::{Estimate, EstimateConfig};
 pub use crate::metrics::RunMetrics;
 pub use sgc_engine::{Count, Signature};
 pub use sgc_graph::{Coloring, CsrGraph, GraphBuilder, VertexId};
 pub use sgc_query::{decompose, heuristic_plan, DecompositionTree, QueryGraph};
+
+#[allow(deprecated)]
+pub use crate::driver::{count_colorful, count_colorful_with_tree};
+#[allow(deprecated)]
+pub use crate::estimator::estimate_count;

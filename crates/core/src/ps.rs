@@ -8,24 +8,25 @@
 //! leads to large intermediate tables around high-degree vertices and to load
 //! imbalance — exactly the behaviour the DB algorithm addresses.
 
-use crate::config::{Algorithm, CountConfig};
-use crate::driver::{count_colorful, CountResult};
+use crate::config::Algorithm;
+use crate::driver::CountResult;
+use crate::engine::Engine;
+use crate::error::SgcError;
 use sgc_graph::{Coloring, CsrGraph};
-use sgc_query::{QueryError, QueryGraph};
+use sgc_query::QueryGraph;
 
-/// Counts colorful matches with the PS algorithm (convenience wrapper around
-/// [`count_colorful`] with [`Algorithm::PathSplitting`]).
+/// Counts colorful matches with the PS algorithm (one-shot convenience
+/// wrapper around [`Engine`] with [`Algorithm::PathSplitting`]).
 pub fn count_colorful_ps(
     graph: &CsrGraph,
     coloring: &Coloring,
     query: &QueryGraph,
-) -> Result<CountResult, QueryError> {
-    count_colorful(
-        graph,
-        coloring,
-        query,
-        &CountConfig::new(Algorithm::PathSplitting),
-    )
+) -> Result<CountResult, SgcError> {
+    Engine::new(graph)
+        .count(query)
+        .algorithm(Algorithm::PathSplitting)
+        .coloring(coloring)
+        .run()
 }
 
 #[cfg(test)]
@@ -41,13 +42,12 @@ mod tests {
         let coloring = Coloring::random(4, 3, 7);
         let query = sgc_query::catalog::triangle();
         let via_wrapper = count_colorful_ps(&g, &coloring, &query).unwrap();
-        let via_driver = count_colorful(
-            &g,
-            &coloring,
-            &query,
-            &CountConfig::new(Algorithm::PathSplitting),
-        )
-        .unwrap();
-        assert_eq!(via_wrapper.colorful_matches, via_driver.colorful_matches);
+        let via_engine = Engine::new(&g)
+            .count(&query)
+            .algorithm(Algorithm::PathSplitting)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
+        assert_eq!(via_wrapper.colorful_matches, via_engine.colorful_matches);
     }
 }

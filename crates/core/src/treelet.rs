@@ -24,11 +24,7 @@ use sgc_query::{QueryGraph, QueryNode};
 /// # Panics
 /// Panics if the query is not a tree or the coloring does not use exactly
 /// `k = query.num_nodes()` colors.
-pub fn count_colorful_treelet(
-    graph: &CsrGraph,
-    coloring: &Coloring,
-    query: &QueryGraph,
-) -> Count {
+pub fn count_colorful_treelet(graph: &CsrGraph, coloring: &Coloring, query: &QueryGraph) -> Count {
     assert!(is_tree(query), "treelet counting requires a tree query");
     assert_eq!(coloring.num_colors(), query.num_nodes());
     assert_eq!(coloring.num_vertices(), graph.num_vertices());
@@ -58,8 +54,7 @@ pub fn count_colorful_treelet(
 
     // tables[q][v] : list of (signature, count) for the subtree rooted at q
     // with q mapped to v.
-    let mut tables: Vec<FastMap<VertexId, Vec<(Signature, Count)>>> =
-        vec![FastMap::default(); k];
+    let mut tables: Vec<FastMap<VertexId, Vec<(Signature, Count)>>> = vec![FastMap::default(); k];
 
     // Process in reverse DFS discovery order → children before parents.
     for &q in order.iter().rev() {
@@ -77,13 +72,14 @@ pub fn count_colorful_treelet(
                 let mut next: FastMap<Signature, Count> = FastMap::default();
                 for &(sig, count) in &acc {
                     for &w in graph.neighbors(v) {
-                        let Some(entries) = child_table.get(&w) else { continue };
+                        let Some(entries) = child_table.get(&w) else {
+                            continue;
+                        };
                         for &(child_sig, child_count) in entries {
                             if !sig.is_disjoint(child_sig) {
                                 continue;
                             }
-                            *next.entry(sig.union(child_sig)).or_insert(0) +=
-                                count * child_count;
+                            *next.entry(sig.union(child_sig)).or_insert(0) += count * child_count;
                         }
                     }
                 }
@@ -119,8 +115,18 @@ mod tests {
     fn sample_graph() -> CsrGraph {
         let mut b = GraphBuilder::new(9);
         b.extend_edges([
-            (0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (4, 5), (5, 6), (6, 2),
-            (7, 1), (7, 5), (8, 0), (8, 6),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (0, 4),
+            (4, 5),
+            (5, 6),
+            (6, 2),
+            (7, 1),
+            (7, 5),
+            (8, 0),
+            (8, 6),
         ]);
         b.build()
     }
@@ -133,7 +139,12 @@ mod tests {
                 let coloring = Coloring::random(g.num_vertices(), query.num_nodes(), seed);
                 let dp = count_colorful_treelet(&g, &coloring, &query);
                 let brute = count_colorful_matches(&g, &query, &coloring);
-                assert_eq!(dp, brute, "query with {} nodes, seed {seed}", query.num_nodes());
+                assert_eq!(
+                    dp,
+                    brute,
+                    "query with {} nodes, seed {seed}",
+                    query.num_nodes()
+                );
             }
         }
     }
@@ -144,13 +155,11 @@ mod tests {
         let query = catalog::binary_tree(3);
         let coloring = Coloring::random(g.num_vertices(), query.num_nodes(), 42);
         let dp = count_colorful_treelet(&g, &coloring, &query);
-        let general = crate::driver::count_colorful(
-            &g,
-            &coloring,
-            &query,
-            &crate::config::CountConfig::default(),
-        )
-        .unwrap();
+        let general = crate::engine::Engine::new(&g)
+            .count(&query)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
         assert_eq!(dp, general.colorful_matches);
     }
 

@@ -34,7 +34,7 @@ pub fn run_with_threads<R: Send>(num_threads: usize, f: impl FnOnce() -> R + Sen
 /// results. Falls back to a single chunk when the input is small.
 pub fn parallel_chunks<T: Sync, R: Send>(
     items: &[T],
-    f: impl Fn(&[T]) -> R + Sync,
+    f: impl Fn(&[T]) -> R + Sync + Send,
 ) -> Vec<R> {
     if items.is_empty() {
         return Vec::new();
@@ -47,7 +47,34 @@ pub fn parallel_chunks<T: Sync, R: Send>(
     if items.len() <= MIN_PARALLEL_ITEMS || threads == 1 {
         return vec![f(items)];
     }
-    items.par_chunks(chunk_size).map(|chunk| f(chunk)).collect()
+    items.par_chunks(chunk_size).map(f).collect()
+}
+
+/// Maps `f` over `0..count` in parallel with *per-item* granularity,
+/// returning the results in index order.
+///
+/// Unlike [`parallel_chunks`], which only goes parallel past
+/// [`MIN_PARALLEL_ITEMS`] because its work items are cheap table entries,
+/// this helper assumes each item is expensive (an entire counting trial) and
+/// parallelises even tiny counts. Results are deterministic: item `i`'s
+/// output depends only on `i`, never on the thread layout.
+pub fn parallel_indexed<R: Send>(count: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = rayon::current_num_threads().max(1);
+    if threads == 1 || count == 1 {
+        return (0..count).map(f).collect();
+    }
+    let indices: Vec<usize> = (0..count).collect();
+    let chunk_size = count.div_ceil(threads);
+    indices
+        .par_chunks(chunk_size)
+        .map(|chunk| chunk.iter().map(|&i| f(i)).collect::<Vec<R>>())
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -88,5 +115,17 @@ mod tests {
     #[should_panic]
     fn zero_threads_panics() {
         run_with_threads(0, || ());
+    }
+
+    #[test]
+    fn parallel_indexed_is_ordered_and_thread_invariant() {
+        let f = |i: usize| (i * i) as u64;
+        let expected: Vec<u64> = (0..37).map(f).collect();
+        for threads in [1, 2, 5] {
+            let got = run_with_threads(threads, || parallel_indexed(37, f));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+        assert!(parallel_indexed(0, f).is_empty());
+        assert_eq!(parallel_indexed(1, f), vec![0]);
     }
 }

@@ -94,7 +94,10 @@ impl UnaryTable {
     pub fn group_by_vertex(&self) -> FastMap<VertexId, Vec<(Signature, Count)>> {
         let mut grouped: FastMap<VertexId, Vec<(Signature, Count)>> = FastMap::default();
         for (key, &count) in &self.map {
-            grouped.entry(key.vertex).or_default().push((key.sig, count));
+            grouped
+                .entry(key.vertex)
+                .or_default()
+                .push((key.sig, count));
         }
         grouped
     }
@@ -329,12 +332,13 @@ impl PathTable {
 
     /// Groups entries by `(start, end)` pair — the access pattern of the final
     /// path-merge join.
-    pub fn group_by_endpoints(
-        &self,
-    ) -> FastMap<(VertexId, VertexId), Vec<(PathKey, Count)>> {
+    pub fn group_by_endpoints(&self) -> FastMap<(VertexId, VertexId), Vec<(PathKey, Count)>> {
         let mut grouped: FastMap<(VertexId, VertexId), Vec<(PathKey, Count)>> = FastMap::default();
         for (&key, &count) in &self.map {
-            grouped.entry((key.start, key.end)).or_default().push((key, count));
+            grouped
+                .entry((key.start, key.end))
+                .or_default()
+                .push((key, count));
         }
         grouped
     }

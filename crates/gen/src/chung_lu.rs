@@ -127,7 +127,7 @@ mod tests {
         let degrees = power_law_degrees(300, 1.5);
         let trials = 8;
         let fast: f64 = (0..trials)
-            .map(|s| chung_lu(&degrees, s) .num_edges() as f64)
+            .map(|s| chung_lu(&degrees, s).num_edges() as f64)
             .sum::<f64>()
             / trials as f64;
         let naive: f64 = (0..trials)
@@ -168,7 +168,10 @@ mod tests {
         for u in g.vertices() {
             assert!(!g.has_edge(u, u));
             let nb = g.neighbors(u);
-            assert!(nb.windows(2).all(|w| w[0] < w[1]), "sorted, deduped adjacency");
+            assert!(
+                nb.windows(2).all(|w| w[0] < w[1]),
+                "sorted, deduped adjacency"
+            );
         }
     }
 }

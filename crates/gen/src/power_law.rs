@@ -78,7 +78,10 @@ mod tests {
         let d = power_law_degrees(n, 1.3);
         let max = d.iter().cloned().fold(0.0f64, f64::max);
         assert!(max <= (n as f64).sqrt() + 1e-9);
-        assert!(max >= (n as f64).sqrt() / 4.0, "tail should reach close to sqrt(n)");
+        assert!(
+            max >= (n as f64).sqrt() / 4.0,
+            "tail should reach close to sqrt(n)"
+        );
     }
 
     #[test]
@@ -101,7 +104,7 @@ mod tests {
         let d = power_law_degrees(n, alpha);
         // Count vertices with degree in [2^j, 2^{j+1}) for a few buckets and
         // check the ratio between consecutive buckets is roughly 2^alpha.
-        let mut buckets = vec![0usize; 16];
+        let mut buckets = [0usize; 16];
         for &x in &d {
             let j = (x.log2().floor() as usize).min(15);
             buckets[j] += 1;

@@ -37,10 +37,7 @@ impl CsrGraph {
                 list.windows(2).all(|w| w[0] < w[1]),
                 "adjacency list of {u} must be strictly sorted"
             );
-            debug_assert!(
-                !list.contains(&(u as VertexId)),
-                "self loop on vertex {u}"
-            );
+            debug_assert!(!list.contains(&(u as VertexId)), "self loop on vertex {u}");
             neighbors.extend_from_slice(list);
             offsets.push(neighbors.len());
         }

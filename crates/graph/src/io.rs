@@ -84,7 +84,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, EdgeList
 /// Writes a graph as an edge list (`u v` per line, each undirected edge once).
 pub fn write_edge_list<W: Write>(graph: &CsrGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# undirected edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# undirected edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }

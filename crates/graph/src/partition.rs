@@ -84,8 +84,8 @@ mod tests {
         }
         assert_eq!(counts.iter().sum::<usize>(), 103);
         // Owners must match the owned ranges.
-        for rank in 0..8 {
-            assert_eq!(counts[rank], p.owned_count(rank));
+        for (rank, &count) in counts.iter().enumerate() {
+            assert_eq!(count, p.owned_count(rank));
         }
     }
 

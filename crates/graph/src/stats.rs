@@ -41,13 +41,21 @@ impl DegreeStats {
             let d = graph.degree(u);
             max_degree = max_degree.max(d);
             sum_sq += (d as f64) * (d as f64);
-            let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+            let bucket = if d <= 1 {
+                0
+            } else {
+                (usize::BITS - 1 - d.leading_zeros()) as usize
+            };
             if bucket >= log_histogram.len() {
                 log_histogram.resize(bucket + 1, 0);
             }
             log_histogram[bucket] += 1;
         }
-        let avg_degree = if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 };
+        let avg_degree = if n == 0 {
+            0.0
+        } else {
+            2.0 * m as f64 / n as f64
+        };
         DegreeStats {
             num_vertices: n,
             num_edges: m,

@@ -128,10 +128,7 @@ mod tests {
     fn asymmetric_query_has_identity_only() {
         // A triangle with a pendant path of length 2 attached to one node and
         // a single pendant on another: no non-trivial symmetry.
-        let q = QueryGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (1, 5)],
-        );
+        let q = QueryGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (1, 5)]);
         assert_eq!(count_automorphisms(&q), 1);
     }
 

@@ -50,7 +50,9 @@ impl BlockKind {
         }
     }
 
-    /// Number of nodes in the block.
+    /// Number of nodes in the block (always at least two, so no
+    /// `is_empty` counterpart exists).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         match self {
             BlockKind::LeafEdge { .. } => 2,
@@ -162,7 +164,10 @@ mod tests {
 
     #[test]
     fn leaf_edge_shape() {
-        let k = BlockKind::LeafEdge { boundary: 2, leaf: 7 };
+        let k = BlockKind::LeafEdge {
+            boundary: 2,
+            leaf: 7,
+        };
         assert_eq!(k.nodes(), vec![2, 7]);
         assert_eq!(k.edges(), vec![(2, 7)]);
         assert!(!k.is_cycle());

@@ -101,19 +101,13 @@ pub fn wiki() -> QueryGraph {
 /// ecoli1 — E. coli regulatory motif: two triangles sharing a hub plus a
 /// pendant on the hub (6 nodes, longest cycle 3).
 pub fn ecoli1() -> QueryGraph {
-    QueryGraph::from_edges(
-        6,
-        &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (0, 5)],
-    )
+    QueryGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (0, 5)])
 }
 
 /// ecoli2 — E. coli motif: a 5-cycle with two pendant genes on adjacent
 /// cycle nodes (7 nodes, longest cycle 5).
 pub fn ecoli2() -> QueryGraph {
-    QueryGraph::from_edges(
-        7,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (1, 6)],
-    )
+    QueryGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (1, 6)])
 }
 
 /// brain1 — connectome motif: a 6-cycle and a 4-cycle fused along one edge
@@ -123,8 +117,15 @@ pub fn brain1() -> QueryGraph {
     QueryGraph::from_edges(
         8,
         &[
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
-            (1, 6), (6, 7), (7, 0),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (1, 6),
+            (6, 7),
+            (7, 0),
         ],
     )
 }
@@ -135,8 +136,15 @@ pub fn brain2() -> QueryGraph {
     QueryGraph::from_edges(
         9,
         &[
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
-            (0, 6), (6, 7), (7, 0),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (0, 6),
+            (6, 7),
+            (7, 0),
             (3, 8),
         ],
     )
@@ -149,9 +157,17 @@ pub fn brain3() -> QueryGraph {
     QueryGraph::from_edges(
         10,
         &[
-            (0, 2), (2, 3), (3, 4), (4, 1), // path A (length 4)
-            (0, 5), (5, 6), (6, 7), (7, 1), // path B (length 4)
-            (0, 8), (8, 9), (9, 1), // path C (length 3)
+            (0, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1), // path A (length 4)
+            (0, 5),
+            (5, 6),
+            (6, 7),
+            (7, 1), // path B (length 4)
+            (0, 8),
+            (8, 9),
+            (9, 1), // path C (length 3)
         ],
     )
 }
@@ -163,27 +179,76 @@ pub fn satellite() -> QueryGraph {
     QueryGraph::from_edges(
         11,
         &[
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // 5-cycle a-b-c-d-e
-            (0, 5), (2, 6), // a-f, c-g
-            (8, 5), (5, 6), (6, 8), // triangle i-f-g
-            (8, 9), (9, 10), (10, 8), // triangle i-j-k
-            (5, 7), // leaf edge f-h
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0), // 5-cycle a-b-c-d-e
+            (0, 5),
+            (2, 6), // a-f, c-g
+            (8, 5),
+            (5, 6),
+            (6, 8), // triangle i-f-g
+            (8, 9),
+            (9, 10),
+            (10, 8), // triangle i-j-k
+            (5, 7),  // leaf edge f-h
         ],
     )
 }
 
 /// The ten Figure 8 queries, ordered as in the paper's figures.
 pub const FIGURE8_QUERIES: &[QuerySpec] = &[
-    QuerySpec { name: "dros", description: "4-cycle with two pendants (6 nodes)", build: dros },
-    QuerySpec { name: "ecoli1", description: "two fused triangles plus pendant (6 nodes)", build: ecoli1 },
-    QuerySpec { name: "ecoli2", description: "5-cycle with two pendants (7 nodes)", build: ecoli2 },
-    QuerySpec { name: "brain1", description: "6-cycle fused with 4-cycle (8 nodes)", build: brain1 },
-    QuerySpec { name: "brain2", description: "6-cycle, fused triangle, pendant (9 nodes)", build: brain2 },
-    QuerySpec { name: "brain3", description: "three parallel paths between hubs (10 nodes)", build: brain3 },
-    QuerySpec { name: "glet1", description: "house graphlet (5 nodes)", build: glet1 },
-    QuerySpec { name: "glet2", description: "5-cycle graphlet (5 nodes)", build: glet2 },
-    QuerySpec { name: "wiki", description: "triangle with three pendants (6 nodes)", build: wiki },
-    QuerySpec { name: "youtube", description: "triangle with two pendants on a hub (5 nodes)", build: youtube },
+    QuerySpec {
+        name: "dros",
+        description: "4-cycle with two pendants (6 nodes)",
+        build: dros,
+    },
+    QuerySpec {
+        name: "ecoli1",
+        description: "two fused triangles plus pendant (6 nodes)",
+        build: ecoli1,
+    },
+    QuerySpec {
+        name: "ecoli2",
+        description: "5-cycle with two pendants (7 nodes)",
+        build: ecoli2,
+    },
+    QuerySpec {
+        name: "brain1",
+        description: "6-cycle fused with 4-cycle (8 nodes)",
+        build: brain1,
+    },
+    QuerySpec {
+        name: "brain2",
+        description: "6-cycle, fused triangle, pendant (9 nodes)",
+        build: brain2,
+    },
+    QuerySpec {
+        name: "brain3",
+        description: "three parallel paths between hubs (10 nodes)",
+        build: brain3,
+    },
+    QuerySpec {
+        name: "glet1",
+        description: "house graphlet (5 nodes)",
+        build: glet1,
+    },
+    QuerySpec {
+        name: "glet2",
+        description: "5-cycle graphlet (5 nodes)",
+        build: glet2,
+    },
+    QuerySpec {
+        name: "wiki",
+        description: "triangle with three pendants (6 nodes)",
+        build: wiki,
+    },
+    QuerySpec {
+        name: "youtube",
+        description: "triangle with two pendants on a hub (5 nodes)",
+        build: youtube,
+    },
 ];
 
 /// Looks up a Figure 8 query by name (case-insensitive).
@@ -207,10 +272,16 @@ mod tests {
     fn all_catalog_queries_are_valid_treewidth_two_and_decomposable() {
         for spec in FIGURE8_QUERIES {
             let q = (spec.build)();
-            q.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-            assert!(treewidth_at_most_two(&q), "{} must be treewidth ≤ 2", spec.name);
+            q.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(
+                treewidth_at_most_two(&q),
+                "{} must be treewidth ≤ 2",
+                spec.name
+            );
             let tree = decompose(&q).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-            tree.verify().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            tree.verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         }
         let sat = satellite();
         assert!(treewidth_at_most_two(&sat));
@@ -236,7 +307,10 @@ mod tests {
     fn harder_queries_have_longer_cycles() {
         let easy = decompose(&youtube()).unwrap().longest_cycle();
         let hard = decompose(&brain3()).unwrap().longest_cycle();
-        assert!(hard > easy, "brain3 ({hard}) should have longer cycles than youtube ({easy})");
+        assert!(
+            hard > easy,
+            "brain3 ({hard}) should have longer cycles than youtube ({easy})"
+        );
         assert!(hard >= 7, "brain3 contains a long cycle, got {hard}");
     }
 

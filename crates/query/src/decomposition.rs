@@ -62,7 +62,11 @@ impl DecompositionTree {
 
     /// Longest cycle length over all blocks (0 if the query is a tree).
     pub fn longest_cycle(&self) -> usize {
-        self.blocks.iter().map(|b| b.cycle_length()).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(|b| b.cycle_length())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of boundary nodes across blocks.
@@ -90,7 +94,11 @@ impl DecompositionTree {
             BlockKind::LeafEdge { boundary, leaf } => format!("L({boundary},{leaf})"),
             BlockKind::Cycle { nodes } => format!(
                 "C({})",
-                nodes.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(",")
+                nodes
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
         };
         let mut child_sigs: Vec<String> = b
@@ -106,7 +114,11 @@ impl DecompositionTree {
         child_sigs.sort();
         format!(
             "{kind}[b:{}]{{{}}}",
-            b.boundary.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(","),
+            b.boundary
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
             child_sigs.join(";")
         )
     }
@@ -171,7 +183,10 @@ impl DecompositionTree {
                     return Err("root referenced as a child".into());
                 }
             } else if expected != 1 {
-                return Err(format!("block {} referenced {expected} times as child", b.id));
+                return Err(format!(
+                    "block {} referenced {expected} times as child",
+                    b.id
+                ));
             }
         }
         // Boundary consistency with the subqueries.
@@ -220,7 +235,9 @@ impl Contracted {
         Contracted {
             num_nodes: n,
             alive: if n == 0 { 0 } else { (1u32 << n) - 1 },
-            adj: (0..n as QueryNode).map(|a| query.neighbor_mask(a)).collect(),
+            adj: (0..n as QueryNode)
+                .map(|a| query.neighbor_mask(a))
+                .collect(),
             node_ann: vec![None; n],
             edge_ann: BTreeMap::new(),
         }
@@ -253,7 +270,10 @@ impl Contracted {
                     continue;
                 }
                 out.push(CandidateBlock {
-                    kind: BlockKind::LeafEdge { boundary: a, leaf: b },
+                    kind: BlockKind::LeafEdge {
+                        boundary: a,
+                        leaf: b,
+                    },
                     boundary: if self.degree(a) == 1 { vec![] } else { vec![a] },
                 });
             }
@@ -380,7 +400,10 @@ impl Contracted {
 
         // Apply the contraction to the query.
         match &candidate.kind {
-            BlockKind::LeafEdge { boundary: a, leaf: b } => {
+            BlockKind::LeafEdge {
+                boundary: a,
+                leaf: b,
+            } => {
                 self.remove_edge(*a, *b);
                 self.remove_node(*b);
                 // Degenerate final step: both endpoints were leaves.
@@ -462,7 +485,11 @@ impl Contracted {
     /// A canonical key of the current state (alive set, adjacency, annotations
     /// by child-block signature) used by the plan enumerator to merge
     /// contraction orders that reach the same state.
-    pub(crate) fn canonical_key(&self, blocks: &[Block], tree_sig: &dyn Fn(BlockId) -> String) -> String {
+    pub(crate) fn canonical_key(
+        &self,
+        blocks: &[Block],
+        tree_sig: &dyn Fn(BlockId) -> String,
+    ) -> String {
         let _ = blocks;
         let mut parts = vec![format!("alive:{:08x}", self.alive)];
         for a in self.alive_nodes() {
@@ -536,11 +563,20 @@ pub(crate) mod tests {
         QueryGraph::from_edges(
             11,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0), // 5-cycle a-b-c-d-e
-                (0, 5), (2, 6), // a-f, c-g
-                (8, 5), (5, 6), (6, 8), // triangle i-f-g
-                (8, 9), (9, 10), (10, 8), // triangle i-j-k
-                (5, 7), // leaf f-h
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0), // 5-cycle a-b-c-d-e
+                (0, 5),
+                (2, 6), // a-f, c-g
+                (8, 5),
+                (5, 6),
+                (6, 8), // triangle i-f-g
+                (8, 9),
+                (9, 10),
+                (10, 8), // triangle i-j-k
+                (5, 7),  // leaf f-h
             ],
         )
     }
@@ -649,10 +685,7 @@ pub(crate) mod tests {
     #[test]
     fn house_query_fused_square_and_triangle() {
         // 4-cycle 0-1-2-3 plus apex 4 connected to 2 and 3 (sharing edge 2-3).
-        let q = QueryGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 3)],
-        );
+        let q = QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 3)]);
         let t = decompose(&q).unwrap();
         t.verify().unwrap();
         assert_eq!(t.blocks.len(), 2);

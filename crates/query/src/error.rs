@@ -52,7 +52,9 @@ mod tests {
     #[test]
     fn display_messages_are_informative() {
         assert!(QueryError::Disconnected.to_string().contains("connected"));
-        assert!(QueryError::TreewidthExceeded.to_string().contains("treewidth"));
+        assert!(QueryError::TreewidthExceeded
+            .to_string()
+            .contains("treewidth"));
         assert!(QueryError::TooManyNodes { nodes: 40, max: 32 }
             .to_string()
             .contains("40"));

@@ -151,8 +151,15 @@ mod tests {
         QueryGraph::from_edges(
             8,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0),
-                (1, 6), (6, 7), (7, 0),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (1, 6),
+                (6, 7),
+                (7, 0),
             ],
         )
     }

@@ -20,7 +20,9 @@ pub fn treewidth_at_most_two(query: &QueryGraph) -> bool {
         return true;
     }
     // Mutable adjacency copy as bitmasks.
-    let mut adj: Vec<u32> = (0..n as QueryNode).map(|a| query.neighbor_mask(a)).collect();
+    let mut adj: Vec<u32> = (0..n as QueryNode)
+        .map(|a| query.neighbor_mask(a))
+        .collect();
     let mut alive: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
 
     loop {
@@ -59,9 +61,9 @@ pub fn treewidth_at_most_two(query: &QueryGraph) -> bool {
 
 fn remove_vertex(adj: &mut [u32], alive: &mut u32, a: usize) {
     let mask = adj[a];
-    for b in 0..adj.len() {
+    for (b, nbrs) in adj.iter_mut().enumerate() {
         if (mask >> b) & 1 == 1 {
-            adj[b] &= !(1 << a);
+            *nbrs &= !(1 << a);
         }
     }
     adj[a] = 0;
@@ -70,9 +72,7 @@ fn remove_vertex(adj: &mut [u32], alive: &mut u32, a: usize) {
 
 /// Returns `true` iff the query is a tree (connected and `m = n - 1`).
 pub fn is_tree(query: &QueryGraph) -> bool {
-    query.num_nodes() > 0
-        && query.is_connected()
-        && query.num_edges() == query.num_nodes() - 1
+    query.num_nodes() > 0 && query.is_connected() && query.num_edges() == query.num_nodes() - 1
 }
 
 /// Returns `true` iff the query is acyclic (a forest).
@@ -81,7 +81,9 @@ pub fn is_forest(query: &QueryGraph) -> bool {
     // for the whole graph means m = n - #components. Use the reduction: a
     // forest reduces to empty by repeatedly deleting degree-≤1 vertices.
     let n = query.num_nodes();
-    let mut adj: Vec<u32> = (0..n as QueryNode).map(|a| query.neighbor_mask(a)).collect();
+    let mut adj: Vec<u32> = (0..n as QueryNode)
+        .map(|a| query.neighbor_mask(a))
+        .collect();
     let mut alive: u32 = if n == 0 {
         0
     } else if n == 32 {

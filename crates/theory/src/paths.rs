@@ -116,7 +116,7 @@ mod tests {
         // On a path graph the degree order is (1,1,2,2,...) with id
         // tie-breaks; compare against an explicitly id-keyed order.
         let g = path_graph(6);
-        let id_order = DegreeOrder::from_keys(&vec![0; 6]);
+        let id_order = DegreeOrder::from_keys(&[0; 6]);
         assert_eq!(
             count_high_starting_paths(&g, &id_order, 3),
             count_id_ordered_paths(&g, 3)

@@ -10,7 +10,9 @@
 //! cargo run --release --example plan_explorer
 //! ```
 
+use subgraph_counting::gen::erdos_renyi::gnp;
 use subgraph_counting::query::{catalog, enumerate_plans, heuristic_plan, PlanCost};
+use subgraph_counting::{Coloring, Engine};
 
 fn main() {
     for spec in catalog::FIGURE8_QUERIES {
@@ -48,7 +50,10 @@ fn main() {
     // The Satellite worked example from Figure 2 of the paper.
     let satellite = catalog::satellite();
     let tree = heuristic_plan(&satellite).unwrap();
-    println!("satellite (Figure 2 worked example): {} blocks", tree.blocks.len());
+    println!(
+        "satellite (Figure 2 worked example): {} blocks",
+        tree.blocks.len()
+    );
     for block in &tree.blocks {
         println!(
             "    block {}: {:?} boundary {:?} children {:?}",
@@ -58,4 +63,39 @@ fn main() {
             block.children()
         );
     }
+    println!();
+
+    // Every plan computes the same count — demonstrate through the Engine,
+    // overriding its cached heuristic plan with each enumerated alternative.
+    let graph = gnp(48, 0.25, 5);
+    let engine = Engine::new(&graph);
+    let query = catalog::dros();
+    let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 1);
+    println!("dros on G(48, 0.25): colorful count under every plan");
+    let reference = engine.count(&query).coloring(&coloring).run().unwrap();
+    println!(
+        "    heuristic: colorful={:<8} total ops={}",
+        reference.colorful_matches, reference.metrics.total_ops
+    );
+    for (i, plan) in enumerate_plans(&query).unwrap().iter().enumerate() {
+        let res = engine
+            .count(&query)
+            .plan(plan)
+            .coloring(&coloring)
+            .run()
+            .unwrap();
+        println!(
+            "    plan {:>2}: colorful={:<8} total ops={}",
+            i, res.colorful_matches, res.metrics.total_ops
+        );
+    }
+    println!(
+        "engine plan cache holds {} quer{} (the heuristic plan, computed once)",
+        engine.cached_plans(),
+        if engine.cached_plans() == 1 {
+            "y"
+        } else {
+            "ies"
+        }
+    );
 }

@@ -1,8 +1,8 @@
 //! Quickstart: count a small motif in a small real network.
 //!
-//! Builds Zachary's karate-club network (bundled, 34 nodes), counts colorful
-//! matches of the "house" graphlet under a few random colorings, and turns
-//! them into an estimate of the true number of occurrences.
+//! Builds Zachary's karate-club network (bundled, 34 nodes), binds a
+//! counting [`Engine`] to it once, and turns repeated random colorings into
+//! an estimate of the true number of occurrences of the "house" graphlet.
 //!
 //! Run with:
 //! ```text
@@ -10,9 +10,9 @@
 //! ```
 
 use subgraph_counting::core::brute::count_matches;
-use subgraph_counting::core::{estimate_count, Algorithm, CountConfig, EstimateConfig};
 use subgraph_counting::gen::small::karate_club;
 use subgraph_counting::query::catalog;
+use subgraph_counting::{Algorithm, Engine};
 
 fn main() {
     let graph = karate_club();
@@ -28,18 +28,19 @@ fn main() {
     let exact = count_matches(&graph, &query);
     println!("exact number of matches (brute force): {exact}");
 
+    // Bind the engine once: the degree order and rank-sorted adjacency are
+    // computed here and shared by every trial below.
+    let engine = Engine::new(&graph);
+
     // Color-coding estimate with the Degree Based algorithm.
     for trials in [3usize, 10, 50] {
-        let estimate = estimate_count(
-            &graph,
-            &query,
-            &EstimateConfig {
-                trials,
-                seed: 2024,
-                count: CountConfig::new(Algorithm::DegreeBased),
-            },
-        )
-        .expect("house graphlet is a valid treewidth-2 query");
+        let estimate = engine
+            .count(&query)
+            .algorithm(Algorithm::DegreeBased)
+            .trials(trials)
+            .seed(2024)
+            .estimate()
+            .expect("house graphlet is a valid treewidth-2 query");
         let rel_err = (estimate.estimated_matches - exact as f64).abs() / exact as f64;
         println!(
             "color coding with {trials:>3} trials: estimate {:>12.1} matches \

@@ -11,11 +11,10 @@
 //! cargo run --release --example social_cycles
 //! ```
 
-use subgraph_counting::core::driver::count_colorful;
-use subgraph_counting::core::{Algorithm, CountConfig};
 use subgraph_counting::gen::rmat::{rmat, RmatParams};
 use subgraph_counting::graph::{Coloring, DegreeStats};
 use subgraph_counting::query::catalog;
+use subgraph_counting::{Algorithm, Engine};
 
 fn main() {
     let graph = rmat(11, RmatParams::paper(), 3); // 2048 vertices
@@ -29,18 +28,22 @@ fn main() {
     println!();
 
     let ranks = 64;
-    for (name, query) in [("glet2 (5-cycle)", catalog::glet2()), ("brain1", catalog::brain1())] {
+    let engine = Engine::new(&graph);
+    for (name, query) in [
+        ("glet2 (5-cycle)", catalog::glet2()),
+        ("brain1", catalog::brain1()),
+    ] {
         println!("query {name}:");
         let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 17);
         let mut results = Vec::new();
         for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
-            let res = count_colorful(
-                &graph,
-                &coloring,
-                &query,
-                &CountConfig::new(algorithm).with_ranks(ranks),
-            )
-            .unwrap();
+            let res = engine
+                .count(&query)
+                .algorithm(algorithm)
+                .ranks(ranks)
+                .coloring(&coloring)
+                .run()
+                .unwrap();
             println!(
                 "  {:<3} colorful={:<12} total ops={:<12} max load={:<12} avg load={:<12.0} imbalance={:.2}",
                 algorithm.short_name(),
@@ -56,9 +59,14 @@ fn main() {
             results[0].colorful_matches, results[1].colorful_matches,
             "PS and DB must agree"
         );
-        let ops_if = results[0].metrics.total_ops as f64 / results[1].metrics.total_ops.max(1) as f64;
-        let max_if = results[0].metrics.max_load() as f64 / results[1].metrics.max_load().max(1) as f64;
-        println!("  DB improvement: {:.2}x total ops, {:.2}x max load", ops_if, max_if);
+        let ops_if =
+            results[0].metrics.total_ops as f64 / results[1].metrics.total_ops.max(1) as f64;
+        let max_if =
+            results[0].metrics.max_load() as f64 / results[1].metrics.max_load().max(1) as f64;
+        println!(
+            "  DB improvement: {:.2}x total ops, {:.2}x max load",
+            ops_if, max_if
+        );
         println!();
     }
 }

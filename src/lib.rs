@@ -2,8 +2,34 @@
 //!
 //! Facade crate re-exporting the full public API of the workspace: a
 //! reproduction of *"Subgraph Counting: Color Coding Beyond Trees"*
-//! (Chakaravarthy et al., IPDPS 2016). See the README for a tour and
+//! (Chakaravarthy et al., IPDPS 2016). See the `README.md` for a tour and
 //! `DESIGN.md` for the system inventory.
+//!
+//! The front door is the [`Engine`]: bind it to a data graph once (paying
+//! the preprocessing once), then count or estimate any number of queries
+//! against it.
+//!
+//! ```
+//! use subgraph_counting::prelude::*;
+//! use subgraph_counting::query::catalog;
+//!
+//! let mut b = GraphBuilder::new(6);
+//! b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+//! let graph = b.build();
+//!
+//! let engine = Engine::new(&graph);
+//! let estimate = engine
+//!     .count(&catalog::triangle())
+//!     .trials(64)
+//!     .seed(7)
+//!     .estimate()
+//!     .expect("triangle is a valid treewidth-2 query");
+//! assert!(estimate.estimated_subgraphs > 0.0);
+//! ```
+//!
+//! The pre-0.2 free functions (`count_colorful`, `estimate_count`, …) are
+//! still re-exported as deprecated shims that bind a throwaway engine per
+//! call; migrate to [`Engine`] to stop paying the preprocessing per call.
 
 pub use sgc_core as core;
 pub use sgc_engine as engine;
@@ -12,4 +38,5 @@ pub use sgc_graph as graph;
 pub use sgc_query as query;
 pub use sgc_theory as theory;
 
+pub use sgc_core::prelude;
 pub use sgc_core::prelude::*;

@@ -5,34 +5,40 @@
 //! graph/query/coloring triple small enough to enumerate, the number of
 //! colorful matches reported by the Path Splitting baseline, the Degree Based
 //! algorithm and the exponential backtracking oracle must be identical, for
-//! every decomposition plan of the query.
+//! every decomposition plan of the query. All counts go through the
+//! [`Engine`] front door, so this suite also exercises the plan cache and
+//! the shared preprocessing.
 
 use subgraph_counting::core::brute::count_colorful_matches;
-use subgraph_counting::core::driver::{count_colorful, count_colorful_with_tree};
-use subgraph_counting::core::{Algorithm, CountConfig};
+use subgraph_counting::core::{Algorithm, Engine};
 use subgraph_counting::gen::{erdos_renyi::gnp, small};
 use subgraph_counting::graph::{Coloring, CsrGraph};
 use subgraph_counting::query::{catalog, enumerate_plans, QueryGraph};
 
-fn algorithms() -> [CountConfig; 2] {
-    [
-        CountConfig::new(Algorithm::PathSplitting).with_ranks(8),
-        CountConfig::new(Algorithm::DegreeBased).with_ranks(8),
-    ]
-}
+const ALGORITHMS: [Algorithm; 2] = [Algorithm::PathSplitting, Algorithm::DegreeBased];
 
-fn check_query_on_graph(graph: &CsrGraph, query: &QueryGraph, seeds: std::ops::Range<u64>, label: &str) {
+fn check_query_on_engine(
+    engine: &Engine<'_>,
+    query: &QueryGraph,
+    seeds: std::ops::Range<u64>,
+    label: &str,
+) {
+    let graph = engine.graph();
     for seed in seeds {
         let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), seed);
         let expected = count_colorful_matches(graph, query, &coloring);
-        for config in algorithms() {
-            let got = count_colorful(graph, &coloring, query, &config)
+        for algorithm in ALGORITHMS {
+            let got = engine
+                .count(query)
+                .algorithm(algorithm)
+                .ranks(8)
+                .coloring(&coloring)
+                .run()
                 .unwrap()
                 .colorful_matches;
             assert_eq!(
                 got, expected,
-                "{label}: {} disagrees with brute force (seed {seed})",
-                config.algorithm
+                "{label}: {algorithm} disagrees with brute force (seed {seed})"
             );
         }
     }
@@ -47,11 +53,15 @@ fn figure8_queries_match_brute_force_on_random_graphs() {
         ("petersen", small::petersen()),
         ("grid_4x4", small::grid(4, 4)),
     ];
-    for spec in catalog::FIGURE8_QUERIES {
-        let query = (spec.build)();
-        for (gname, graph) in &graphs {
-            check_query_on_graph(graph, &query, 0..2, &format!("{} on {gname}", spec.name));
+    for (gname, graph) in &graphs {
+        let engine = Engine::new(graph);
+        for spec in catalog::FIGURE8_QUERIES {
+            let query = (spec.build)();
+            check_query_on_engine(&engine, &query, 0..2, &format!("{} on {gname}", spec.name));
         }
+        // Ten structurally distinct catalog queries were planned exactly once
+        // each through the shared cache.
+        assert_eq!(engine.cached_plans(), catalog::FIGURE8_QUERIES.len());
     }
 }
 
@@ -61,7 +71,8 @@ fn satellite_query_matches_brute_force() {
     let graphs = [gnp(15, 0.45, 7), gnp(18, 0.35, 8)];
     let query = catalog::satellite();
     for (i, graph) in graphs.iter().enumerate() {
-        check_query_on_graph(graph, &query, 0..2, &format!("satellite on graph {i}"));
+        let engine = Engine::new(graph);
+        check_query_on_engine(&engine, &query, 0..2, &format!("satellite on graph {i}"));
     }
 }
 
@@ -70,6 +81,7 @@ fn karate_club_exact_counts_for_small_queries() {
     // Zachary's karate club is small enough for the oracle on ≤5-node queries
     // and exercises a genuinely skewed real network.
     let graph = small::karate_club();
+    let engine = Engine::new(&graph);
     for (name, query) in [
         ("triangle", catalog::triangle()),
         ("c4", catalog::cycle(4)),
@@ -78,7 +90,7 @@ fn karate_club_exact_counts_for_small_queries() {
         ("youtube", catalog::youtube()),
         ("path4", catalog::path(4)),
     ] {
-        check_query_on_graph(&graph, &query, 0..2, &format!("{name} on karate"));
+        check_query_on_engine(&engine, &query, 0..2, &format!("{name} on karate"));
     }
 }
 
@@ -86,19 +98,31 @@ fn karate_club_exact_counts_for_small_queries() {
 fn every_plan_of_a_query_gives_the_same_count() {
     // Counts must be independent of the decomposition tree chosen.
     let graph = gnp(15, 0.3, 3);
-    for query in [catalog::brain1(), catalog::ecoli1(), catalog::dros(), catalog::satellite()] {
+    let engine = Engine::new(&graph);
+    for query in [
+        catalog::brain1(),
+        catalog::ecoli1(),
+        catalog::dros(),
+        catalog::satellite(),
+    ] {
         let plans = enumerate_plans(&query).unwrap();
         assert!(!plans.is_empty());
         let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 9);
         let reference = count_colorful_matches(&graph, &query, &coloring);
         for (i, plan) in plans.iter().enumerate() {
-            for config in algorithms() {
-                let got = count_colorful_with_tree(&graph, &coloring, plan, &config)
+            for algorithm in ALGORITHMS {
+                let got = engine
+                    .count(&query)
+                    .algorithm(algorithm)
+                    .ranks(8)
+                    .plan(plan)
+                    .coloring(&coloring)
+                    .run()
+                    .unwrap()
                     .colorful_matches;
                 assert_eq!(
                     got, reference,
-                    "plan {i} with {} disagrees with brute force",
-                    config.algorithm
+                    "plan {i} with {algorithm} disagrees with brute force"
                 );
             }
         }
@@ -108,6 +132,7 @@ fn every_plan_of_a_query_gives_the_same_count() {
 #[test]
 fn tree_queries_agree_with_treelet_dp_and_brute_force() {
     let graph = gnp(20, 0.2, 4);
+    let engine = Engine::new(&graph);
     for query in [
         catalog::path(4),
         catalog::path(6),
@@ -117,15 +142,19 @@ fn tree_queries_agree_with_treelet_dp_and_brute_force() {
         for seed in 0..2 {
             let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), seed);
             let brute = count_colorful_matches(&graph, &query, &coloring);
-            let dp = subgraph_counting::core::treelet::count_colorful_treelet(
-                &graph, &coloring, &query,
-            );
+            let dp =
+                subgraph_counting::core::treelet::count_colorful_treelet(&graph, &coloring, &query);
             assert_eq!(dp, brute);
-            for config in algorithms() {
-                let got = count_colorful(&graph, &coloring, &query, &config)
+            for algorithm in ALGORITHMS {
+                let got = engine
+                    .count(&query)
+                    .algorithm(algorithm)
+                    .ranks(8)
+                    .coloring(&coloring)
+                    .run()
                     .unwrap()
                     .colorful_matches;
-                assert_eq!(got, brute, "{}", config.algorithm);
+                assert_eq!(got, brute, "{algorithm}");
             }
         }
     }
@@ -134,25 +163,26 @@ fn tree_queries_agree_with_treelet_dp_and_brute_force() {
 #[test]
 fn counts_are_independent_of_rank_count() {
     let graph = gnp(18, 0.3, 11);
+    let engine = Engine::new(&graph);
     let query = catalog::brain2();
     let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 5);
-    let reference = count_colorful(
-        &graph,
-        &coloring,
-        &query,
-        &CountConfig::new(Algorithm::DegreeBased).with_ranks(1),
-    )
-    .unwrap()
-    .colorful_matches;
-    for ranks in [2, 7, 64, 512] {
-        let got = count_colorful(
-            &graph,
-            &coloring,
-            &query,
-            &CountConfig::new(Algorithm::DegreeBased).with_ranks(ranks),
-        )
+    let reference = engine
+        .count(&query)
+        .algorithm(Algorithm::DegreeBased)
+        .ranks(1)
+        .coloring(&coloring)
+        .run()
         .unwrap()
         .colorful_matches;
+    for ranks in [2, 7, 64, 512] {
+        let got = engine
+            .count(&query)
+            .algorithm(Algorithm::DegreeBased)
+            .ranks(ranks)
+            .coloring(&coloring)
+            .run()
+            .unwrap()
+            .colorful_matches;
         assert_eq!(got, reference, "ranks = {ranks}");
     }
 }
@@ -161,10 +191,16 @@ fn counts_are_independent_of_rank_count() {
 fn empty_and_sparse_graphs_count_zero_for_cyclic_queries() {
     // A forest contains no cycles, so cyclic queries must count zero.
     let graph = small::star(12);
+    let engine = Engine::new(&graph);
     for query in [catalog::triangle(), catalog::cycle(5), catalog::brain1()] {
         let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 0);
-        for config in algorithms() {
-            let got = count_colorful(&graph, &coloring, &query, &config)
+        for algorithm in ALGORITHMS {
+            let got = engine
+                .count(&query)
+                .algorithm(algorithm)
+                .ranks(8)
+                .coloring(&coloring)
+                .run()
                 .unwrap()
                 .colorful_matches;
             assert_eq!(got, 0);

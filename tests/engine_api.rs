@@ -1,0 +1,224 @@
+//! Integration tests of the `Engine` front door through the facade crate:
+//! typed error paths (no panics on bad input), the deterministic per-trial
+//! RNG contract under parallel trials, and the bind-once amortization
+//! guarantee.
+
+use subgraph_counting::core::context::prep_build_count;
+use subgraph_counting::gen::erdos_renyi::gnp;
+use subgraph_counting::graph::Coloring;
+use subgraph_counting::query::{catalog, QueryError, QueryGraph};
+use subgraph_counting::{Algorithm, CountConfig, Engine, SgcError};
+
+#[test]
+fn mismatched_coloring_size_is_a_typed_error() {
+    let graph = gnp(12, 0.3, 1);
+    let engine = Engine::new(&graph);
+    let short = Coloring::random(5, 3, 0); // covers 5 of 12 vertices
+    let err = engine
+        .count(&catalog::triangle())
+        .coloring(&short)
+        .run()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        SgcError::ColoringSizeMismatch {
+            graph_vertices: 12,
+            coloring_vertices: 5
+        }
+    );
+    assert!(err.to_string().contains("12"));
+}
+
+#[test]
+fn wrong_color_count_is_a_typed_error() {
+    let graph = gnp(12, 0.3, 2);
+    let engine = Engine::new(&graph);
+    let query = catalog::cycle(5);
+    let coloring = Coloring::random(graph.num_vertices(), 3, 0); // needs 5
+    let err = engine.count(&query).coloring(&coloring).run().unwrap_err();
+    assert_eq!(
+        err,
+        SgcError::WrongColorCount {
+            expected: 5,
+            actual: 3
+        }
+    );
+}
+
+#[test]
+fn explicit_coloring_with_estimate_is_a_typed_error() {
+    let graph = gnp(12, 0.3, 10);
+    let engine = Engine::new(&graph);
+    let coloring = Coloring::random(graph.num_vertices(), 3, 0);
+    let err = engine
+        .count(&catalog::triangle())
+        .coloring(&coloring)
+        .trials(5)
+        .estimate()
+        .unwrap_err();
+    assert_eq!(err, SgcError::ColoringWithEstimate);
+    assert!(err.to_string().contains("run()"));
+}
+
+#[test]
+fn zero_trials_is_a_typed_error() {
+    let graph = gnp(12, 0.3, 3);
+    let engine = Engine::new(&graph);
+    let err = engine
+        .count(&catalog::triangle())
+        .trials(0)
+        .estimate()
+        .unwrap_err();
+    assert_eq!(err, SgcError::ZeroTrials);
+}
+
+#[test]
+fn zero_ranks_is_a_typed_error_for_run_and_estimate() {
+    let graph = gnp(12, 0.3, 4);
+    let engine = Engine::new(&graph);
+    let query = catalog::triangle();
+    assert_eq!(
+        engine.count(&query).ranks(0).run().unwrap_err(),
+        SgcError::ZeroRanks
+    );
+    assert_eq!(
+        engine
+            .count(&query)
+            .config(CountConfig::default().with_ranks(0))
+            .estimate()
+            .unwrap_err(),
+        SgcError::ZeroRanks
+    );
+}
+
+#[test]
+fn treewidth_exceeding_queries_are_rejected_not_panicked_on() {
+    let graph = gnp(12, 0.4, 5);
+    let engine = Engine::new(&graph);
+    // K4 has treewidth 3.
+    let mut k4 = QueryGraph::new(4);
+    for a in 0..4u8 {
+        for b in (a + 1)..4 {
+            k4.add_edge(a, b);
+        }
+    }
+    let err = engine.count(&k4).run().unwrap_err();
+    assert_eq!(err, SgcError::Query(QueryError::TreewidthExceeded));
+    let err = engine.count(&k4).trials(5).estimate().unwrap_err();
+    assert_eq!(err, SgcError::Query(QueryError::TreewidthExceeded));
+    // The error chains back to the query layer.
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_facade_shims_return_errors_instead_of_panicking() {
+    use subgraph_counting::{count_colorful, estimate_count};
+    let graph = gnp(10, 0.3, 6);
+    let query = catalog::triangle();
+    let short = Coloring::random(4, 3, 0);
+    assert!(matches!(
+        count_colorful(&graph, &short, &query, &CountConfig::default()),
+        Err(SgcError::ColoringSizeMismatch { .. })
+    ));
+    let config = subgraph_counting::EstimateConfig {
+        trials: 0,
+        ..Default::default()
+    };
+    assert!(matches!(
+        estimate_count(&graph, &query, &config),
+        Err(SgcError::ZeroTrials)
+    ));
+}
+
+#[test]
+fn trial_seeds_are_deterministic_regardless_of_parallelism() {
+    let graph = gnp(30, 0.25, 7);
+    let engine = Engine::new(&graph);
+    let query = catalog::glet1();
+
+    let serial = engine
+        .count(&query)
+        .trials(12)
+        .seed(99)
+        .parallel(false)
+        .estimate()
+        .unwrap();
+    // Pin explicit pool sizes so real threads are exercised even on a
+    // single-CPU host (where the default pool would degenerate to serial).
+    for threads in [2, 4] {
+        let parallel = subgraph_counting::engine::parallel::run_with_threads(threads, || {
+            engine
+                .count(&query)
+                .trials(12)
+                .seed(99)
+                .parallel(true)
+                .estimate()
+                .unwrap()
+        });
+        assert_eq!(
+            serial.per_trial, parallel.per_trial,
+            "serial and {threads}-thread estimation must be bit-identical"
+        );
+        assert_eq!(serial.estimated_matches, parallel.estimated_matches);
+        assert_eq!(serial.variance, parallel.variance);
+    }
+
+    // Trial i uses seed + i: a run whose base seed is shifted by one must
+    // reproduce the overlapping trials exactly.
+    let shifted = engine
+        .count(&query)
+        .trials(11)
+        .seed(100)
+        .estimate()
+        .unwrap();
+    assert_eq!(serial.per_trial[1..], shifted.per_trial[..]);
+}
+
+#[test]
+fn engine_builds_the_preprocessing_exactly_once() {
+    let graph = gnp(25, 0.25, 8);
+    let before = prep_build_count();
+    let engine = Engine::new(&graph);
+    assert_eq!(
+        prep_build_count() - before,
+        1,
+        "binding builds the prep once"
+    );
+
+    // Sequential trials keep every (hypothetical) rebuild on this thread,
+    // where the thread-local build counter would see it.
+    let after_bind = prep_build_count();
+    for query in [catalog::triangle(), catalog::cycle(4), catalog::glet1()] {
+        for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+            engine
+                .count(&query)
+                .algorithm(algorithm)
+                .trials(10)
+                .parallel(false)
+                .estimate()
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        prep_build_count() - after_bind,
+        0,
+        "60 trials across 3 queries must not rebuild the preprocessing"
+    );
+}
+
+#[test]
+fn engine_estimates_converge_like_the_old_free_functions() {
+    // End-to-end sanity: the estimate is still an unbiased estimator.
+    let graph = gnp(14, 0.35, 9);
+    let engine = Engine::new(&graph);
+    let query = catalog::triangle();
+    let exact = subgraph_counting::core::brute::count_matches(&graph, &query) as f64;
+    let est = engine.count(&query).trials(300).seed(1).estimate().unwrap();
+    let rel_err = (est.estimated_matches - exact).abs() / exact.max(1.0);
+    assert!(
+        rel_err < 0.35,
+        "estimate {} too far from exact {exact} (rel err {rel_err})",
+        est.estimated_matches
+    );
+}

@@ -10,8 +10,7 @@
 
 use proptest::prelude::*;
 use subgraph_counting::core::brute::{count_colorful_matches, count_matches};
-use subgraph_counting::core::driver::count_colorful;
-use subgraph_counting::core::{Algorithm, CountConfig};
+use subgraph_counting::core::{Algorithm, Engine};
 use subgraph_counting::engine::Signature;
 use subgraph_counting::graph::{Coloring, CsrGraph, GraphBuilder};
 use subgraph_counting::query::{catalog, QueryGraph};
@@ -49,11 +48,16 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let graph = graph_from_edges(n, &edges);
+        let engine = Engine::new(&graph);
         for (name, query) in small_queries() {
             let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), seed);
             let expected = count_colorful_matches(&graph, &query, &coloring);
             for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
-                let got = count_colorful(&graph, &coloring, &query, &CountConfig::new(alg))
+                let got = engine
+                    .count(&query)
+                    .algorithm(alg)
+                    .coloring(&coloring)
+                    .run()
                     .unwrap()
                     .colorful_matches;
                 prop_assert_eq!(got, expected, "{} with {}", name, alg);
