@@ -2,41 +2,48 @@
 //!
 //! The paper fixes 1K vertices per rank (R-MAT, Graph 500 parameters,
 //! edge factor 16) and sweeps 32..512 ranks; flat execution time indicates
-//! good weak scaling. Here the number of vertices grows proportionally to the
-//! thread count; a flat row is the ideal outcome.
+//! good weak scaling. Since the sharded rank-runtime landed this experiment
+//! runs the real thing: the graph grows proportionally to the shard count
+//! and each run is vertex-partitioned over that many worker shards, so a
+//! flat row means the per-shard work (and the exchange overhead) stays
+//! constant as the system grows.
 
-use sgc_bench::*;
-use subgraph_counting::core::Algorithm;
+use subgraph_counting::core::{Algorithm, Engine};
 use subgraph_counting::gen::rmat::{rmat, RmatParams};
 use subgraph_counting::query::heuristic_plan;
 
+use sgc_bench::*;
+
 fn main() {
-    print_header("Figure 13 (right): weak scaling on R-MAT (Graph 500 parameters)");
-    let vertices_per_thread_log2 = 10u32; // 1K vertices per thread, as in the paper
+    print_header("Figure 13 (right): weak scaling on R-MAT (sharded runtime)");
+    let vertices_per_shard_log2 = 10u32; // 1K vertices per shard, as in the paper
     let queries = benchmark_queries(&["youtube", "glet1", "wiki", "ecoli1"]);
 
-    let mut thread_counts = vec![1usize];
-    while *thread_counts.last().unwrap() * 2 <= max_threads() {
-        thread_counts.push(thread_counts.last().unwrap() * 2);
+    // Sweep shard counts in powers of two up to the hardware limit (or
+    // SGC_SHARDS, for measuring oversharded runs / pinning the sweep).
+    let mut shard_counts = vec![1usize];
+    while *shard_counts.last().unwrap() * 2 <= shard_count() {
+        shard_counts.push(shard_counts.last().unwrap() * 2);
     }
 
     print!("{:<10}", "query");
-    for &t in &thread_counts {
-        let scale = vertices_per_thread_log2 + (t as f64).log2() as u32;
-        print!(" {:>14}", format!("{t} thr (2^{scale})"));
+    for &s in &shard_counts {
+        let scale = vertices_per_shard_log2 + (s as f64).log2() as u32;
+        print!(" {:>14}", format!("{s} shd (2^{scale})"));
     }
     println!("   (seconds)");
     for bq in &queries {
         let plan = heuristic_plan(&bq.query).unwrap();
         print!("{:<10}", bq.name);
-        for &t in &thread_counts {
-            let scale = vertices_per_thread_log2 + (t as f64).log2() as u32;
+        for &s in &shard_counts {
+            let scale = vertices_per_shard_log2 + (s as f64).log2() as u32;
             let graph = rmat(scale, RmatParams::paper(), 7);
-            let (_, seconds) = timed_count(&graph, &plan, Algorithm::DegreeBased, t, 42);
+            let engine = Engine::new(&graph);
+            let (_, seconds) = timed_count_sharded(&engine, &plan, Algorithm::DegreeBased, s, 42);
             print!(" {:>14.3}", seconds);
         }
         println!();
     }
     println!();
-    println!("ideal weak scaling keeps each row flat as threads and graph size grow together");
+    println!("ideal weak scaling keeps each row flat as shards and graph size grow together");
 }

@@ -66,6 +66,16 @@ pub fn simulated_ranks() -> usize {
         .unwrap_or(64)
 }
 
+/// Reads the shard count for sharded-runtime experiments from `SGC_SHARDS`
+/// (default: the hardware thread count, one shard per worker).
+pub fn shard_count() -> usize {
+    std::env::var("SGC_SHARDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or_else(max_threads)
+}
+
 /// A named, generated benchmark graph.
 pub struct BenchGraph {
     /// Table 1 name.
@@ -180,6 +190,38 @@ pub fn timed_count_with_engine(
     (result, started.elapsed().as_secs_f64())
 }
 
+/// Runs one colorful count through the sharded rank-runtime with
+/// `num_shards` shards on a pool of `num_shards` worker threads, timing only
+/// the counting (the engine is bound by the caller and amortized).
+///
+/// This is what the Figure 13 scaling experiments measure since the sharded
+/// runtime landed: real vertex-partitioned execution with partial-sum
+/// exchange, not simulated ranks. The returned metrics carry
+/// `RunMetrics::shards` with the per-shard load and exchange accounting.
+pub fn timed_count_sharded(
+    engine: &Engine<'_>,
+    plan: &DecompositionTree,
+    algorithm: Algorithm,
+    num_shards: usize,
+    seed: u64,
+) -> (CountResult, f64) {
+    let graph = engine.graph();
+    let coloring = Coloring::random(graph.num_vertices(), plan.query.num_nodes(), seed);
+    let started = Instant::now();
+    let result = run_with_threads(num_shards, || {
+        engine
+            .count(&plan.query)
+            .plan(plan)
+            .algorithm(algorithm)
+            .ranks(simulated_ranks())
+            .coloring(&coloring)
+            .sharded(num_shards)
+            .run()
+            .expect("benchmark graphs and catalog plans are always valid")
+    });
+    (result, started.elapsed().as_secs_f64())
+}
+
 /// The number of hardware threads used as the "high parallelism" setting.
 pub fn max_threads() -> usize {
     std::thread::available_parallelism()
@@ -255,6 +297,21 @@ mod tests {
                 timed_count_with_engine(&engine, &queries[0].plan, Algorithm::DegreeBased, 2, 1);
             assert_eq!(amortized.colorful_matches, db.colorful_matches);
         }
+
+        // The sharded runtime returns the same count for every shard count
+        // and reports per-shard metrics.
+        for shards in [1usize, 2, 4] {
+            let (sharded, _) =
+                timed_count_sharded(&engine, &queries[0].plan, Algorithm::DegreeBased, shards, 1);
+            assert_eq!(sharded.colorful_matches, db.colorful_matches);
+            let metrics = sharded.metrics.shards.expect("sharded metrics present");
+            assert_eq!(metrics.num_shards(), shards);
+        }
+    }
+
+    #[test]
+    fn shard_count_is_positive() {
+        assert!(shard_count() >= 1);
     }
 
     #[test]

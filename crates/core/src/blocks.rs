@@ -14,7 +14,7 @@
 use crate::config::Algorithm;
 use crate::context::Context;
 use crate::metrics::RunMetrics;
-use crate::paths::{combine_extras, Field, PathBuilder};
+use crate::paths::{combine_extras, BlockJoinIndex, Field, PathBuilder};
 use sgc_engine::parallel::parallel_chunks;
 use sgc_engine::{
     BinaryTable, Count, LoadStats, PathTable, ProjectionTable, Signature, UnaryTable,
@@ -25,7 +25,11 @@ use sgc_query::{Block, BlockKind, DecompositionTree, QueryNode};
 /// Solves `block` into its projection table.
 ///
 /// `child_tables` must already hold the tables of every child of `block`
-/// (indexed by block id).
+/// (indexed by block id). The join-side child-table index is built here,
+/// once, and shared by every split the solve performs; callers that fan one
+/// block out over several workers (the sharded runtime) should build the
+/// index themselves and call [`solve_block_with_index`] so it is not
+/// rebuilt per worker.
 pub fn solve_block(
     ctx: &Context<'_>,
     tree: &DecompositionTree,
@@ -34,9 +38,22 @@ pub fn solve_block(
     algorithm: Algorithm,
     metrics: &mut RunMetrics,
 ) -> ProjectionTable {
+    let index = BlockJoinIndex::build(block, child_tables);
+    solve_block_with_index(ctx, tree, block, &index, algorithm, metrics)
+}
+
+/// Solves `block` against an already-built [`BlockJoinIndex`].
+pub fn solve_block_with_index(
+    ctx: &Context<'_>,
+    tree: &DecompositionTree,
+    block: &Block,
+    index: &BlockJoinIndex<'_>,
+    algorithm: Algorithm,
+    metrics: &mut RunMetrics,
+) -> ProjectionTable {
     match &block.kind {
-        BlockKind::LeafEdge { .. } => solve_leaf_edge(ctx, tree, block, child_tables, metrics),
-        BlockKind::Cycle { .. } => solve_cycle(ctx, tree, block, child_tables, algorithm, metrics),
+        BlockKind::LeafEdge { .. } => solve_leaf_edge(ctx, tree, block, index, metrics),
+        BlockKind::Cycle { .. } => solve_cycle(ctx, tree, block, index, algorithm, metrics),
     }
 }
 
@@ -45,14 +62,14 @@ fn solve_leaf_edge(
     ctx: &Context<'_>,
     tree: &DecompositionTree,
     block: &Block,
-    child_tables: &[Option<ProjectionTable>],
+    index: &BlockJoinIndex<'_>,
     metrics: &mut RunMetrics,
 ) -> ProjectionTable {
     let (a, b) = match block.kind {
         BlockKind::LeafEdge { boundary, leaf } => (boundary, leaf),
         _ => unreachable!("solve_leaf_edge called on a cycle block"),
     };
-    let builder = PathBuilder::new(ctx, tree, block, child_tables, false);
+    let builder = PathBuilder::new(ctx, tree, block, index, false);
     // The "path" here is the single edge a -> b; both endpoint annotations
     // are folded in (there is no second path to share them with).
     let table = builder.build_path(&[0, 1], true, true, metrics);
@@ -70,7 +87,7 @@ fn solve_cycle(
     ctx: &Context<'_>,
     tree: &DecompositionTree,
     block: &Block,
-    child_tables: &[Option<ProjectionTable>],
+    index: &BlockJoinIndex<'_>,
     algorithm: Algorithm,
     metrics: &mut RunMetrics,
 ) -> ProjectionTable {
@@ -82,14 +99,13 @@ fn solve_cycle(
     match algorithm {
         Algorithm::PathSplitting => {
             let (s, t) = ps_split_positions(block, &nodes);
-            solve_cycle_split(ctx, tree, block, child_tables, s, t, false, metrics)
+            solve_cycle_split(ctx, tree, block, index, s, t, false, metrics)
         }
         Algorithm::DegreeBased => {
             let mut accumulated: Option<ProjectionTable> = None;
             for h in 0..l {
                 let d = (h + l / 2) % l;
-                let partial =
-                    solve_cycle_split(ctx, tree, block, child_tables, h, d, true, metrics);
+                let partial = solve_cycle_split(ctx, tree, block, index, h, d, true, metrics);
                 accumulated = Some(match accumulated {
                     None => partial,
                     Some(acc) => merge_projection(acc, partial),
@@ -126,7 +142,7 @@ fn solve_cycle_split(
     ctx: &Context<'_>,
     tree: &DecompositionTree,
     block: &Block,
-    child_tables: &[Option<ProjectionTable>],
+    index: &BlockJoinIndex<'_>,
     s: usize,
     t: usize,
     high_start: bool,
@@ -148,7 +164,7 @@ fn solve_cycle_split(
         minus.push(p);
     }
 
-    let builder = PathBuilder::new(ctx, tree, block, child_tables, high_start);
+    let builder = PathBuilder::new(ctx, tree, block, index, high_start);
     // Convention (Section 5.2): P+ folds in the annotation of the end node
     // a_d / a_t, P- folds in the annotation of the start node a_h / a_s, so
     // each endpoint annotation is joined exactly once.
@@ -291,8 +307,9 @@ fn project_path_onto_boundary(
 }
 
 /// Adds two projection tables of the same shape (used to aggregate the DB
-/// algorithm's per-highest-node partial tables, Equation 1).
-fn merge_projection(a: ProjectionTable, b: ProjectionTable) -> ProjectionTable {
+/// algorithm's per-highest-node partial tables, Equation 1, and by the
+/// sharded runtime's exchange step to sum per-shard partial tables).
+pub(crate) fn merge_projection(a: ProjectionTable, b: ProjectionTable) -> ProjectionTable {
     match (a, b) {
         (ProjectionTable::Scalar(x), ProjectionTable::Scalar(y)) => ProjectionTable::Scalar(x + y),
         (ProjectionTable::Unary(mut x), ProjectionTable::Unary(y)) => {

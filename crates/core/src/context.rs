@@ -9,6 +9,7 @@
 //! so that the algorithm code passes a single reference around.
 
 use crate::error::SgcError;
+use crate::runtime::shard::VertexShard;
 use sgc_engine::Signature;
 use sgc_graph::{BlockPartition, Coloring, CsrGraph, DegreeOrder, VertexId};
 use std::cell::Cell;
@@ -83,9 +84,34 @@ pub struct Context<'a> {
     /// Simulated 1D block partition of vertices over ranks.
     pub partition: BlockPartition,
     prep: &'a GraphPrep,
+    /// When set, path construction only enumerates start vertices owned by
+    /// this shard; the sharded runtime sums the resulting partial tables
+    /// back together in its exchange step.
+    shard: Option<VertexShard>,
 }
 
 impl<'a> Context<'a> {
+    /// Checks that `coloring` covers `graph` and that `num_ranks` is
+    /// positive — the validation shared by [`Context::new`] and the sharded
+    /// runtime (which validates once up front, then builds one context per
+    /// shard infallibly).
+    pub(crate) fn validate(
+        graph: &CsrGraph,
+        coloring: &Coloring,
+        num_ranks: usize,
+    ) -> Result<(), SgcError> {
+        if coloring.num_vertices() != graph.num_vertices() {
+            return Err(SgcError::ColoringSizeMismatch {
+                graph_vertices: graph.num_vertices(),
+                coloring_vertices: coloring.num_vertices(),
+            });
+        }
+        if num_ranks == 0 {
+            return Err(SgcError::ZeroRanks);
+        }
+        Ok(())
+    }
+
     /// Builds a context for one run over `graph` with `coloring`, reusing the
     /// preprocessing in `prep` and attributing load to `num_ranks` simulated
     /// ranks.
@@ -100,21 +126,63 @@ impl<'a> Context<'a> {
         coloring: &'a Coloring,
         num_ranks: usize,
     ) -> Result<Self, SgcError> {
-        if coloring.num_vertices() != graph.num_vertices() {
-            return Err(SgcError::ColoringSizeMismatch {
-                graph_vertices: graph.num_vertices(),
-                coloring_vertices: coloring.num_vertices(),
-            });
-        }
-        if num_ranks == 0 {
-            return Err(SgcError::ZeroRanks);
-        }
+        Context::validate(graph, coloring, num_ranks)?;
         Ok(Context {
             graph,
             coloring,
             partition: BlockPartition::new(graph.num_vertices(), num_ranks),
             prep,
+            shard: None,
         })
+    }
+
+    /// Builds a context restricted to one vertex shard: path construction
+    /// enumerates only start vertices in `shard`'s owned range. Inputs must
+    /// already have passed [`Context::validate`].
+    pub(crate) fn for_shard(
+        graph: &'a CsrGraph,
+        prep: &'a GraphPrep,
+        coloring: &'a Coloring,
+        num_ranks: usize,
+        shard: VertexShard,
+    ) -> Self {
+        debug_assert!(Context::validate(graph, coloring, num_ranks).is_ok());
+        Context {
+            graph,
+            coloring,
+            partition: BlockPartition::new(graph.num_vertices(), num_ranks),
+            prep,
+            shard: Some(shard),
+        }
+    }
+
+    /// The range of start vertices this context enumerates when seeding a
+    /// path table: the shard's owned range for sharded contexts, every
+    /// vertex otherwise.
+    #[inline]
+    pub fn start_vertices(&self) -> std::ops::Range<VertexId> {
+        match &self.shard {
+            Some(shard) => shard.range(),
+            None => 0..self.graph.num_vertices() as VertexId,
+        }
+    }
+
+    /// Whether `v` may start a path in this context (always true without a
+    /// shard scope).
+    #[inline]
+    pub fn owns_start(&self, v: VertexId) -> bool {
+        match &self.shard {
+            Some(shard) => shard.owns(v),
+            None => true,
+        }
+    }
+
+    /// Whether this context is restricted to one vertex shard. Lets seeding
+    /// code pick between probing the shard's (small) owned range and
+    /// scanning a full candidate set.
+    #[inline]
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
     }
 
     /// The degree-based total order on data vertices.
@@ -238,6 +306,26 @@ mod tests {
                 assert_eq!(coloring_vertices, 2);
             }
             other => panic!("expected ColoringSizeMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_scope_restricts_start_vertices() {
+        let g = tiny();
+        let prep = GraphPrep::new(&g);
+        let col = Coloring::from_colors(vec![0, 1, 2, 0], 3);
+        let full = Context::new(&g, &prep, &col, 2).unwrap();
+        assert_eq!(full.start_vertices(), 0..4);
+        assert!((0..4u32).all(|v| full.owns_start(v)));
+
+        let plan = crate::runtime::ShardPlan::new(g.num_vertices(), 2).unwrap();
+        let ctx0 = Context::for_shard(&g, &prep, &col, 2, plan.shard(0));
+        let ctx1 = Context::for_shard(&g, &prep, &col, 2, plan.shard(1));
+        assert_eq!(ctx0.start_vertices(), 0..2);
+        assert_eq!(ctx1.start_vertices(), 2..4);
+        for v in 0..4u32 {
+            assert_eq!(ctx0.owns_start(v), v < 2);
+            assert_eq!(ctx1.owns_start(v), v >= 2);
         }
     }
 

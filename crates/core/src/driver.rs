@@ -5,7 +5,7 @@
 //! tables, and report the root's aggregate as the number of colorful matches
 //! of the whole query under the given coloring.
 //!
-//! The [`Engine`](crate::Engine) is the public entry point; the free
+//! The [`Engine`] is the public entry point; the free
 //! functions in this module are deprecated shims kept for callers that have
 //! not migrated yet. They rebuild the graph preprocessing on every call —
 //! exactly the cost the engine amortizes away.

@@ -31,6 +31,7 @@ use crate::context::{Context, GraphPrep};
 use crate::driver::{count_with_context, CountResult};
 use crate::error::SgcError;
 use crate::estimator::{summarize_trials, Estimate, EstimateConfig};
+use crate::runtime::shard::count_sharded;
 use sgc_engine::parallel::parallel_indexed;
 use sgc_engine::Count;
 use sgc_graph::{Coloring, CsrGraph};
@@ -122,6 +123,26 @@ impl<'g> Engine<'g> {
     /// Starts a counting request for `query`, to be finished with
     /// [`CountRequest::run`] or [`CountRequest::estimate`]. Trial count and
     /// seed default to [`EstimateConfig::default`]'s values.
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::{Coloring, GraphBuilder};
+    /// use sgc_query::catalog;
+    ///
+    /// let mut b = GraphBuilder::new(3);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0)]);
+    /// let graph = b.build();
+    ///
+    /// // A rainbow-colored data triangle has 3! = 6 colorful matches of the
+    /// // triangle query (one per orientation of the mapping).
+    /// let coloring = Coloring::from_colors(vec![0, 1, 2], 3);
+    /// let result = Engine::new(&graph)
+    ///     .count(&catalog::triangle())
+    ///     .coloring(&coloring)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(result.colorful_matches, 6);
+    /// ```
     pub fn count<'e, 'a>(&'e self, query: &'a QueryGraph) -> CountRequest<'e, 'g, 'a> {
         let estimate_defaults = EstimateConfig::default();
         CountRequest {
@@ -134,6 +155,7 @@ impl<'g> Engine<'g> {
             trials: estimate_defaults.trials,
             seed: estimate_defaults.seed,
             parallel: true,
+            shards: None,
         }
     }
 }
@@ -171,6 +193,7 @@ pub struct CountRequest<'e, 'g, 'a> {
     trials: usize,
     seed: u64,
     parallel: bool,
+    shards: Option<usize>,
 }
 
 impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
@@ -233,6 +256,53 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         self
     }
 
+    /// Routes the request through the sharded rank-runtime: the data graph's
+    /// vertices are block-partitioned into `num_shards` shards, each shard
+    /// solves every block of the plan over the paths starting in its own
+    /// vertex range on a worker thread, and the per-shard partial-sum tables
+    /// are combined in an explicit exchange round per block
+    /// ([`runtime`](crate::runtime), mirroring the paper's rank model and
+    /// alltoall, Sections 5–7).
+    ///
+    /// The count is **bit-identical** to the unsharded path for every shard
+    /// count ≥ 1; what changes is the execution (real per-shard parallelism)
+    /// and the metrics: the result's
+    /// [`RunMetrics::shards`](crate::RunMetrics::shards) reports what each
+    /// shard actually did. Zero shards is rejected at run time with
+    /// [`SgcError::ZeroShards`].
+    ///
+    /// For [`estimate`](CountRequest::estimate), per-trial sharding applies
+    /// when trial-level parallelism is disabled; see there for the
+    /// interaction.
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::GraphBuilder;
+    /// use sgc_query::catalog;
+    ///
+    /// let mut b = GraphBuilder::new(5);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+    /// let graph = b.build();
+    /// let engine = Engine::new(&graph);
+    ///
+    /// let serial = engine.count(&catalog::triangle()).seed(3).run().unwrap();
+    /// let sharded = engine
+    ///     .count(&catalog::triangle())
+    ///     .seed(3)
+    ///     .sharded(4)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(sharded.colorful_matches, serial.colorful_matches);
+    ///
+    /// let shards = sharded.metrics.shards.expect("sharded runs report shard metrics");
+    /// assert_eq!(shards.num_shards(), 4);
+    /// assert!(shards.imbalance() >= 1.0);
+    /// ```
+    pub fn sharded(mut self, num_shards: usize) -> Self {
+        self.shards = Some(num_shards);
+        self
+    }
+
     fn resolve_plan(&self) -> Result<PlanRef<'a>, SgcError> {
         match self.plan {
             Some(tree) => {
@@ -261,8 +331,9 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
     /// [`SgcError::Query`] for unplannable queries,
     /// [`SgcError::PlanQueryMismatch`] for a plan of a different query,
     /// [`SgcError::WrongColorCount`] / [`SgcError::ColoringSizeMismatch`]
-    /// for an unusable coloring, and [`SgcError::ZeroRanks`] for a zero rank
-    /// count.
+    /// for an unusable coloring, [`SgcError::ZeroRanks`] for a zero rank
+    /// count, and [`SgcError::ZeroShards`] for a sharded request with zero
+    /// shards.
     pub fn run(self) -> Result<CountResult, SgcError> {
         let plan = self.resolve_plan()?;
         let k = self.query.num_nodes();
@@ -282,13 +353,26 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 &fresh
             }
         };
-        let ctx = Context::new(
-            self.engine.graph,
-            &self.engine.prep,
-            coloring,
-            self.num_ranks,
-        )?;
-        Ok(count_with_context(&ctx, &plan, self.algorithm))
+        match self.shards {
+            Some(num_shards) => count_sharded(
+                self.engine.graph,
+                &self.engine.prep,
+                coloring,
+                &plan,
+                self.algorithm,
+                self.num_ranks,
+                num_shards,
+            ),
+            None => {
+                let ctx = Context::new(
+                    self.engine.graph,
+                    &self.engine.prep,
+                    coloring,
+                    self.num_ranks,
+                )?;
+                Ok(count_with_context(&ctx, &plan, self.algorithm))
+            }
+        }
     }
 
     /// Runs `trials` independent colorful counts (trial `i` colored with
@@ -297,7 +381,40 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
     /// Trials run in parallel over the current thread pool unless
     /// [`parallel(false)`](CountRequest::parallel) was set; the result is
     /// bit-identical either way. The engine's preprocessing is reused by
-    /// every trial — nothing graph-dependent is rebuilt.
+    /// every trial — nothing graph-dependent is rebuilt. With
+    /// [`sharded`](CountRequest::sharded) set and sequential trials
+    /// ([`parallel(false)`](CountRequest::parallel)), each trial runs
+    /// through the sharded rank-runtime, parallelising *within* the trial
+    /// instead of across trials; under parallel trials the shards would
+    /// only serialize, so the unsharded per-trial path is used (the counts
+    /// are identical in all three modes).
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::GraphBuilder;
+    /// use sgc_query::catalog;
+    ///
+    /// let mut b = GraphBuilder::new(4);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+    /// let graph = b.build();
+    /// let engine = Engine::new(&graph);
+    ///
+    /// let estimate = engine
+    ///     .count(&catalog::triangle())
+    ///     .trials(8)
+    ///     .seed(1)
+    ///     .estimate()
+    ///     .unwrap();
+    /// assert_eq!(estimate.per_trial.len(), 8);
+    /// // Rerunning with the same seed is deterministic.
+    /// let again = engine
+    ///     .count(&catalog::triangle())
+    ///     .trials(8)
+    ///     .seed(1)
+    ///     .estimate()
+    ///     .unwrap();
+    /// assert_eq!(estimate.per_trial, again.per_trial);
+    /// ```
     ///
     /// # Errors
     /// [`SgcError::ZeroTrials`] for zero trials,
@@ -314,19 +431,45 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         if self.num_ranks == 0 {
             return Err(SgcError::ZeroRanks);
         }
+        if self.shards == Some(0) {
+            return Err(SgcError::ZeroShards);
+        }
         let plan = self.resolve_plan()?;
         let graph = self.engine.graph;
         let prep = &self.engine.prep;
         let k = self.query.num_nodes();
+        // Per-trial sharding only helps when the trials themselves run
+        // sequentially: the shard fan-out then has the whole pool to
+        // itself. Under parallel trials the pool is already saturated at
+        // trial granularity (nested workers run their inner stages
+        // sequentially), so sharding each trial would add exchange and
+        // regrouping overhead without any added parallelism. Counts are
+        // bit-identical either way, so those requests take the unsharded
+        // per-trial path.
+        let shards_per_trial = if self.parallel { None } else { self.shards };
         let run_trial = |trial: usize| -> (Count, f64) {
             let coloring = Coloring::random(
                 graph.num_vertices(),
                 k,
                 self.seed.wrapping_add(trial as u64),
             );
-            let ctx = Context::new(graph, prep, &coloring, self.num_ranks)
-                .expect("engine-drawn colorings always cover the graph");
-            let result = count_with_context(&ctx, &plan, self.algorithm);
+            let result = match shards_per_trial {
+                Some(num_shards) => count_sharded(
+                    graph,
+                    prep,
+                    &coloring,
+                    &plan,
+                    self.algorithm,
+                    self.num_ranks,
+                    num_shards,
+                )
+                .expect("engine-drawn colorings always cover the graph"),
+                None => {
+                    let ctx = Context::new(graph, prep, &coloring, self.num_ranks)
+                        .expect("engine-drawn colorings always cover the graph");
+                    count_with_context(&ctx, &plan, self.algorithm)
+                }
+            };
             (
                 result.colorful_matches,
                 result.metrics.elapsed.as_secs_f64(),

@@ -38,6 +38,10 @@ pub enum SgcError {
     ColoringWithEstimate,
     /// A run was configured with zero simulated ranks.
     ZeroRanks,
+    /// A sharded run was requested with zero shards. The sharded runtime
+    /// needs at least one vertex shard; use `sharded(1)` for a single-shard
+    /// run that still exercises the exchange path.
+    ZeroShards,
     /// An explicitly supplied decomposition plan was built for a different
     /// query than the one being counted (the node counts, the edge counts,
     /// or the edge sets differ).
@@ -74,6 +78,7 @@ impl std::fmt::Display for SgcError {
                 "estimate() draws its own per-trial colorings; use run() to count under an explicit coloring"
             ),
             SgcError::ZeroRanks => write!(f, "at least one simulated rank is required"),
+            SgcError::ZeroShards => write!(f, "sharded execution needs at least one shard"),
             SgcError::PlanQueryMismatch {
                 query_nodes,
                 plan_nodes,
@@ -128,6 +133,7 @@ mod tests {
         .contains("exactly 5"));
         assert!(SgcError::ZeroTrials.to_string().contains("trial"));
         assert!(SgcError::ZeroRanks.to_string().contains("rank"));
+        assert!(SgcError::ZeroShards.to_string().contains("shard"));
     }
 
     #[test]

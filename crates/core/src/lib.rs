@@ -19,10 +19,15 @@
 //! * [`estimator`] — the approximate subgraph counting statistics: the
 //!   `k^k / k!` unbiased scaling and the precision metrics of Figure 15
 //!   (the trial loop itself lives in [`CountRequest::estimate`]),
+//! * [`runtime`] — the sharded rank-runtime: vertex-partitioned execution
+//!   of the DP with explicit partial-sum exchange rounds, the shared-memory
+//!   realization of the paper's distributed rank model (Sections 5–7),
 //! * [`treelet`] — the linear-time tree-query dynamic program (the FASCIA
 //!   special case the paper builds on), used as an independent cross-check,
 //! * [`brute`] — exponential-time reference counters used as the correctness
 //!   oracle in tests.
+
+#![warn(missing_docs)]
 
 pub mod blocks;
 pub mod brute;
@@ -37,6 +42,7 @@ pub mod metrics;
 pub mod paths;
 pub mod prelude;
 pub mod ps;
+pub mod runtime;
 pub mod treelet;
 
 pub use config::{Algorithm, CountConfig};
@@ -44,7 +50,8 @@ pub use driver::CountResult;
 pub use engine::{CountRequest, Engine};
 pub use error::SgcError;
 pub use estimator::{Estimate, EstimateConfig};
-pub use metrics::RunMetrics;
+pub use metrics::{RunMetrics, ShardMetrics};
+pub use runtime::{ShardPlan, VertexShard};
 
 #[allow(deprecated)]
 pub use driver::{count_colorful, count_colorful_with_tree};

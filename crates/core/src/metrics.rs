@@ -4,6 +4,12 @@
 //! the per-processor load — "the number of projection function operations" —
 //! (Figure 11). [`RunMetrics`] collects both, plus table-size statistics
 //! useful for understanding memory behaviour.
+//!
+//! Sharded runs ([`CountRequest::sharded`](crate::CountRequest::sharded))
+//! additionally fill [`RunMetrics::shards`] with [`ShardMetrics`]: the
+//! operations each shard actually executed and the partial-sum entries it
+//! contributed to each exchange round — the measured (not simulated)
+//! counterpart of the paper's Figure 11 load analysis.
 
 use sgc_engine::LoadStats;
 use std::time::Duration;
@@ -20,10 +26,83 @@ pub struct RunMetrics {
     /// Largest number of entries held by any single working table during the
     /// run — a proxy for peak memory.
     pub peak_table_entries: usize,
-    /// Total table entries produced across all joins.
+    /// Total table entries produced across all joins. Shard-dependent in
+    /// sharded runs: per-shard partial tables and the exchanged block
+    /// tables each count as produced entries (the same projection key may
+    /// appear in several shards' partials), mirroring the entry duplication
+    /// a distributed run really pays.
     pub entries_created: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Per-shard execution metrics — `Some` only for sharded runs.
+    pub shards: Option<ShardMetrics>,
+}
+
+/// Per-shard execution metrics of one sharded run.
+///
+/// Where [`RunMetrics::load`] *attributes* operations to simulated ranks by
+/// key ownership (reproducing the paper's Figure 11 accounting), this struct
+/// records what each shard of the real runtime *did*: the projection
+/// operations it executed and the partial-sum table entries it handed to the
+/// exchange step (the shared-memory analog of the paper's alltoall message
+/// volume, Section 7).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Projection operations executed by each shard, summed over all blocks.
+    pub ops_per_shard: Vec<u64>,
+    /// Partial-sum table entries each shard contributed to the exchange
+    /// steps, summed over all rounds.
+    pub entries_exchanged: Vec<u64>,
+    /// Number of exchange rounds performed (one per block of the plan).
+    pub exchange_rounds: u64,
+}
+
+impl ShardMetrics {
+    /// Creates zeroed metrics for `num_shards` shards.
+    pub fn new(num_shards: usize) -> Self {
+        ShardMetrics {
+            ops_per_shard: vec![0; num_shards],
+            entries_exchanged: vec![0; num_shards],
+            exchange_rounds: 0,
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn num_shards(&self) -> usize {
+        self.ops_per_shard.len()
+    }
+
+    /// Maximum operations executed by any single shard — the critical-path
+    /// load of the sharded runtime.
+    pub fn max_ops(&self) -> u64 {
+        self.ops_per_shard.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average operations per shard.
+    pub fn avg_ops(&self) -> f64 {
+        if self.ops_per_shard.is_empty() {
+            0.0
+        } else {
+            self.ops_per_shard.iter().sum::<u64>() as f64 / self.ops_per_shard.len() as f64
+        }
+    }
+
+    /// Ratio of the maximum to the average per-shard operations
+    /// (1.0 = perfectly balanced; the paper's load-imbalance metric applied
+    /// to the real shards).
+    pub fn imbalance(&self) -> f64 {
+        let avg = self.avg_ops();
+        if avg == 0.0 {
+            1.0
+        } else {
+            self.max_ops() as f64 / avg
+        }
+    }
+
+    /// Total partial-sum entries moved through the exchange steps.
+    pub fn total_entries_exchanged(&self) -> u64 {
+        self.entries_exchanged.iter().sum()
+    }
 }
 
 impl RunMetrics {
@@ -35,7 +114,19 @@ impl RunMetrics {
             peak_table_entries: 0,
             entries_created: 0,
             elapsed: Duration::ZERO,
+            shards: None,
         }
+    }
+
+    /// Folds the metrics of one shard's partial solve into this run's
+    /// totals: simulated-rank loads add up, peak table sizes take the max,
+    /// and created-entry counts accumulate. Used by the sharded runtime,
+    /// whose per-shard solves each carry their own `RunMetrics`.
+    pub fn absorb_shard(&mut self, shard: &RunMetrics) {
+        self.load.merge(&shard.load);
+        self.total_ops = self.load.total();
+        self.peak_table_entries = self.peak_table_entries.max(shard.peak_table_entries);
+        self.entries_created += shard.entries_created;
     }
 
     /// Merges a partial load vector produced by one join into the totals.
@@ -90,5 +181,42 @@ mod tests {
         assert_eq!(m.max_load(), 0);
         assert_eq!(m.peak_table_entries, 0);
         assert_eq!(m.elapsed, Duration::ZERO);
+        assert!(m.shards.is_none());
+    }
+
+    #[test]
+    fn absorb_shard_merges_loads_and_maxes_peaks() {
+        let mut total = RunMetrics::new(2);
+        let mut a = RunMetrics::new(2);
+        let mut la = LoadStats::new(2);
+        la.record(0, 5);
+        a.absorb_load(&la);
+        a.observe_table(10);
+        let mut b = RunMetrics::new(2);
+        let mut lb = LoadStats::new(2);
+        lb.record(1, 7);
+        b.absorb_load(&lb);
+        b.observe_table(4);
+        total.absorb_shard(&a);
+        total.absorb_shard(&b);
+        assert_eq!(total.total_ops, 12);
+        assert_eq!(total.load.per_rank(), &[5, 7]);
+        assert_eq!(total.peak_table_entries, 10);
+        assert_eq!(total.entries_created, 14);
+    }
+
+    #[test]
+    fn shard_metrics_statistics() {
+        let mut s = ShardMetrics::new(4);
+        assert_eq!(s.num_shards(), 4);
+        assert_eq!(s.max_ops(), 0);
+        assert_eq!(s.imbalance(), 1.0);
+        s.ops_per_shard = vec![10, 20, 30, 40];
+        s.entries_exchanged = vec![1, 2, 3, 4];
+        s.exchange_rounds = 2;
+        assert_eq!(s.max_ops(), 40);
+        assert!((s.avg_ops() - 25.0).abs() < 1e-12);
+        assert!((s.imbalance() - 1.6).abs() < 1e-12);
+        assert_eq!(s.total_entries_exchanged(), 10);
     }
 }

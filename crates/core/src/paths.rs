@@ -25,11 +25,12 @@
 use crate::context::Context;
 use crate::metrics::RunMetrics;
 use sgc_engine::hash::FastMap;
-use sgc_engine::parallel::parallel_chunks;
+use sgc_engine::parallel::{pairwise_reduce, parallel_chunks};
 use sgc_engine::{Count, LoadStats, PathKey, PathTable, ProjectionTable, Signature};
 use sgc_graph::vertex::NO_VERTEX;
 use sgc_graph::VertexId;
-use sgc_query::{Block, BlockId, DecompositionTree, QueryNode};
+use sgc_query::{Block, DecompositionTree, QueryNode};
+use std::sync::OnceLock;
 
 /// Which key field currently holds the image of a query node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,13 +41,108 @@ pub enum Field {
     End,
 }
 
+/// A child binary table grouped by the image of a traversal's source node:
+/// source image → `(target image, signature, count)` entries.
+type GroupedBinary = FastMap<VertexId, Vec<(VertexId, Signature, Count)>>;
+
+/// A child unary table grouped by vertex: vertex → `(signature, count)`
+/// entries.
+type GroupedUnary = FastMap<VertexId, Vec<(Signature, Count)>>;
+
 /// How the edge between two consecutive cycle nodes is realized.
-enum EdgeRealization {
+enum EdgeRealization<'b> {
     /// An original query edge, realized by the data graph.
     Graph,
-    /// An annotated edge, realized by a child block's binary table grouped by
-    /// the image of the step's source node.
-    Child(FastMap<VertexId, Vec<(VertexId, Signature, Count)>>),
+    /// An annotated edge, realized by the child block's binary table grouped
+    /// by the image of the step's source node (borrowed from the block's
+    /// [`BlockJoinIndex`]).
+    Child(&'b GroupedBinary),
+}
+
+/// Pre-grouped join-side indexes of a block's child tables.
+///
+/// Grouping a child's projection table by its join key is independent of
+/// the split being solved and of the shard doing the solving: every
+/// [`PathBuilder`] of a block consults the same maps. Building the index
+/// once per block — instead of once per split (DB mode solves one split per
+/// candidate highest node) and once per shard (the sharded runtime fans a
+/// block out over workers) — keeps that `O(child table)` pass off the
+/// repeated path.
+///
+/// Edge orientations are grouped lazily on first use: the PS algorithm
+/// traverses each cycle edge in exactly one direction (one split), so
+/// eagerly building both orientations would double its grouping work and
+/// memory; the DB algorithm touches both directions across its splits and
+/// pays each grouping exactly once. The lazy cells are thread-safe
+/// ([`OnceLock`]), so concurrent shards share one initialization.
+pub struct BlockJoinIndex<'t> {
+    /// The block whose child tables are indexed.
+    block: &'t Block,
+    /// Tables of already-solved blocks, indexed by block id (the lazy
+    /// grouping closures read the annotating children from here).
+    child_tables: &'t [Option<ProjectionTable>],
+    /// `(edge_index, from_is_first)` → the child binary table grouped by
+    /// the image of the traversal's source node, listing
+    /// `(target image, signature, count)`; grouped on first use.
+    edge_groups: FastMap<(usize, bool), OnceLock<GroupedBinary>>,
+    /// Annotated node → the child unary table grouped by vertex.
+    node_groups: FastMap<QueryNode, GroupedUnary>,
+}
+
+impl<'t> BlockJoinIndex<'t> {
+    /// Prepares the index for `block`. `child_tables` must already hold the
+    /// tables of all of `block`'s children. Node groupings are built here
+    /// (every split consults them); edge orientations are grouped on first
+    /// use.
+    pub fn build(block: &'t Block, child_tables: &'t [Option<ProjectionTable>]) -> Self {
+        let mut edge_groups: FastMap<(usize, bool), OnceLock<GroupedBinary>> = FastMap::default();
+        for &(edge_index, _) in &block.edge_annotations {
+            edge_groups.insert((edge_index, true), OnceLock::new());
+            edge_groups.insert((edge_index, false), OnceLock::new());
+        }
+        let mut node_groups: FastMap<QueryNode, GroupedUnary> = FastMap::default();
+        for &(node, child) in &block.node_annotations {
+            let unary = child_tables[child]
+                .as_ref()
+                .expect("child table must be solved before its parent")
+                .as_unary()
+                .expect("node annotations correspond to unary child tables");
+            node_groups.insert(node, unary.group_by_vertex());
+        }
+        BlockJoinIndex {
+            block,
+            child_tables,
+            edge_groups,
+            node_groups,
+        }
+    }
+
+    /// The child table of annotated edge `edge_index`, grouped by the image
+    /// of the traversal's source node (`from_is_first`: whether the source
+    /// is the child's first boundary node). Grouped once, on first request.
+    fn edge_group(&self, edge_index: usize, from_is_first: bool) -> &GroupedBinary {
+        self.edge_groups[&(edge_index, from_is_first)].get_or_init(|| {
+            let child = self
+                .block
+                .edge_annotation(edge_index)
+                .expect("edge group cells exist only for annotated edges");
+            let binary = self.child_tables[child]
+                .as_ref()
+                .expect("child table must be solved before its parent")
+                .as_binary()
+                .expect("edge annotations correspond to binary child tables");
+            let mut grouped = GroupedBinary::default();
+            for (key, &count) in binary.iter() {
+                let (u, v) = if from_is_first {
+                    (key.u, key.v)
+                } else {
+                    (key.v, key.u)
+                };
+                grouped.entry(u).or_default().push((v, key.sig, count));
+            }
+            grouped
+        })
+    }
 }
 
 /// Builds path tables along the segments of one cycle (or leaf-edge) block.
@@ -57,8 +153,8 @@ pub struct PathBuilder<'a, 'b> {
     pub tree: &'b DecompositionTree,
     /// The block being solved.
     pub block: &'b Block,
-    /// Projection tables of already-solved child blocks, indexed by block id.
-    pub child_tables: &'b [Option<ProjectionTable>],
+    /// Pre-grouped join-side indexes of the block's child tables.
+    pub index: &'b BlockJoinIndex<'b>,
     /// Boundary node tracked in each extra slot (`None` when unused).
     pub slot_nodes: [Option<QueryNode>; 2],
     /// DB mode: require `start ≻ w` for every newly mapped cycle node `w`.
@@ -72,7 +168,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
         ctx: &'b Context<'a>,
         tree: &'b DecompositionTree,
         block: &'b Block,
-        child_tables: &'b [Option<ProjectionTable>],
+        index: &'b BlockJoinIndex<'b>,
         high_start: bool,
     ) -> Self {
         let mut slot_nodes = [None, None];
@@ -83,7 +179,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
             ctx,
             tree,
             block,
-            child_tables,
+            index,
             slot_nodes,
             high_start,
         }
@@ -102,62 +198,38 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
     }
 
     /// The unary table of the child block annotating `node`, if any,
-    /// pre-grouped by vertex.
-    fn node_child(&self, node: QueryNode) -> Option<FastMap<VertexId, Vec<(Signature, Count)>>> {
-        let child = self.block.node_annotation(node)?;
-        let table = self.child_tables[child]
-            .as_ref()
-            .expect("child table must be solved before its parent");
-        let unary = table
-            .as_unary()
-            .expect("node annotations correspond to unary child tables");
-        Some(unary.group_by_vertex())
+    /// pre-grouped by vertex in the block index.
+    fn node_child(&self, node: QueryNode) -> Option<&'b GroupedUnary> {
+        self.index.node_groups.get(&node)
     }
 
     /// The realization of the block edge `edge_index` traversed from
-    /// `from_node` to `to_node`.
+    /// `from_node` to `to_node`: the data graph for an original query edge,
+    /// the pre-grouped child table (oriented so the group key is the image
+    /// of `from_node`) for an annotated edge.
     fn edge_realization(
         &self,
         edge_index: usize,
         from_node: QueryNode,
         to_node: QueryNode,
-    ) -> EdgeRealization {
+    ) -> EdgeRealization<'b> {
         match self.block.edge_annotation(edge_index) {
             None => EdgeRealization::Graph,
             Some(child) => {
-                EdgeRealization::Child(self.child_binary_grouped(child, from_node, to_node))
+                let child_block = &self.tree.blocks[child];
+                debug_assert_eq!(child_block.boundary.len(), 2);
+                let from_is_first = child_block.boundary[0] == from_node;
+                debug_assert_eq!(
+                    if from_is_first {
+                        (from_node, to_node)
+                    } else {
+                        (to_node, from_node)
+                    },
+                    (child_block.boundary[0], child_block.boundary[1]),
+                    "child boundary must match the traversed edge"
+                );
+                EdgeRealization::Child(self.index.edge_group(edge_index, from_is_first))
             }
-        }
-    }
-
-    /// The binary table of child block `child`, oriented so that the group
-    /// key is the image of `from_node` and the listed vertices are images of
-    /// `to_node`.
-    fn child_binary_grouped(
-        &self,
-        child: BlockId,
-        from_node: QueryNode,
-        to_node: QueryNode,
-    ) -> FastMap<VertexId, Vec<(VertexId, Signature, Count)>> {
-        let child_block = &self.tree.blocks[child];
-        let table = self.child_tables[child]
-            .as_ref()
-            .expect("child table must be solved before its parent");
-        let binary = table
-            .as_binary()
-            .expect("edge annotations correspond to binary child tables");
-        debug_assert_eq!(child_block.boundary.len(), 2);
-        let first = child_block.boundary[0];
-        let second = child_block.boundary[1];
-        if first == from_node && second == to_node {
-            binary.group_by_first()
-        } else {
-            debug_assert_eq!(
-                (first, second),
-                (to_node, from_node),
-                "child boundary must match the traversed edge"
-            );
-            binary.transpose().group_by_first()
         }
     }
 
@@ -187,7 +259,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
         );
         if include_start_annotation {
             if let Some(child) = self.node_child(first) {
-                table = self.node_join(table, Field::Start, first, &child, metrics);
+                table = self.node_join(table, Field::Start, first, child, metrics);
             }
         }
         for idx in 1..positions.len() {
@@ -200,7 +272,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
             let is_end = idx == positions.len() - 1;
             if !is_end || include_end_annotation {
                 if let Some(child) = self.node_child(node) {
-                    table = self.node_join(table, Field::End, node, &child, metrics);
+                    table = self.node_join(table, Field::End, node, child, metrics);
                 }
             }
         }
@@ -240,7 +312,11 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
         let mut load = LoadStats::new(ctx.partition.num_ranks());
         match self.edge_realization(edge_index, from_node, to_node) {
             EdgeRealization::Graph => {
-                for u in ctx.graph.vertices() {
+                // In a sharded context this range is the shard's owned
+                // vertex block; every path entry keeps its start vertex for
+                // its whole life, so restricting the seeds here partitions
+                // the block's entire table by start ownership.
+                for u in ctx.start_vertices() {
                     let cu = ctx.color(u);
                     // In DB mode only the neighbors strictly below the start
                     // vertex in the degree order can appear on a high-starting
@@ -265,7 +341,11 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
                 }
             }
             EdgeRealization::Child(grouped) => {
-                for (&u, list) in &grouped {
+                // The group key is the path's start vertex; seeding only
+                // from owned keys partitions the table by start ownership,
+                // exactly like the range restriction above. The grouped map
+                // itself is shared (block index), not rebuilt per shard.
+                let mut seed_group = |u: VertexId, list: &[(VertexId, Signature, Count)]| {
                     load.record_vertex(&ctx.partition, u, list.len() as u64);
                     for &(w, sig, count) in list {
                         if self.high_start && !ctx.order().higher(u, w) {
@@ -275,6 +355,21 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
                         key = self.record_extra(key, from_node, u);
                         key = self.record_extra(key, to_node, w);
                         table.add(key, count);
+                    }
+                };
+                if ctx.is_sharded() {
+                    // Probe the shard's own (contiguous, small) vertex
+                    // range instead of scanning the whole shared map: total
+                    // seeding work across shards stays O(n) lookups rather
+                    // than S scans of every group.
+                    for u in ctx.start_vertices() {
+                        if let Some(list) = grouped.get(&u) {
+                            seed_group(u, list);
+                        }
+                    }
+                } else {
+                    for (&u, list) in grouped {
+                        seed_group(u, list);
                     }
                 }
             }
@@ -398,32 +493,14 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
             metrics.absorb_load(&load);
             tables.push(table);
         }
-        let merged = parallel_table_merge(tables);
+        let merged = pairwise_reduce(tables, |mut first, second| {
+            first.merge(second);
+            first
+        })
+        .unwrap_or_default();
         metrics.observe_table(merged.len());
         merged
     }
-}
-
-/// Merges many path tables into one by parallel pairwise reduction.
-fn parallel_table_merge(mut tables: Vec<PathTable>) -> PathTable {
-    use rayon::prelude::*;
-    while tables.len() > 1 {
-        tables = tables
-            .into_par_iter()
-            .chunks(2)
-            .map(|mut pair| {
-                if pair.len() == 2 {
-                    let second = pair.pop().unwrap();
-                    let mut first = pair.pop().unwrap();
-                    first.merge(second);
-                    first
-                } else {
-                    pair.pop().unwrap()
-                }
-            })
-            .collect();
-    }
-    tables.pop().unwrap_or_default()
 }
 
 /// A defensive check used by the path-merge step: extras recorded on both

@@ -10,7 +10,8 @@ pub use crate::driver::CountResult;
 pub use crate::engine::{CountRequest, Engine};
 pub use crate::error::SgcError;
 pub use crate::estimator::{Estimate, EstimateConfig};
-pub use crate::metrics::RunMetrics;
+pub use crate::metrics::{RunMetrics, ShardMetrics};
+pub use crate::runtime::{ShardPlan, VertexShard};
 pub use sgc_engine::{Count, Signature};
 pub use sgc_graph::{Coloring, CsrGraph, GraphBuilder, VertexId};
 pub use sgc_query::{decompose, heuristic_plan, DecompositionTree, QueryGraph};

@@ -1,0 +1,161 @@
+//! The partial-sum exchange step.
+//!
+//! After every shard has solved a block over its own vertex slice, the
+//! per-shard partial projection tables must be summed into the block's full
+//! table before any parent block can consume it. In the paper this is the
+//! batched alltoall of partial sums (the PS trick of Section 7: accumulate
+//! locally, exchange once per block instead of once per entry); on shared
+//! memory it is a table merge — but it is kept as an explicit, metered step
+//! so the runtime has the same structure, and the same observable exchange
+//! volume, as the distributed original.
+//!
+//! Exactness: projection tables map keys to `u64` counts and the per-shard
+//! partials are disjoint-by-construction only in *origin*, not in key — the
+//! same `(boundary image, signature)` key can receive contributions from
+//! many shards. Summing them in any order or grouping yields identical
+//! counts because `u64` addition is associative and commutative, which is
+//! what makes the sharded ≡ serial bit-identity contract hold.
+
+use crate::blocks::merge_projection;
+use crate::metrics::ShardMetrics;
+use sgc_engine::parallel::pairwise_reduce;
+use sgc_engine::ProjectionTable;
+
+/// Combines the per-shard partial tables of one block into its full table,
+/// recording one exchange round and each shard's contributed entry count in
+/// `metrics`.
+///
+/// The merge is a pairwise parallel reduction: with `S` shards it performs
+/// `⌈log₂ S⌉` rounds of concurrent two-table merges rather than a serial
+/// left fold, keeping the exchange off the runtime's critical path.
+///
+/// # Panics
+/// Panics if `partials` is empty (a shard plan always has ≥ 1 shard), if
+/// `partials.len()` differs from `metrics.num_shards()` (the metrics must
+/// be sized for the shard plan that produced the partials), or if the
+/// partial tables disagree on shape (scalar/unary/binary) — shards solve
+/// the same block, so a mismatch is a programmer error.
+pub fn combine(partials: Vec<ProjectionTable>, metrics: &mut ShardMetrics) -> ProjectionTable {
+    assert!(
+        !partials.is_empty(),
+        "exchange requires at least one shard's partial table"
+    );
+    assert_eq!(
+        partials.len(),
+        metrics.num_shards(),
+        "one partial table per shard"
+    );
+    metrics.exchange_rounds += 1;
+    for (shard, table) in partials.iter().enumerate() {
+        // A scalar partial is one number on the wire; keyed tables
+        // contribute one message entry per materialised key.
+        metrics.entries_exchanged[shard] += table.len() as u64;
+    }
+    pairwise_reduce(partials, merge_projection).expect("at least one table")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgc_engine::{BinaryTable, Signature, UnaryTable};
+
+    fn unary(entries: &[(u32, u8, u64)]) -> ProjectionTable {
+        let mut t = UnaryTable::new();
+        for &(v, color, count) in entries {
+            t.add(v, Signature::singleton(color), count);
+        }
+        ProjectionTable::Unary(t)
+    }
+
+    #[test]
+    fn scalars_sum_across_shards() {
+        let mut m = ShardMetrics::new(3);
+        let combined = combine(
+            vec![
+                ProjectionTable::Scalar(5),
+                ProjectionTable::Scalar(0),
+                ProjectionTable::Scalar(7),
+            ],
+            &mut m,
+        );
+        assert_eq!(combined.total(), 12);
+        assert_eq!(m.exchange_rounds, 1);
+        // Scalars are one entry each, even when zero.
+        assert_eq!(m.entries_exchanged, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_shards_contribute_nothing_but_are_metered() {
+        // Shards that own no vertices (more shards than vertices) produce
+        // empty keyed tables; the exchange must pass the populated entries
+        // through untouched.
+        let mut m = ShardMetrics::new(4);
+        let combined = combine(
+            vec![
+                unary(&[(0, 0, 2), (1, 1, 3)]),
+                unary(&[]),
+                unary(&[]),
+                unary(&[(0, 0, 4)]),
+            ],
+            &mut m,
+        );
+        assert_eq!(combined.total(), 9);
+        let merged = combined.as_unary().unwrap();
+        assert_eq!(merged.get(0, Signature::singleton(0)), 6);
+        assert_eq!(merged.get(1, Signature::singleton(1)), 3);
+        assert_eq!(m.entries_exchanged, vec![2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn single_vertex_shards_reassemble_the_full_table() {
+        // One shard per vertex: every partial holds at most one vertex's
+        // entries, and the exchange must reassemble the exact union.
+        let mut m = ShardMetrics::new(3);
+        let combined = combine(
+            vec![
+                unary(&[(0, 0, 1)]),
+                unary(&[(1, 1, 2)]),
+                unary(&[(2, 2, 3)]),
+            ],
+            &mut m,
+        );
+        assert_eq!(combined.len(), 3);
+        assert_eq!(combined.total(), 6);
+        assert_eq!(m.total_entries_exchanged(), 3);
+    }
+
+    #[test]
+    fn single_shard_exchange_is_identity() {
+        let mut m = ShardMetrics::new(1);
+        let combined = combine(vec![unary(&[(4, 1, 9)])], &mut m);
+        assert_eq!(
+            combined.as_unary().unwrap().get(4, Signature::singleton(1)),
+            9
+        );
+        assert_eq!(m.exchange_rounds, 1);
+    }
+
+    #[test]
+    fn binary_partials_merge_by_key() {
+        let mut a = BinaryTable::new();
+        a.add(0, 1, Signature::pair(0, 1), 2);
+        let mut b = BinaryTable::new();
+        b.add(0, 1, Signature::pair(0, 1), 5);
+        b.add(2, 3, Signature::pair(2, 3), 1);
+        let mut m = ShardMetrics::new(2);
+        let combined = combine(
+            vec![ProjectionTable::Binary(a), ProjectionTable::Binary(b)],
+            &mut m,
+        );
+        let merged = combined.as_binary().unwrap();
+        assert_eq!(merged.get(0, 1, Signature::pair(0, 1)), 7);
+        assert_eq!(merged.get(2, 3, Signature::pair(2, 3)), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_partials_panic() {
+        let mut m = ShardMetrics::new(0);
+        let _ = combine(Vec::new(), &mut m);
+    }
+}

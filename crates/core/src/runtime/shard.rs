@@ -1,0 +1,236 @@
+//! Vertex shards and the sharded bottom-up solver.
+//!
+//! A [`ShardPlan`] cuts the data graph's vertex set into `num_shards`
+//! contiguous blocks — the same 1D block distribution the paper assigns to
+//! MPI ranks (Section 7), reused from [`sgc_graph::BlockPartition`]. The
+//! sharded solver walks the decomposition tree bottom-up exactly like the
+//! serial driver, but solves every block as `num_shards` independent partial
+//! solves (one per shard, fanned out over worker threads), then combines the
+//! partial tables in an explicit [`exchange`] round before moving to the
+//! next block.
+//!
+//! [`exchange`]: crate::runtime::exchange
+
+use crate::blocks::solve_block_with_index;
+use crate::config::Algorithm;
+use crate::context::{Context, GraphPrep};
+use crate::driver::CountResult;
+use crate::error::SgcError;
+use crate::metrics::{RunMetrics, ShardMetrics};
+use crate::paths::BlockJoinIndex;
+use crate::runtime::exchange;
+use sgc_engine::parallel::parallel_indexed;
+use sgc_engine::{Count, ProjectionTable};
+use sgc_graph::{BlockPartition, Coloring, CsrGraph, VertexId};
+use sgc_query::DecompositionTree;
+use std::ops::Range;
+use std::time::Instant;
+
+/// One shard's contiguous slice of the data graph's vertex set — the analog
+/// of one rank's owned vertex block in the paper's 1D decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexShard {
+    partition: BlockPartition,
+    index: usize,
+}
+
+impl VertexShard {
+    /// This shard's index within its [`ShardPlan`].
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The contiguous vertex range this shard owns (possibly empty when
+    /// there are more shards than vertices).
+    pub fn range(&self) -> Range<VertexId> {
+        self.partition.owned_range(self.index)
+    }
+
+    /// Whether this shard owns vertex `v`.
+    #[inline]
+    pub fn owns(&self, v: VertexId) -> bool {
+        self.partition.owner(v) == self.index
+    }
+
+    /// Number of vertices this shard owns.
+    pub fn num_vertices(&self) -> usize {
+        self.partition.owned_count(self.index)
+    }
+}
+
+/// The shard layout of one sharded run: a 1D block partition of the data
+/// graph's vertices into `num_shards` contiguous shards.
+///
+/// ```
+/// use sgc_core::runtime::ShardPlan;
+///
+/// let plan = ShardPlan::new(10, 4).unwrap();
+/// assert_eq!(plan.num_shards(), 4);
+/// // Every vertex is owned by exactly one shard.
+/// let owned: usize = (0..4).map(|s| plan.shard(s).num_vertices()).sum();
+/// assert_eq!(owned, 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    partition: BlockPartition,
+    num_shards: usize,
+}
+
+impl ShardPlan {
+    /// Partitions `num_vertices` vertices into `num_shards` contiguous
+    /// shards.
+    ///
+    /// # Errors
+    /// [`SgcError::ZeroShards`] if `num_shards` is zero.
+    pub fn new(num_vertices: usize, num_shards: usize) -> Result<Self, SgcError> {
+        if num_shards == 0 {
+            return Err(SgcError::ZeroShards);
+        }
+        Ok(ShardPlan {
+            partition: BlockPartition::new(num_vertices, num_shards),
+            num_shards,
+        })
+    }
+
+    /// Number of shards in the plan.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= num_shards()`.
+    pub fn shard(&self, index: usize) -> VertexShard {
+        assert!(index < self.num_shards, "shard index out of range");
+        VertexShard {
+            partition: self.partition.clone(),
+            index,
+        }
+    }
+}
+
+/// Runs one colorful count through the sharded runtime: per-shard partial
+/// solves of every block, combined by partial-sum exchange rounds.
+///
+/// The result's `colorful_matches` is bit-identical to the serial driver's
+/// for any `num_shards ≥ 1`; `metrics.shards` carries the per-shard load
+/// and exchange-volume accounting.
+pub(crate) fn count_sharded(
+    graph: &CsrGraph,
+    prep: &GraphPrep,
+    coloring: &Coloring,
+    tree: &DecompositionTree,
+    algorithm: Algorithm,
+    num_ranks: usize,
+    num_shards: usize,
+) -> Result<CountResult, SgcError> {
+    let plan = ShardPlan::new(graph.num_vertices(), num_shards)?;
+    Context::validate(graph, coloring, num_ranks)?;
+    let started = Instant::now();
+    let mut metrics = RunMetrics::new(num_ranks);
+    let mut shard_metrics = ShardMetrics::new(num_shards);
+
+    let colorful_matches = match tree.root {
+        // Single-node query: every vertex is a colorful match. Each shard
+        // reports its owned-vertex count as a scalar partial sum; one
+        // exchange round combines them.
+        None => {
+            let partials: Vec<ProjectionTable> = (0..num_shards)
+                .map(|s| ProjectionTable::Scalar(plan.shard(s).num_vertices() as Count))
+                .collect();
+            exchange::combine(partials, &mut shard_metrics).total()
+        }
+        Some(root) => {
+            let mut tables: Vec<Option<ProjectionTable>> = vec![None; tree.blocks.len()];
+            for block in &tree.blocks {
+                // The join-side child-table index is shard-invariant; build
+                // it once here so the workers share it (lazily grouping
+                // each needed orientation exactly once) instead of each
+                // regrouping the full child tables. Scoped so its borrow of
+                // `tables` ends before the exchanged table is stored.
+                let partials = {
+                    let index = BlockJoinIndex::build(block, &tables);
+                    // Fan the block out: shard `s` solves it restricted to
+                    // the paths starting in its vertex range, against the
+                    // full (already exchanged) child tables.
+                    parallel_indexed(num_shards, |s| {
+                        let ctx =
+                            Context::for_shard(graph, prep, coloring, num_ranks, plan.shard(s));
+                        let mut shard_run = RunMetrics::new(num_ranks);
+                        let table = solve_block_with_index(
+                            &ctx,
+                            tree,
+                            block,
+                            &index,
+                            algorithm,
+                            &mut shard_run,
+                        );
+                        (table, shard_run)
+                    })
+                };
+                let mut partial_tables = Vec::with_capacity(num_shards);
+                for (s, (table, shard_run)) in partials.into_iter().enumerate() {
+                    shard_metrics.ops_per_shard[s] += shard_run.total_ops;
+                    metrics.absorb_shard(&shard_run);
+                    partial_tables.push(table);
+                }
+                let table = exchange::combine(partial_tables, &mut shard_metrics);
+                metrics.observe_table(table.len());
+                tables[block.id] = Some(table);
+            }
+            tables[root]
+                .as_ref()
+                .expect("root table was just computed")
+                .total()
+        }
+    };
+    metrics.shards = Some(shard_metrics);
+    metrics.elapsed = started.elapsed();
+    Ok(CountResult {
+        colorful_matches,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_plan_partitions_every_vertex_once() {
+        let plan = ShardPlan::new(103, 8).unwrap();
+        let mut owners = vec![0usize; 103];
+        for s in 0..plan.num_shards() {
+            let shard = plan.shard(s);
+            assert_eq!(shard.index(), s);
+            for v in shard.range() {
+                owners[v as usize] += 1;
+                assert!(shard.owns(v));
+            }
+            assert_eq!(shard.range().len(), shard.num_vertices());
+        }
+        assert!(owners.iter().all(|&n| n == 1));
+    }
+
+    #[test]
+    fn more_shards_than_vertices_leaves_trailing_shards_empty() {
+        let plan = ShardPlan::new(3, 8).unwrap();
+        let total: usize = (0..8).map(|s| plan.shard(s).num_vertices()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(plan.shard(7).num_vertices(), 0);
+        assert!(plan.shard(7).range().is_empty());
+    }
+
+    #[test]
+    fn zero_shards_is_an_error() {
+        assert!(matches!(ShardPlan::new(10, 0), Err(SgcError::ZeroShards)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_shard_index_panics() {
+        let plan = ShardPlan::new(10, 2).unwrap();
+        let _ = plan.shard(2);
+    }
+}

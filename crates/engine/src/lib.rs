@@ -6,9 +6,9 @@
 //!
 //! * [`Signature`] — color sets as bitmasks with the disjointness /
 //!   containment operations used by every join,
-//! * [`hash`] — an FxHash-style hasher and the [`FastMap`](hash::FastMap)
-//!   alias used for all tables (projection-table lookups dominate runtime, so
-//!   SipHash would be a measurable tax),
+//! * [`hash`] — an FxHash-style hasher and the [`FastMap`] alias used for
+//!   all tables (projection-table lookups dominate runtime, so SipHash
+//!   would be a measurable tax),
 //! * [`table`] — unary / binary projection tables, the scalar root table and
 //!   the path tables (with up to two extra tracked boundary fields) used
 //!   while solving cycles,

@@ -5,11 +5,11 @@
 //! redistributed here, so this crate provides the generators used to build
 //! *synthetic analogs* with the same sizes and degree-distribution skew:
 //!
-//! * [`chung_lu`] — the Chung-Lu random-graph model (the model analysed in
+//! * [`mod@chung_lu`] — the Chung-Lu random-graph model (the model analysed in
 //!   Section 9 of the paper) with an exact O(n + m) sampler,
 //! * [`power_law`] — truncated power-law expected-degree sequences
 //!   (Section 9.2's definition),
-//! * [`rmat`] — the R-MAT generator with the Graph 500 parameters used for
+//! * [`mod@rmat`] — the R-MAT generator with the Graph 500 parameters used for
 //!   the weak-scaling study (Section 8.4),
 //! * [`erdos_renyi`] — uniform random graphs for baselines and tests,
 //! * [`road`] — a low-skew, grid-like generator standing in for roadNetCA,

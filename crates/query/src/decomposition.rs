@@ -35,8 +35,8 @@ pub struct DecompositionTree {
     pub root: Option<BlockId>,
 }
 
-/// A block that could be contracted next, as found by
-/// [`Contracted::candidates`].
+/// A block that could be contracted next, as found by the contraction
+/// state's candidate scan (`Contracted::candidates`).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CandidateBlock {
     /// The structural kind (leaf edge or cycle in cyclic order).

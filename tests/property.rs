@@ -5,6 +5,8 @@
 //!
 //! * PS, DB and the brute-force oracle agree on the colorful count,
 //! * the count is invariant under the choice of decomposition plan,
+//! * sharded execution is bit-identical to single-shard execution for every
+//!   shard count (the rank-runtime determinism contract),
 //! * colorful counts never exceed total match counts,
 //! * signatures behave like sets (engine-level algebraic laws).
 
@@ -61,6 +63,47 @@ proptest! {
                     .unwrap()
                     .colorful_matches;
                 prop_assert_eq!(got, expected, "{} with {}", name, alg);
+            }
+        }
+    }
+
+    /// Sharded counts equal single-shard counts on random graphs, for every
+    /// catalog query, both algorithms, and every shard count in 1..=8 — the
+    /// sharded runtime's determinism contract.
+    #[test]
+    fn sharded_equals_single_shard(
+        n in 6usize..14,
+        edges in proptest::collection::vec((0u8..14, 0u8..14), 8..40),
+        seed in 0u64..1000,
+        algorithm_selector in 0u8..2,
+    ) {
+        let graph = graph_from_edges(n, &edges);
+        let engine = Engine::new(&graph);
+        let algorithm = if algorithm_selector == 0 {
+            Algorithm::PathSplitting
+        } else {
+            Algorithm::DegreeBased
+        };
+        for (name, query) in small_queries() {
+            let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), seed);
+            let single = engine
+                .count(&query)
+                .algorithm(algorithm)
+                .coloring(&coloring)
+                .sharded(1)
+                .run()
+                .unwrap()
+                .colorful_matches;
+            for shards in 2..=8usize {
+                let sharded = engine
+                    .count(&query)
+                    .algorithm(algorithm)
+                    .coloring(&coloring)
+                    .sharded(shards)
+                    .run()
+                    .unwrap()
+                    .colorful_matches;
+                prop_assert_eq!(sharded, single, "{} at {} shards", name, shards);
             }
         }
     }
