@@ -1,0 +1,155 @@
+//! Service throughput — concurrent clients × precision targets against one
+//! `sgc-service` instance.
+//!
+//! The paper's harness measures one tenant running a fixed trial count
+//! (Figure 15); this binary measures the serving layer built on top of it:
+//! many clients submitting jobs at once, adaptive early stopping trading
+//! trials for precision, and the result cache absorbing repeated requests.
+//! Each cell of the sweep reports throughput plus the service's own
+//! metrics, so the effect of every mechanism is visible in one table:
+//! tighter targets cost more trials, more clients raise the cache hit rate
+//! (clients issue overlapping request sets), and "saved" counts the trials
+//! early stopping avoided.
+//!
+//! Environment knobs (all optional):
+//! * `SGC_SERVICE_CLIENTS` — comma-separated client counts (default `1,2,4`)
+//! * `SGC_SERVICE_JOBS`    — jobs per client (default `8`)
+//! * `SGC_SERVICE_BUDGET`  — trial budget per job (default `48`)
+//! * `SGC_SERVICE_WORKERS` — worker threads (default: hardware threads)
+//! * `SGC_SCALE`           — graph scale, as in every other experiment
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgc_bench::*;
+use subgraph_counting::{CountJob, Precision, Service, ServiceConfig, ServiceError, StopReason};
+
+fn env_usize_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn main() {
+    print_header("Service throughput: concurrent clients x precision targets");
+    let client_counts = env_usize_list("SGC_SERVICE_CLIENTS", &[1, 2, 4]);
+    let jobs_per_client = env_usize("SGC_SERVICE_JOBS", 8);
+    let budget = env_usize("SGC_SERVICE_BUDGET", 48);
+    let workers = env_usize("SGC_SERVICE_WORKERS", max_threads());
+
+    let graphs = benchmark_graphs(experiment_scale(), &["condMat"]);
+    let graph = Arc::new(graphs.into_iter().next().expect("condMat analog").graph);
+    let queries = benchmark_queries(query_subset());
+    println!(
+        "graph: condMat analog ({} vertices, {} edges), {} workers, \
+         {} jobs/client, budget {} trials",
+        graph.num_vertices(),
+        graph.num_edges(),
+        workers,
+        jobs_per_client,
+        budget
+    );
+    println!();
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>8} {:>9} {:>8} {:>8} {:>9}",
+        "clients",
+        "precision",
+        "jobs/s",
+        "seconds",
+        "hit%",
+        "computed",
+        "trials",
+        "saved",
+        "early%"
+    );
+
+    for &clients in &client_counts {
+        for precision in [None, Some(0.3), Some(0.1)] {
+            let service = Service::with_config(
+                Arc::clone(&graph),
+                ServiceConfig {
+                    workers,
+                    // Size admission so a full sweep cell fits; the point
+                    // here is throughput, not rejection behaviour.
+                    queue_capacity: (clients * jobs_per_client).max(8),
+                    chunk_trials: 8,
+                    trial_parallelism: false,
+                },
+            );
+            let started = Instant::now();
+            let early_stops = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|_| {
+                        // Every client submits the same job set: the
+                        // overlap is what exercises the result cache, the
+                        // way a fleet of identical analysis pipelines
+                        // would.
+                        let service = &service;
+                        let queries = &queries;
+                        scope.spawn(move || {
+                            let mut early = 0usize;
+                            for j in 0..jobs_per_client {
+                                let bq = &queries[j % queries.len()];
+                                let mut job = CountJob::new(bq.query.clone())
+                                    .seed(1000 + (j / queries.len()) as u64)
+                                    .budget(budget);
+                                if let Some(target) = precision {
+                                    job = job.precision(Precision::within(target));
+                                }
+                                let handle = loop {
+                                    match service.submit(job.clone()) {
+                                        Ok(handle) => break handle,
+                                        Err(ServiceError::QueueFull { .. }) => {
+                                            std::thread::yield_now();
+                                        }
+                                        Err(e) => panic!("submission failed: {e}"),
+                                    }
+                                };
+                                let output = handle.wait().expect("catalog jobs always count");
+                                assert!(output.trials_run <= budget);
+                                if output.stop == StopReason::PrecisionMet
+                                    && output.trials_run < budget
+                                {
+                                    early += 1;
+                                }
+                            }
+                            early
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread panicked"))
+                    .sum::<usize>()
+            });
+            let seconds = started.elapsed().as_secs_f64();
+            let metrics = service.metrics();
+            let total_jobs = (clients * jobs_per_client) as f64;
+            println!(
+                "{:>8} {:>10} {:>9.1} {:>9.3} {:>7.0}% {:>9} {:>8} {:>8} {:>7.0}%",
+                clients,
+                precision.map_or("exact".to_string(), |t| format!("±{:.0}%", t * 100.0)),
+                total_jobs / seconds.max(1e-9),
+                seconds,
+                100.0 * metrics.cache_hit_rate(),
+                metrics.cache_misses,
+                metrics.trials_executed,
+                metrics.trials_saved,
+                100.0 * early_stops as f64 / total_jobs,
+            );
+        }
+    }
+    println!();
+    println!(
+        "precision ±x% = stop once the 95% CI half-width is within x% of the \
+         estimate; 'saved' = budgeted trials adaptive stopping never ran; \
+         'computed' = jobs that missed the result cache"
+    );
+}

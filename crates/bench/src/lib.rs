@@ -57,23 +57,27 @@ pub fn query_subset() -> &'static [&'static str] {
     }
 }
 
+/// Reads a positive integer from the environment, falling back to
+/// `default` when the variable is unset, unparsable or zero — the shared
+/// parse policy of every experiment knob (`SGC_RANKS`, `SGC_SHARDS`, the
+/// `SGC_SERVICE_*` family).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
 /// Reads the number of simulated ranks from `SGC_RANKS` (default 64).
 pub fn simulated_ranks() -> usize {
-    std::env::var("SGC_RANKS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&r| r > 0)
-        .unwrap_or(64)
+    env_usize("SGC_RANKS", 64)
 }
 
 /// Reads the shard count for sharded-runtime experiments from `SGC_SHARDS`
 /// (default: the hardware thread count, one shard per worker).
 pub fn shard_count() -> usize {
-    std::env::var("SGC_SHARDS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&r| r > 0)
-        .unwrap_or_else(max_threads)
+    env_usize("SGC_SHARDS", max_threads())
 }
 
 /// A named, generated benchmark graph.

@@ -30,34 +30,64 @@ use crate::config::{Algorithm, CountConfig};
 use crate::context::{Context, GraphPrep};
 use crate::driver::{count_with_context, CountResult};
 use crate::error::SgcError;
-use crate::estimator::{summarize_trials, Estimate, EstimateConfig};
+use crate::estimator::{summarize_trials, Estimate, EstimateConfig, TrialAccumulator};
 use crate::runtime::shard::count_sharded;
 use sgc_engine::parallel::parallel_indexed;
 use sgc_engine::Count;
 use sgc_graph::{Coloring, CsrGraph};
-use sgc_query::{heuristic_plan, DecompositionTree, QueryGraph};
+use sgc_query::{canonical_key, heuristic_plan, CanonicalQueryKey, DecompositionTree, QueryGraph};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-/// Canonical cache key of a query: node count plus sorted edge list.
-type PlanKey = (usize, Vec<(u8, u8)>);
+/// The engine's hold on its data graph: either a borrow (the classic
+/// bind-once-in-scope usage) or shared ownership through an `Arc` (what a
+/// long-lived service needs so that `Engine<'static>` can cross into worker
+/// threads without a self-referential struct).
+enum GraphRef<'g> {
+    Borrowed(&'g CsrGraph),
+    Shared(Arc<CsrGraph>),
+}
 
-fn plan_key(query: &QueryGraph) -> PlanKey {
-    let mut edges = query.edges();
-    edges.sort_unstable();
-    (query.num_nodes(), edges)
+impl std::ops::Deref for GraphRef<'_> {
+    type Target = CsrGraph;
+
+    fn deref(&self) -> &CsrGraph {
+        match self {
+            GraphRef::Borrowed(graph) => graph,
+            GraphRef::Shared(graph) => graph,
+        }
+    }
 }
 
 /// A long-lived counting engine bound to one data graph.
 ///
 /// Construction runs the `O(m log m)` preprocessing pass ([`GraphPrep`]);
 /// requests created with [`Engine::count`] share it across queries, trials
-/// and threads. The engine also memoizes decomposition plans per query.
+/// and threads. The engine also memoizes decomposition plans per query,
+/// keyed by the canonical form from [`sgc_query::canonical_key`].
 pub struct Engine<'g> {
-    graph: &'g CsrGraph,
+    graph: GraphRef<'g>,
     prep: GraphPrep,
-    plan_cache: Mutex<HashMap<PlanKey, Arc<DecompositionTree>>>,
+    plan_cache: Mutex<HashMap<CanonicalQueryKey, Arc<DecompositionTree>>>,
     default_config: CountConfig,
+}
+
+impl Engine<'static> {
+    /// Binds an engine to a shared graph with the default [`CountConfig`].
+    ///
+    /// The returned engine owns a reference count on the graph and has no
+    /// borrowed lifetime, so it can be stored in `'static` contexts — worker
+    /// threads, services, globals. The `sgc-service` worker pool is the
+    /// canonical caller: one shared `Engine<'static>` serves every job.
+    pub fn from_shared(graph: Arc<CsrGraph>) -> Self {
+        Engine::from_shared_with_config(graph, CountConfig::default())
+    }
+
+    /// Binds an engine to a shared graph with `config` as the default for
+    /// every request.
+    pub fn from_shared_with_config(graph: Arc<CsrGraph>, config: CountConfig) -> Self {
+        Engine::build(GraphRef::Shared(graph), config)
+    }
 }
 
 impl<'g> Engine<'g> {
@@ -70,17 +100,22 @@ impl<'g> Engine<'g> {
     /// Binds an engine to `graph` with `config` as the default for every
     /// request (individual requests can still override it).
     pub fn with_config(graph: &'g CsrGraph, config: CountConfig) -> Self {
+        Engine::build(GraphRef::Borrowed(graph), config)
+    }
+
+    fn build(graph: GraphRef<'g>, config: CountConfig) -> Self {
+        let prep = GraphPrep::new(&graph);
         Engine {
             graph,
-            prep: GraphPrep::new(graph),
+            prep,
             plan_cache: Mutex::new(HashMap::new()),
             default_config: config,
         }
     }
 
     /// The bound data graph.
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
     }
 
     /// The reusable preprocessing (degree order, rank-sorted adjacency).
@@ -94,7 +129,7 @@ impl<'g> Engine<'g> {
     /// # Errors
     /// [`SgcError::Query`] if the query has no treewidth-≤2 decomposition.
     pub fn plan(&self, query: &QueryGraph) -> Result<Arc<DecompositionTree>, SgcError> {
-        let key = plan_key(query);
+        let key = canonical_key(query);
         if let Some(plan) = self.lock_cache().get(&key) {
             return Ok(Arc::clone(plan));
         }
@@ -114,7 +149,9 @@ impl<'g> Engine<'g> {
     /// Locks the plan cache, recovering from poisoning: the cache only holds
     /// completed `Arc<DecompositionTree>` entries, so a panic elsewhere
     /// cannot leave it in a torn state.
-    fn lock_cache(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Arc<DecompositionTree>>> {
+    fn lock_cache(
+        &self,
+    ) -> std::sync::MutexGuard<'_, HashMap<CanonicalQueryKey, Arc<DecompositionTree>>> {
         self.plan_cache
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
@@ -309,7 +346,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 // Same canonical form as the cache key, so "is this plan for
                 // this query" and "would the cache treat these queries as
                 // equal" can never diverge.
-                if plan_key(&tree.query) != plan_key(self.query) {
+                if canonical_key(&tree.query) != canonical_key(self.query) {
                     return Err(SgcError::PlanQueryMismatch {
                         query_nodes: self.query.num_nodes(),
                         plan_nodes: tree.query.num_nodes(),
@@ -349,13 +386,13 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 coloring
             }
             None => {
-                fresh = Coloring::random(self.engine.graph.num_vertices(), k, self.seed);
+                fresh = Coloring::random(self.engine.graph().num_vertices(), k, self.seed);
                 &fresh
             }
         };
         match self.shards {
             Some(num_shards) => count_sharded(
-                self.engine.graph,
+                self.engine.graph(),
                 &self.engine.prep,
                 coloring,
                 &plan,
@@ -365,7 +402,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
             ),
             None => {
                 let ctx = Context::new(
-                    self.engine.graph,
+                    self.engine.graph(),
                     &self.engine.prep,
                     coloring,
                     self.num_ranks,
@@ -425,6 +462,68 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         if self.trials == 0 {
             return Err(SgcError::ZeroTrials);
         }
+        let trials = self.trials;
+        // `estimate` is literally one full chunk of the incremental API:
+        // fixed-trial and early-stopped estimation share every line of the
+        // trial loop, which is what makes the anytime-consistency contract
+        // (stream stopped after `t` trials ≡ batch run of `t` trials) hold
+        // by construction.
+        let mut stream = self.estimate_incremental()?;
+        stream.run_chunk(trials);
+        stream.estimate()
+    }
+
+    /// Starts an incremental estimation: a [`TrialStream`] that runs trials
+    /// in caller-controlled chunks and surfaces streaming precision
+    /// statistics after each, instead of committing to a trial count up
+    /// front.
+    ///
+    /// The per-trial determinism contract is unchanged — trial `i` colors
+    /// with `seed + i` no matter how the trials are chunked or scheduled —
+    /// so an early-stopped stream is *anytime-consistent*: its estimate
+    /// after `t` trials is bit-identical to
+    /// [`trials(t)`](CountRequest::trials)`.estimate()`. This is the engine
+    /// half of adaptive trial scheduling; the `sgc-service` worker loop is
+    /// the canonical consumer.
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::GraphBuilder;
+    /// use sgc_query::catalog;
+    ///
+    /// let mut b = GraphBuilder::new(5);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+    /// let graph = b.build();
+    /// let engine = Engine::new(&graph);
+    /// let triangle = catalog::triangle();
+    ///
+    /// let mut stream = engine
+    ///     .count(&triangle)
+    ///     .seed(3)
+    ///     .estimate_incremental()
+    ///     .unwrap();
+    /// while stream.trials_run() < 24 && stream.relative_half_width(0.95) > 0.25 {
+    ///     stream.run_chunk(4);
+    /// }
+    /// let adaptive = stream.estimate().unwrap();
+    ///
+    /// // Anytime consistency: a batch run of exactly that many trials is
+    /// // bit-identical.
+    /// let batch = engine
+    ///     .count(&triangle)
+    ///     .seed(3)
+    ///     .trials(adaptive.per_trial.len())
+    ///     .estimate()
+    ///     .unwrap();
+    /// assert_eq!(adaptive.per_trial, batch.per_trial);
+    /// assert_eq!(adaptive.estimated_matches, batch.estimated_matches);
+    /// ```
+    ///
+    /// # Errors
+    /// [`SgcError::ColoringWithEstimate`] if an explicit coloring was set,
+    /// [`SgcError::ZeroRanks`] / [`SgcError::ZeroShards`] for zero ranks or
+    /// shards, plus the planning errors of [`run`](CountRequest::run).
+    pub fn estimate_incremental(self) -> Result<TrialStream<'e, 'g, 'a>, SgcError> {
         if self.coloring.is_some() {
             return Err(SgcError::ColoringWithEstimate);
         }
@@ -435,9 +534,6 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
             return Err(SgcError::ZeroShards);
         }
         let plan = self.resolve_plan()?;
-        let graph = self.engine.graph;
-        let prep = &self.engine.prep;
-        let k = self.query.num_nodes();
         // Per-trial sharding only helps when the trials themselves run
         // sequentially: the shard fan-out then has the whole pool to
         // itself. Under parallel trials the pool is already saturated at
@@ -447,42 +543,140 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         // bit-identical either way, so those requests take the unsharded
         // per-trial path.
         let shards_per_trial = if self.parallel { None } else { self.shards };
-        let run_trial = |trial: usize| -> (Count, f64) {
-            let coloring = Coloring::random(
-                graph.num_vertices(),
-                k,
-                self.seed.wrapping_add(trial as u64),
-            );
-            let result = match shards_per_trial {
-                Some(num_shards) => count_sharded(
-                    graph,
-                    prep,
-                    &coloring,
-                    &plan,
-                    self.algorithm,
-                    self.num_ranks,
-                    num_shards,
+        Ok(TrialStream {
+            engine: self.engine,
+            plan,
+            algorithm: self.algorithm,
+            num_ranks: self.num_ranks,
+            seed: self.seed,
+            parallel: self.parallel,
+            shards_per_trial,
+            per_trial: Vec::new(),
+            acc: TrialAccumulator::new(),
+            total_seconds: 0.0,
+        })
+    }
+}
+
+/// An in-progress incremental estimation over one engine-bound query.
+///
+/// Created by [`CountRequest::estimate_incremental`]. Each
+/// [`run_chunk`](TrialStream::run_chunk) call executes the next batch of
+/// trials (trial `i` always colored with `seed + i`) and folds the counts
+/// into a streaming [`TrialAccumulator`]; callers consult
+/// [`relative_half_width`](TrialStream::relative_half_width) between chunks
+/// and stop as soon as their precision target is met. See
+/// [`CountRequest::estimate_incremental`] for the anytime-consistency
+/// contract and an example.
+#[must_use = "a TrialStream does nothing until run_chunk() is called"]
+pub struct TrialStream<'e, 'g, 'a> {
+    engine: &'e Engine<'g>,
+    plan: PlanRef<'a>,
+    algorithm: Algorithm,
+    num_ranks: usize,
+    seed: u64,
+    parallel: bool,
+    shards_per_trial: Option<usize>,
+    per_trial: Vec<Count>,
+    acc: TrialAccumulator,
+    total_seconds: f64,
+}
+
+impl TrialStream<'_, '_, '_> {
+    /// Runs the next `trials` trials (a no-op for zero) and returns the
+    /// updated streaming statistics.
+    ///
+    /// Chunks run in parallel over the current thread pool unless the
+    /// originating request set [`parallel(false)`](CountRequest::parallel);
+    /// results are bit-identical either way, and independent of how trials
+    /// are split into chunks.
+    pub fn run_chunk(&mut self, trials: usize) -> &TrialAccumulator {
+        if trials == 0 {
+            return &self.acc;
+        }
+        let start = self.per_trial.len();
+        let outcomes: Vec<(Count, f64)> = {
+            let graph = self.engine.graph();
+            let prep = &self.engine.prep;
+            let plan: &DecompositionTree = &self.plan;
+            let k = plan.query.num_nodes();
+            let seed = self.seed;
+            let algorithm = self.algorithm;
+            let num_ranks = self.num_ranks;
+            let shards_per_trial = self.shards_per_trial;
+            let run_trial = move |offset: usize| -> (Count, f64) {
+                let trial = start + offset;
+                let coloring =
+                    Coloring::random(graph.num_vertices(), k, seed.wrapping_add(trial as u64));
+                let result = match shards_per_trial {
+                    Some(num_shards) => count_sharded(
+                        graph, prep, &coloring, plan, algorithm, num_ranks, num_shards,
+                    )
+                    .expect("engine-drawn colorings always cover the graph"),
+                    None => {
+                        let ctx = Context::new(graph, prep, &coloring, num_ranks)
+                            .expect("engine-drawn colorings always cover the graph");
+                        count_with_context(&ctx, plan, algorithm)
+                    }
+                };
+                (
+                    result.colorful_matches,
+                    result.metrics.elapsed.as_secs_f64(),
                 )
-                .expect("engine-drawn colorings always cover the graph"),
-                None => {
-                    let ctx = Context::new(graph, prep, &coloring, self.num_ranks)
-                        .expect("engine-drawn colorings always cover the graph");
-                    count_with_context(&ctx, &plan, self.algorithm)
-                }
             };
-            (
-                result.colorful_matches,
-                result.metrics.elapsed.as_secs_f64(),
-            )
+            if self.parallel {
+                parallel_indexed(trials, run_trial)
+            } else {
+                (0..trials).map(run_trial).collect()
+            }
         };
-        let outcomes: Vec<(Count, f64)> = if self.parallel {
-            parallel_indexed(self.trials, run_trial)
-        } else {
-            (0..self.trials).map(run_trial).collect()
-        };
-        let total_seconds = outcomes.iter().map(|&(_, secs)| secs).sum();
-        let per_trial = outcomes.into_iter().map(|(count, _)| count).collect();
-        Ok(summarize_trials(per_trial, &plan.query, total_seconds))
+        for (count, seconds) in outcomes {
+            self.per_trial.push(count);
+            self.acc.push(count as f64);
+            self.total_seconds += seconds;
+        }
+        &self.acc
+    }
+
+    /// Number of trials executed so far.
+    pub fn trials_run(&self) -> usize {
+        self.per_trial.len()
+    }
+
+    /// Colorful-match count of every trial executed so far.
+    pub fn per_trial(&self) -> &[Count] {
+        &self.per_trial
+    }
+
+    /// The streaming statistics over the trials executed so far.
+    pub fn accumulator(&self) -> &TrialAccumulator {
+        &self.acc
+    }
+
+    /// Relative half-width of the confidence interval around the running
+    /// mean (see [`TrialAccumulator::relative_half_width`]) — the quantity
+    /// adaptive callers compare against their precision target after each
+    /// chunk. `f64::INFINITY` until at least two trials have run.
+    pub fn relative_half_width(&self, confidence: f64) -> f64 {
+        self.acc.relative_half_width(confidence)
+    }
+
+    /// Summarizes the trials executed so far into an [`Estimate`] —
+    /// bit-identical to what a batch
+    /// [`estimate`](CountRequest::estimate) of exactly
+    /// [`trials_run`](TrialStream::trials_run) trials would return.
+    ///
+    /// # Errors
+    /// [`SgcError::ZeroTrials`] if no trials have been run yet.
+    pub fn estimate(&self) -> Result<Estimate, SgcError> {
+        if self.per_trial.is_empty() {
+            return Err(SgcError::ZeroTrials);
+        }
+        Ok(summarize_trials(
+            self.per_trial.clone(),
+            &self.plan.query,
+            self.total_seconds,
+        ))
     }
 }
 
@@ -697,6 +891,108 @@ mod tests {
         assert_eq!(
             engine.count(&k4).run().unwrap_err(),
             SgcError::Query(QueryError::TreewidthExceeded)
+        );
+    }
+
+    #[test]
+    fn shared_and_borrowed_engines_are_interchangeable() {
+        let g = demo_graph();
+        let borrowed = Engine::new(&g);
+        let shared = Engine::from_shared(Arc::new(g.clone()));
+        let query = catalog::triangle();
+        let a = borrowed.count(&query).trials(8).seed(3).estimate().unwrap();
+        let b = shared.count(&query).trials(8).seed(3).estimate().unwrap();
+        assert_eq!(a.per_trial, b.per_trial);
+        assert_eq!(
+            borrowed
+                .count(&query)
+                .seed(1)
+                .run()
+                .unwrap()
+                .colorful_matches,
+            shared.count(&query).seed(1).run().unwrap().colorful_matches
+        );
+        // The shared engine is 'static: it can move into a spawned thread.
+        let moved = std::thread::spawn(move || {
+            shared
+                .count(&catalog::triangle())
+                .seed(1)
+                .run()
+                .unwrap()
+                .colorful_matches
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            moved,
+            borrowed
+                .count(&query)
+                .seed(1)
+                .run()
+                .unwrap()
+                .colorful_matches
+        );
+    }
+
+    #[test]
+    fn incremental_chunking_is_invariant_and_anytime_consistent() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let query = catalog::cycle(4);
+        let batch = engine.count(&query).trials(11).seed(77).estimate().unwrap();
+        // 3 + 5 + 3 trials through the stream: same per-trial counts, same
+        // estimate, regardless of the chunk boundaries.
+        let mut stream = engine
+            .count(&query)
+            .seed(77)
+            .estimate_incremental()
+            .unwrap();
+        stream.run_chunk(3);
+        stream.run_chunk(5);
+        assert_eq!(stream.trials_run(), 8);
+        assert_eq!(stream.per_trial(), &batch.per_trial[..8]);
+        // A prefix estimate equals a batch run of exactly that length.
+        let prefix = stream.estimate().unwrap();
+        let batch8 = engine.count(&query).trials(8).seed(77).estimate().unwrap();
+        assert_eq!(prefix.per_trial, batch8.per_trial);
+        assert_eq!(prefix.estimated_matches, batch8.estimated_matches);
+        stream.run_chunk(3);
+        let full = stream.estimate().unwrap();
+        assert_eq!(full.per_trial, batch.per_trial);
+        assert_eq!(full.estimated_matches, batch.estimated_matches);
+        // The streaming statistics agree with the batch summary.
+        let acc = stream.accumulator();
+        assert_eq!(acc.count(), 11);
+        assert!((acc.mean() - batch.mean_colorful).abs() < 1e-9);
+        assert!((acc.sample_variance() - batch.variance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream_reports_zero_trials_and_infinite_width() {
+        let g = demo_graph();
+        let engine = Engine::new(&g);
+        let triangle = catalog::triangle();
+        let stream = engine.count(&triangle).estimate_incremental().unwrap();
+        assert_eq!(stream.trials_run(), 0);
+        assert_eq!(stream.relative_half_width(0.95), f64::INFINITY);
+        assert_eq!(stream.estimate().unwrap_err(), SgcError::ZeroTrials);
+        // Validation errors surface at stream construction.
+        assert_eq!(
+            engine
+                .count(&catalog::triangle())
+                .ranks(0)
+                .estimate_incremental()
+                .err(),
+            Some(SgcError::ZeroRanks)
+        );
+        let coloring = Coloring::random(g.num_vertices(), 3, 0);
+        assert_eq!(
+            engine
+                .count(&catalog::triangle())
+                .coloring(&coloring)
+                .estimate_incremental()
+                .err(),
+            Some(SgcError::ColoringWithEstimate)
         );
     }
 

@@ -7,9 +7,12 @@
 //! variation of the per-trial estimates over 3 and 10 trials.
 //!
 //! The estimation loop itself lives in
-//! [`CountRequest::estimate`](crate::CountRequest::estimate); this module
-//! holds the statistics ([`Estimate`], [`scaling_factor`]) and the
-//! deprecated free-function shims.
+//! [`CountRequest::estimate`](crate::CountRequest::estimate) (and its
+//! incremental form, [`TrialStream`](crate::engine::TrialStream)); this
+//! module holds the statistics: [`Estimate`], [`scaling_factor`], and the
+//! streaming [`TrialAccumulator`] that lets adaptive callers watch the
+//! confidence interval tighten trial by trial and stop as soon as a target
+//! precision is met. The deprecated free-function shims also live here.
 
 use crate::config::CountConfig;
 use crate::engine::Engine;
@@ -63,6 +66,206 @@ pub struct Estimate {
     pub coefficient_of_variation: f64,
     /// Total elapsed time across trials, in seconds.
     pub total_seconds: f64,
+}
+
+impl Estimate {
+    /// Unbiased sample standard deviation of the per-trial colorful counts
+    /// (the square root of [`variance`](Estimate::variance)).
+    pub fn sample_std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Relative half-width of the normal-approximation confidence interval
+    /// around the estimate: `z(confidence) · s / (√n · mean)`.
+    ///
+    /// This is the per-trial precision signal the counting service's
+    /// adaptive scheduler stops on, exposed here so batch callers of
+    /// [`estimate`](crate::CountRequest::estimate) can apply the same
+    /// criterion after the fact. Because the `k^k/k!` scaling is a constant
+    /// factor, the relative width is identical whether measured on the mean
+    /// colorful count or on the scaled match estimate.
+    ///
+    /// Returns `0.0` when every trial produced the same *positive* count
+    /// (the interval has collapsed) and `f64::INFINITY` when fewer than two
+    /// trials were run or the mean is not positive — the latter includes
+    /// the all-zero case, where a run of zero counts on a rare subgraph is
+    /// "no information yet", not "precise zero".
+    pub fn relative_half_width(&self, confidence: f64) -> f64 {
+        let mut acc = TrialAccumulator::new();
+        for &count in &self.per_trial {
+            acc.push(count as f64);
+        }
+        acc.relative_half_width(confidence)
+    }
+}
+
+/// Streaming mean/variance over per-trial counts (Welford's algorithm),
+/// surfacing a normal-approximation confidence interval after every push.
+///
+/// This is the statistical half of adaptive trial scheduling: the trial loop
+/// feeds each colorful count in as it is produced, and the caller stops as
+/// soon as [`relative_half_width`](TrialAccumulator::relative_half_width)
+/// drops below its target. One pass, O(1) state, no stored samples.
+///
+/// ```
+/// use sgc_core::estimator::TrialAccumulator;
+///
+/// let mut acc = TrialAccumulator::new();
+/// for count in [96.0, 104.0, 100.0, 98.0, 102.0] {
+///     acc.push(count);
+/// }
+/// assert_eq!(acc.count(), 5);
+/// assert!((acc.mean() - 100.0).abs() < 1e-12);
+/// // Tightly clustered counts: the 95% interval is a few percent wide.
+/// assert!(acc.relative_half_width(0.95) < 0.05);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TrialAccumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl TrialAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TrialAccumulator::default()
+    }
+
+    /// Folds one per-trial count into the running statistics.
+    pub fn push(&mut self, value: f64) {
+        self.n += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of values accumulated.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`0.0` with fewer than two values).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n > 1 {
+            self.m2 / (self.n - 1) as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean, `s / √n` (`0.0` with fewer than two
+    /// values).
+    pub fn standard_error(&self) -> f64 {
+        if self.n > 1 {
+            self.sample_std_dev() / (self.n as f64).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Half-width of the two-sided normal-approximation confidence interval
+    /// around the mean: `z(confidence) · s / √n`. Returns `f64::INFINITY`
+    /// with fewer than two values (no variance information yet).
+    pub fn half_width(&self, confidence: f64) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        z_for_confidence(confidence) * self.standard_error()
+    }
+
+    /// [`half_width`](TrialAccumulator::half_width) divided by the mean —
+    /// the scale-free precision target of the adaptive scheduler.
+    ///
+    /// Degenerate cases are ordered so that "stop" decisions stay sound:
+    /// fewer than two values is `f64::INFINITY` (never stop on one trial);
+    /// a non-positive mean is `f64::INFINITY` — *including the all-zero
+    /// case*: for a rare subgraph every trial in an early chunk can
+    /// plausibly count zero while the true count is positive, so a run of
+    /// zeros is "no information yet", never "precise zero" (such jobs run
+    /// their full budget); a collapsed interval around a positive mean
+    /// (all values identical) is `0.0`.
+    pub fn relative_half_width(&self, confidence: f64) -> f64 {
+        if self.n < 2 {
+            return f64::INFINITY;
+        }
+        if self.mean <= 0.0 {
+            return f64::INFINITY;
+        }
+        if self.m2 == 0.0 {
+            return 0.0;
+        }
+        self.half_width(confidence) / self.mean
+    }
+}
+
+/// The two-sided critical value `z` with `P(|N(0,1)| ≤ z) = confidence`.
+///
+/// `confidence` is clamped to `(0, 1)`; e.g. `0.95` gives `z ≈ 1.96`.
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    let confidence = confidence.clamp(1e-9, 1.0 - 1e-9);
+    normal_quantile(0.5 + confidence / 2.0)
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)` for `p ∈ (0, 1)`, via Acklam's
+/// rational approximation (absolute error below `1.2e-9` — far finer than
+/// anything a trial-count stopping rule can resolve).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile needs p in (0, 1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
 }
 
 /// The `k^k / k!` factor that makes the colorful count an unbiased estimator
@@ -267,6 +470,106 @@ mod tests {
         let via_tree = estimate_count_with_tree(&g, &tree, &config).unwrap();
         assert_eq!(via_engine.per_trial, via_free.per_trial);
         assert_eq!(via_engine.per_trial, via_tree.per_trial);
+    }
+
+    #[test]
+    fn normal_quantile_hits_textbook_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.995) - 2.575829).abs() < 1e-4);
+        // Symmetry and the tail branches.
+        assert!((normal_quantile(0.01) + normal_quantile(0.99)).abs() < 1e-9);
+        assert!((z_for_confidence(0.95) - 1.959964).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.575829).abs() < 1e-4);
+    }
+
+    #[test]
+    fn accumulator_matches_two_pass_statistics() {
+        let samples = [3.0, 7.0, 7.0, 19.0, 24.0, 4.0, 11.0];
+        let mut acc = TrialAccumulator::new();
+        for &s in &samples {
+            acc.push(s);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert_eq!(acc.count(), samples.len() as u64);
+        assert!((acc.mean() - mean).abs() < 1e-12);
+        assert!((acc.sample_variance() - var).abs() < 1e-12);
+        assert!((acc.standard_error() - var.sqrt() / n.sqrt()).abs() < 1e-12);
+        let expected_hw = z_for_confidence(0.95) * var.sqrt() / n.sqrt();
+        assert!((acc.half_width(0.95) - expected_hw).abs() < 1e-12);
+        assert!((acc.relative_half_width(0.95) - expected_hw / mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_degenerate_cases_are_safe_for_stopping() {
+        // One value: no precision claim.
+        let mut one = TrialAccumulator::new();
+        one.push(5.0);
+        assert_eq!(one.half_width(0.95), f64::INFINITY);
+        assert_eq!(one.relative_half_width(0.95), f64::INFINITY);
+
+        // Identical positive values: collapsed interval, nothing to gain.
+        let mut same = TrialAccumulator::new();
+        same.push(5.0);
+        same.push(5.0);
+        same.push(5.0);
+        assert_eq!(same.relative_half_width(0.95), 0.0);
+
+        // All-zero counts: for a rare subgraph an early chunk can be all
+        // zeros while the true count is positive — never report "precise
+        // zero", so adaptive schedulers keep running the budget.
+        let mut zeros = TrialAccumulator::new();
+        zeros.push(0.0);
+        zeros.push(0.0);
+        zeros.push(0.0);
+        assert_eq!(zeros.relative_half_width(0.95), f64::INFINITY);
+
+        // Spread around a zero mean: relative target meaningless.
+        let mut centered = TrialAccumulator::new();
+        centered.push(-1.0);
+        centered.push(1.0);
+        assert_eq!(centered.relative_half_width(0.95), f64::INFINITY);
+    }
+
+    #[test]
+    fn estimate_exposes_the_same_precision_signal() {
+        let mut b = GraphBuilder::new(10);
+        b.extend_edges([
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (5, 6),
+            (6, 1),
+            (2, 7),
+            (7, 8),
+            (8, 3),
+            (4, 9),
+            (9, 0),
+            (5, 2),
+            (6, 3),
+        ]);
+        let g = b.build();
+        let est = Engine::new(&g)
+            .count(&catalog::triangle())
+            .trials(32)
+            .seed(5)
+            .estimate()
+            .unwrap();
+        assert!((est.sample_std_dev() - est.variance.sqrt()).abs() < 1e-12);
+        let mut acc = TrialAccumulator::new();
+        for &c in &est.per_trial {
+            acc.push(c as f64);
+        }
+        assert_eq!(est.relative_half_width(0.95), acc.relative_half_width(0.95));
+        // Widening the confidence level widens the interval.
+        if est.relative_half_width(0.95).is_finite() && est.relative_half_width(0.95) > 0.0 {
+            assert!(est.relative_half_width(0.99) > est.relative_half_width(0.95));
+        }
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub mod treelet;
 
 pub use config::{Algorithm, CountConfig};
 pub use driver::CountResult;
-pub use engine::{CountRequest, Engine};
+pub use engine::{CountRequest, Engine, TrialStream};
 pub use error::SgcError;
-pub use estimator::{Estimate, EstimateConfig};
+pub use estimator::{Estimate, EstimateConfig, TrialAccumulator};
 pub use metrics::{RunMetrics, ShardMetrics};
 pub use runtime::{ShardPlan, VertexShard};
 

@@ -7,9 +7,9 @@
 
 pub use crate::config::{Algorithm, CountConfig};
 pub use crate::driver::CountResult;
-pub use crate::engine::{CountRequest, Engine};
+pub use crate::engine::{CountRequest, Engine, TrialStream};
 pub use crate::error::SgcError;
-pub use crate::estimator::{Estimate, EstimateConfig};
+pub use crate::estimator::{Estimate, EstimateConfig, TrialAccumulator};
 pub use crate::metrics::{RunMetrics, ShardMetrics};
 pub use crate::runtime::{ShardPlan, VertexShard};
 pub use sgc_engine::{Count, Signature};

@@ -121,6 +121,37 @@ impl CsrGraph {
             .collect()
     }
 
+    /// A 64-bit structural fingerprint of the graph: an FNV-1a fold of the
+    /// vertex count and the full CSR adjacency structure.
+    ///
+    /// Two graphs have equal fingerprints exactly when they are equal as
+    /// labelled graphs (up to the astronomically unlikely hash collision);
+    /// the fingerprint is what result caches use to ask "is this the graph I
+    /// computed that answer on" without retaining the graph itself. The scan
+    /// is `O(n + m)`; callers that need it repeatedly should compute it once
+    /// and store it.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h = (h ^ byte as u64).wrapping_mul(PRIME);
+            }
+        };
+        fold(self.num_vertices() as u64);
+        // The offsets array pins every adjacency list to its owning vertex,
+        // so hashing offsets + neighbors distinguishes e.g. `0-1 2-3` from
+        // `0-2 1-3` even though both flatten to the same neighbor multiset.
+        for &offset in &self.offsets {
+            fold(offset as u64);
+        }
+        for &v in &self.neighbors {
+            fold(v as u64);
+        }
+        h
+    }
+
     /// Returns the connected components as a vector mapping each vertex to a
     /// component id in `0..num_components`.
     pub fn connected_components(&self) -> Vec<usize> {
@@ -214,5 +245,33 @@ mod tests {
     fn degree_sequence_matches_degrees() {
         let g = path_graph(4);
         assert_eq!(g.degree_sequence(), vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        let a = path_graph(5);
+        let b = path_graph(5);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Same vertex and edge counts, different edge set.
+        let mut alt = GraphBuilder::new(5);
+        alt.extend_edges([(0, 1), (1, 2), (2, 3), (2, 4)]);
+        assert_ne!(a.fingerprint(), alt.build().fingerprint());
+
+        // Same edges, one extra isolated vertex.
+        let mut padded = GraphBuilder::new(6);
+        padded.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_ne!(a.fingerprint(), padded.build().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_matchings_with_equal_neighbor_multisets() {
+        // 0-1 2-3 and 0-2 1-3 flatten to the same sorted neighbor arrays
+        // unless the per-vertex offsets participate in the hash.
+        let mut m1 = GraphBuilder::new(4);
+        m1.extend_edges([(0, 1), (2, 3)]);
+        let mut m2 = GraphBuilder::new(4);
+        m2.extend_edges([(0, 2), (1, 3)]);
+        assert_ne!(m1.build().fingerprint(), m2.build().fingerprint());
     }
 }

@@ -1,0 +1,111 @@
+//! Canonical, hashable identity of a query graph.
+//!
+//! Two independently built [`QueryGraph`]s that describe the same labelled
+//! graph (same node count, same edge set) must be treated as the *same*
+//! query by every cache in the system: the engine's decomposition-plan
+//! cache and the counting service's result cache both key their entries by
+//! this canonical form. Keeping the construction in one place guarantees
+//! that "would these caches consider the queries equal" can never diverge
+//! between layers.
+//!
+//! The key is deliberately *labelled* (node `0` of one query is node `0` of
+//! the other), not an isomorphism-invariant canonical form: callers that
+//! build the same query with permuted node labels get distinct keys and at
+//! worst a duplicate cache entry, never a wrong answer.
+
+use crate::graph::{QueryGraph, QueryNode};
+
+/// The canonical cache identity of a [`QueryGraph`]: its node count plus its
+/// sorted undirected edge list.
+///
+/// Construct it with [`canonical_key`]; equality and hashing follow the
+/// derived component-wise semantics.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CanonicalQueryKey {
+    nodes: usize,
+    edges: Vec<(QueryNode, QueryNode)>,
+}
+
+impl CanonicalQueryKey {
+    /// Number of nodes of the keyed query.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The sorted `(a, b)` edge list (`a < b`) of the keyed query.
+    pub fn edges(&self) -> &[(QueryNode, QueryNode)] {
+        &self.edges
+    }
+}
+
+/// Builds the [`CanonicalQueryKey`] of `query`.
+///
+/// ```
+/// use sgc_query::{canonical_key, QueryGraph};
+///
+/// // The same triangle described with edges in two different orders.
+/// let a = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+/// let b = QueryGraph::from_edges(3, &[(2, 0), (2, 1), (1, 0)]);
+/// assert_eq!(canonical_key(&a), canonical_key(&b));
+///
+/// // A different edge set is a different key.
+/// let path = QueryGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert_ne!(canonical_key(&a), canonical_key(&path));
+/// ```
+pub fn canonical_key(query: &QueryGraph) -> CanonicalQueryKey {
+    // `QueryGraph::edges` already yields each undirected edge once as
+    // `(a, b)` with `a < b` in lexicographic order; the sort is kept as a
+    // guard so the key stays canonical even if that iteration order ever
+    // changes.
+    let mut edges = query.edges();
+    edges.sort_unstable();
+    CanonicalQueryKey {
+        nodes: query.num_nodes(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn structurally_equal_queries_share_a_key() {
+        let built = catalog::triangle();
+        let by_hand = QueryGraph::from_edges(3, &[(2, 1), (0, 2), (1, 0)]);
+        assert_eq!(canonical_key(&built), canonical_key(&by_hand));
+    }
+
+    #[test]
+    fn node_count_distinguishes_keys_with_equal_edge_sets() {
+        // Same edges, one graph has an extra isolated node.
+        let small = QueryGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let padded = QueryGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_ne!(canonical_key(&small), canonical_key(&padded));
+        assert_eq!(canonical_key(&padded).num_nodes(), 4);
+    }
+
+    #[test]
+    fn key_exposes_sorted_edges() {
+        let q = QueryGraph::from_edges(4, &[(3, 2), (0, 3), (1, 0)]);
+        let key = canonical_key(&q);
+        assert_eq!(key.edges(), &[(0, 1), (0, 3), (2, 3)]);
+        assert!(key.edges().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn keys_are_usable_as_hash_map_keys() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(canonical_key(&catalog::triangle()), "triangle");
+        map.insert(canonical_key(&catalog::cycle(4)), "square");
+        assert_eq!(
+            map.get(&canonical_key(&QueryGraph::from_edges(
+                3,
+                &[(0, 1), (1, 2), (0, 2)]
+            ))),
+            Some(&"triangle")
+        );
+        assert_eq!(map.len(), 2);
+    }
+}

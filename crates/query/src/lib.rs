@@ -13,6 +13,8 @@
 //!   annotation count),
 //! * [`automorphism`] — automorphism counting, needed to convert match counts
 //!   into subgraph counts (Section 2),
+//! * [`key`] — the canonical cache identity of a query, shared by the
+//!   engine's plan cache and the service's result cache,
 //! * [`catalog`] — the Figure 8 query suite (analogs) plus the paper's
 //!   `Satellite` worked example and assorted simple queries.
 //!
@@ -25,6 +27,7 @@ pub mod catalog;
 pub mod decomposition;
 pub mod error;
 pub mod graph;
+pub mod key;
 pub mod plan;
 pub mod treewidth;
 
@@ -32,4 +35,5 @@ pub use block::{Block, BlockId, BlockKind};
 pub use decomposition::{decompose, DecompositionTree};
 pub use error::QueryError;
 pub use graph::{QueryGraph, QueryNode};
+pub use key::{canonical_key, CanonicalQueryKey};
 pub use plan::{enumerate_plans, heuristic_plan, PlanCost};

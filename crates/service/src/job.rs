@@ -1,0 +1,289 @@
+//! Job descriptions, completion handles and outputs.
+//!
+//! A [`CountJob`] is everything a caller wants counted: the query, the
+//! algorithm, the determinism seed, a trial *budget*, and optionally a
+//! [`Precision`] target that lets the scheduler stop early once the
+//! confidence interval is tight enough. Submission returns a [`JobHandle`];
+//! [`JobHandle::wait`] blocks until the worker pool produces a
+//! [`JobOutput`] (or a [`ServiceError`]).
+
+use crate::error::ServiceError;
+use sgc_core::{Algorithm, Estimate};
+use sgc_query::QueryGraph;
+use std::sync::{Condvar, Mutex};
+
+/// A precision target for adaptive trial scheduling: stop once the relative
+/// half-width of the confidence interval around the estimate drops to
+/// `target` or below.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Precision {
+    /// Maximum acceptable relative half-width (e.g. `0.1` = ±10%).
+    pub target: f64,
+    /// Confidence level of the interval (e.g. `0.95`).
+    pub confidence: f64,
+}
+
+impl Precision {
+    /// A target relative half-width at the conventional 95% confidence.
+    pub fn within(target: f64) -> Self {
+        Precision {
+            target,
+            confidence: 0.95,
+        }
+    }
+
+    /// Sets the confidence level.
+    pub fn at_confidence(mut self, confidence: f64) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), ServiceError> {
+        let ok = self.target.is_finite()
+            && self.target > 0.0
+            && self.confidence > 0.0
+            && self.confidence < 1.0;
+        if ok {
+            Ok(())
+        } else {
+            Err(ServiceError::InvalidPrecision {
+                target: self.target,
+                confidence: self.confidence,
+            })
+        }
+    }
+}
+
+/// One counting request, to be submitted with
+/// [`Service::submit`](crate::Service::submit).
+///
+/// Defaults mirror the paper's measurement conventions: the Degree Based
+/// algorithm, the engine's default seed, a 64-trial budget, and no early
+/// stopping (run the whole budget).
+#[derive(Clone, Debug)]
+pub struct CountJob {
+    /// The query to count.
+    pub query: QueryGraph,
+    /// Cycle-solving algorithm.
+    pub algorithm: Algorithm,
+    /// Base RNG seed; trial `i` colors with `seed + i`, exactly as in the
+    /// batch [`estimate`](sgc_core::CountRequest::estimate) API.
+    pub seed: u64,
+    /// Maximum number of trials the job may spend.
+    pub budget: usize,
+    /// Optional early-stop target; `None` runs the full budget.
+    pub precision: Option<Precision>,
+}
+
+impl CountJob {
+    /// A job counting `query` with the default algorithm, seed and budget.
+    pub fn new(query: QueryGraph) -> Self {
+        CountJob {
+            query,
+            algorithm: Algorithm::DegreeBased,
+            seed: 0x5eed,
+            budget: 64,
+            precision: None,
+        }
+    }
+
+    /// Selects the cycle-solving algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trial budget.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the early-stop precision target.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+}
+
+/// Why a job stopped running trials.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The confidence interval met the requested precision target before the
+    /// budget ran out.
+    PrecisionMet,
+    /// The trial budget was exhausted (always the reason when no precision
+    /// target was set).
+    BudgetExhausted,
+}
+
+/// The result of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// The estimate over the trials that actually ran. Anytime-consistent:
+    /// bit-identical to a batch `estimate()` of exactly `trials_run` trials
+    /// with the job's seed.
+    pub estimate: Estimate,
+    /// Trials executed (`≤ budget`; strictly fewer when the precision target
+    /// stopped the job early).
+    pub trials_run: usize,
+    /// The budget the job was submitted with.
+    pub budget: usize,
+    /// Why the trial loop stopped.
+    pub stop: StopReason,
+    /// Whether this result was served from the result cache rather than
+    /// computed for this submission.
+    pub from_cache: bool,
+}
+
+/// Shared completion slot between a [`JobHandle`] and the worker pool.
+pub(crate) struct JobState {
+    slot: Mutex<Option<Result<JobOutput, ServiceError>>>,
+    ready: Condvar,
+}
+
+impl JobState {
+    pub(crate) fn new() -> Self {
+        JobState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Fills the slot (first writer wins) and wakes every waiter.
+    pub(crate) fn fulfill(&self, result: Result<JobOutput, ServiceError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(result);
+            self.ready.notify_all();
+        }
+    }
+
+    pub(crate) fn is_fulfilled(&self) -> bool {
+        self.slot
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .is_some()
+    }
+
+    fn wait(&self) -> Result<JobOutput, ServiceError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn peek(&self) -> Option<Result<JobOutput, ServiceError>> {
+        self.slot.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+/// A handle to one submitted job.
+///
+/// Obtained from [`Service::submit`](crate::Service::submit). Dropping the
+/// handle does not cancel the job; it simply discards the result.
+pub struct JobHandle {
+    pub(crate) state: std::sync::Arc<JobState>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("completed", &self.state.is_fulfilled())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job completes and returns its output.
+    pub fn wait(self) -> Result<JobOutput, ServiceError> {
+        self.state.wait()
+    }
+
+    /// Returns the result if the job has already completed, without
+    /// blocking.
+    pub fn try_result(&self) -> Option<Result<JobOutput, ServiceError>> {
+        self.state.peek()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgc_query::catalog;
+
+    #[test]
+    fn job_builder_sets_every_field() {
+        let job = CountJob::new(catalog::triangle())
+            .algorithm(Algorithm::PathSplitting)
+            .seed(9)
+            .budget(128)
+            .precision(Precision::within(0.05).at_confidence(0.99));
+        assert_eq!(job.algorithm, Algorithm::PathSplitting);
+        assert_eq!(job.seed, 9);
+        assert_eq!(job.budget, 128);
+        let p = job.precision.unwrap();
+        assert_eq!(p.target, 0.05);
+        assert_eq!(p.confidence, 0.99);
+    }
+
+    #[test]
+    fn precision_validation() {
+        assert!(Precision::within(0.1).validate().is_ok());
+        for bad in [
+            Precision::within(0.0),
+            Precision::within(-1.0),
+            Precision::within(f64::NAN),
+            Precision::within(f64::INFINITY),
+            Precision::within(0.1).at_confidence(0.0),
+            Precision::within(0.1).at_confidence(1.0),
+        ] {
+            assert!(matches!(
+                bad.validate(),
+                Err(ServiceError::InvalidPrecision { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn job_state_fulfill_once_and_wait() {
+        let state = std::sync::Arc::new(JobState::new());
+        assert!(!state.is_fulfilled());
+        state.fulfill(Err(ServiceError::WorkerLost));
+        // Second fulfillment is ignored: first writer wins.
+        state.fulfill(Err(ServiceError::ShuttingDown));
+        assert!(state.is_fulfilled());
+        let handle = JobHandle {
+            state: state.clone(),
+        };
+        assert!(matches!(
+            handle.try_result(),
+            Some(Err(ServiceError::WorkerLost))
+        ));
+        assert!(matches!(handle.wait(), Err(ServiceError::WorkerLost)));
+    }
+
+    #[test]
+    fn wait_blocks_until_a_worker_fulfills() {
+        let state = std::sync::Arc::new(JobState::new());
+        let handle = JobHandle {
+            state: state.clone(),
+        };
+        let waiter = std::thread::spawn(move || handle.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        state.fulfill(Err(ServiceError::ShuttingDown));
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(ServiceError::ShuttingDown)
+        ));
+    }
+}

@@ -1,0 +1,568 @@
+//! The counting service: bounded queue, worker pool, adaptive trial loop.
+//!
+//! One [`Service`] binds one data graph (through
+//! [`Engine::from_shared`](sgc_core::Engine::from_shared), so the expensive
+//! preprocessing runs exactly once) and serves concurrent [`CountJob`]s:
+//!
+//! * **admission control** — the work queue is bounded; a full queue rejects
+//!   with [`ServiceError::QueueFull`] instead of growing without limit,
+//! * **adaptive scheduling** — each job's trials run in fixed-size chunks
+//!   through the engine's incremental
+//!   [`TrialStream`](sgc_core::TrialStream); after every chunk the job's
+//!   confidence interval is checked against its
+//!   [`Precision`](crate::job::Precision) target and the job stops as soon
+//!   as the target is met (or the budget runs out),
+//! * **result caching** — deterministic jobs are memoized and
+//!   single-flighted (see [`crate::cache`]); identical submissions are
+//!   served without recomputation, bit-identically.
+
+use crate::cache::{Claim, JobKey, ResultCache};
+use crate::error::ServiceError;
+use crate::job::{CountJob, JobHandle, JobOutput, JobState, StopReason};
+use crate::metrics::{Counters, ServiceMetrics};
+use sgc_core::Engine;
+use sgc_graph::CsrGraph;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Construction-time configuration of a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the queue. `0` is allowed and means "accept
+    /// but never process" — useful for inspecting admission control; real
+    /// deployments want at least 1.
+    pub workers: usize,
+    /// Maximum number of jobs waiting in the queue before submissions are
+    /// rejected with [`ServiceError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Trials per scheduling chunk: the granularity at which the adaptive
+    /// loop re-checks a job's precision target. Clamped to at least 1.
+    pub chunk_trials: usize,
+    /// Whether each chunk's trials additionally fan out over the rayon pool.
+    /// Off by default: the service's parallelism axis is *jobs across
+    /// workers*, and nested per-trial threading mostly adds scheduling
+    /// overhead. Results are bit-identical either way.
+    pub trial_parallelism: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_capacity: 64,
+            chunk_trials: 8,
+            trial_parallelism: false,
+        }
+    }
+}
+
+/// One queued job: the description plus the completion slot its
+/// [`JobHandle`] waits on.
+struct QueuedJob {
+    job: CountJob,
+    state: Arc<JobState>,
+}
+
+/// Queue state guarded by one mutex: the jobs and the shutdown latch.
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+/// Everything the workers share.
+struct Shared {
+    engine: Engine<'static>,
+    graph_fingerprint: u64,
+    queue_capacity: usize,
+    chunk_trials: usize,
+    trial_parallelism: bool,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    cache: ResultCache,
+    counters: Counters,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A concurrent counting service over one bound data graph.
+///
+/// See the [crate docs](crate) for the full tour and `Service::submit` for
+/// the job lifecycle. Dropping the service shuts it down: queued jobs are
+/// still drained by the workers, then the threads are joined.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service for `graph` with the default [`ServiceConfig`].
+    ///
+    /// Binding runs the engine's preprocessing pass once; every job shares
+    /// it.
+    pub fn new(graph: Arc<CsrGraph>) -> Self {
+        Service::with_config(graph, ServiceConfig::default())
+    }
+
+    /// Starts a service for `graph` with an explicit configuration.
+    pub fn with_config(graph: Arc<CsrGraph>, config: ServiceConfig) -> Self {
+        let graph_fingerprint = graph.fingerprint();
+        let shared = Arc::new(Shared {
+            engine: Engine::from_shared(graph),
+            graph_fingerprint,
+            queue_capacity: config.queue_capacity,
+            chunk_trials: config.chunk_trials.max(1),
+            trial_parallelism: config.trial_parallelism,
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            cache: ResultCache::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sgc-service-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn service worker thread")
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// Submits a job for asynchronous processing.
+    ///
+    /// Admission is the only blocking step (one short mutex acquisition):
+    /// the call returns a [`JobHandle`] immediately and the worker pool
+    /// picks the job up in FIFO order. If the job's determinism key matches
+    /// a cached or in-flight result, the handle is fulfilled from that
+    /// result without recomputation.
+    ///
+    /// # Errors
+    /// [`ServiceError::QueueFull`] when the bounded queue is at capacity,
+    /// [`ServiceError::ShuttingDown`] after [`shutdown`](Service::shutdown),
+    /// [`ServiceError::InvalidPrecision`] for an unusable precision target.
+    /// Counting-level failures (unplannable query, zero budget, …) are
+    /// reported through the handle instead, as
+    /// [`ServiceError::Count`].
+    pub fn submit(&self, job: CountJob) -> Result<JobHandle, ServiceError> {
+        if let Some(precision) = &job.precision {
+            precision.validate()?;
+        }
+        let state = Arc::new(JobState::new());
+        {
+            let mut queue = self.shared.lock_queue();
+            if queue.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if queue.jobs.len() >= self.shared.queue_capacity {
+                Counters::bump(&self.shared.counters.jobs_rejected);
+                return Err(ServiceError::QueueFull {
+                    capacity: self.shared.queue_capacity,
+                });
+            }
+            Counters::bump(&self.shared.counters.jobs_submitted);
+            queue.jobs.push_back(QueuedJob {
+                job,
+                state: Arc::clone(&state),
+            });
+        }
+        self.shared.available.notify_one();
+        Ok(JobHandle { state })
+    }
+
+    /// Submits a job and blocks until it completes — submission and
+    /// [`JobHandle::wait`] in one call.
+    pub fn run(&self, job: CountJob) -> Result<JobOutput, ServiceError> {
+        self.submit(job)?.wait()
+    }
+
+    /// A snapshot of the service counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let queue_depth = self.shared.lock_queue().jobs.len();
+        self.shared
+            .counters
+            .snapshot(queue_depth, self.shared.cache.ready_entries())
+    }
+
+    /// The shared engine the workers count with; exposed so callers can run
+    /// ad-hoc requests against the very same preprocessing and plan cache
+    /// the service uses.
+    pub fn engine(&self) -> &Engine<'static> {
+        &self.shared.engine
+    }
+
+    /// Stops accepting jobs, lets the workers drain everything already
+    /// queued, and joins them. Jobs still queued when no worker exists to
+    /// drain them (a zero-worker service) are failed with
+    /// [`ServiceError::ShuttingDown`]. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        {
+            let mut queue = self.shared.lock_queue();
+            if queue.shutdown && self.workers.is_empty() {
+                return;
+            }
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let leftovers: Vec<QueuedJob> = {
+            let mut queue = self.shared.lock_queue();
+            queue.jobs.drain(..).collect()
+        };
+        for queued in leftovers {
+            queued.state.fulfill(Err(ServiceError::ShuttingDown));
+        }
+        // Nothing can complete an in-flight computation once the workers
+        // are gone (only reachable if a worker died outside catch_unwind).
+        self.shared.cache.fail_in_flight(ServiceError::ShuttingDown);
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The worker thread body: pop, process, repeat; drain the queue fully
+/// before honoring shutdown.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let queued = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        process(&shared, queued);
+    }
+}
+
+/// Routes one job through the cache and, if this worker owns the
+/// computation, runs the adaptive trial loop and fans the result out to
+/// every identical job that joined in flight.
+fn process(shared: &Shared, queued: QueuedJob) {
+    let key = JobKey::new(shared.graph_fingerprint, &queued.job);
+    // Counters are always bumped BEFORE the corresponding handle is
+    // fulfilled: once a caller's wait() returns, the metrics already
+    // account for that job.
+    match shared.cache.claim(key.clone(), &queued.state) {
+        Claim::Served(output) => {
+            Counters::bump(&shared.counters.cache_hits);
+            Counters::bump(&shared.counters.jobs_completed);
+            queued.state.fulfill(Ok(output));
+        }
+        Claim::Joined => {
+            // This worker is done with the job: the computation's owner
+            // receives the handle from complete() and counts + fulfills it.
+        }
+        Claim::Compute => {
+            Counters::bump(&shared.counters.cache_misses);
+            // A panic in the counting code must neither kill the worker nor
+            // strand the jobs joined onto this computation.
+            let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
+                .unwrap_or(Err(ServiceError::WorkerLost));
+            if let Ok(output) = &result {
+                Counters::add(&shared.counters.trials_executed, output.trials_run as u64);
+                Counters::add(
+                    &shared.counters.trials_saved,
+                    output.budget.saturating_sub(output.trials_run) as u64,
+                );
+            }
+            let waiters = shared.cache.complete(key, &result);
+            // Joined twins are cache hits only when something was actually
+            // served from the cache: on an error nothing is cached and
+            // every joiner receives the failure, so counting them as hits
+            // would inflate the hit rate while cached_results stays 0.
+            if result.is_ok() {
+                Counters::add(&shared.counters.cache_hits, waiters.len() as u64);
+            }
+            Counters::add(&shared.counters.jobs_completed, 1 + waiters.len() as u64);
+            queued.state.fulfill(result.clone());
+            for waiter in waiters {
+                let served = result.clone().map(|mut output| {
+                    output.from_cache = true;
+                    output
+                });
+                waiter.fulfill(served);
+            }
+        }
+    }
+}
+
+/// The adaptive trial loop of one job: run chunks through the incremental
+/// engine API, stop at the precision target or the budget.
+fn run_job(shared: &Shared, job: &CountJob) -> Result<JobOutput, ServiceError> {
+    let mut stream = shared
+        .engine
+        .count(&job.query)
+        .algorithm(job.algorithm)
+        .seed(job.seed)
+        .parallel(shared.trial_parallelism)
+        .estimate_incremental()?;
+    let mut stop = StopReason::BudgetExhausted;
+    while stream.trials_run() < job.budget {
+        let chunk = shared.chunk_trials.min(job.budget - stream.trials_run());
+        stream.run_chunk(chunk);
+        if let Some(precision) = &job.precision {
+            if stream.relative_half_width(precision.confidence) <= precision.target {
+                stop = StopReason::PrecisionMet;
+                break;
+            }
+        }
+    }
+    let trials_run = stream.trials_run();
+    // A zero budget runs zero trials; the stream reports it as the same
+    // typed error the batch API uses.
+    let estimate = stream.estimate()?;
+    Ok(JobOutput {
+        estimate,
+        trials_run,
+        budget: job.budget,
+        stop,
+        from_cache: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Precision;
+    use sgc_graph::GraphBuilder;
+    use sgc_query::catalog;
+
+    fn demo_graph() -> Arc<CsrGraph> {
+        let mut b = GraphBuilder::new(10);
+        b.extend_edges([
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 5),
+            (5, 6),
+            (6, 1),
+            (2, 7),
+            (7, 8),
+            (8, 3),
+            (4, 9),
+            (9, 0),
+            (5, 2),
+            (6, 3),
+        ]);
+        Arc::new(b.build())
+    }
+
+    fn small_service(workers: usize) -> Service {
+        Service::with_config(
+            demo_graph(),
+            ServiceConfig {
+                workers,
+                queue_capacity: 16,
+                chunk_trials: 4,
+                trial_parallelism: false,
+            },
+        )
+    }
+
+    #[test]
+    fn a_job_matches_the_batch_engine_api() {
+        let service = small_service(2);
+        let output = service
+            .run(CountJob::new(catalog::triangle()).seed(11).budget(12))
+            .unwrap();
+        assert_eq!(output.trials_run, 12);
+        assert_eq!(output.stop, StopReason::BudgetExhausted);
+        assert!(!output.from_cache);
+        let batch = service
+            .engine()
+            .count(&catalog::triangle())
+            .trials(12)
+            .seed(11)
+            .estimate()
+            .unwrap();
+        assert_eq!(output.estimate.per_trial, batch.per_trial);
+        assert_eq!(output.estimate.estimated_matches, batch.estimated_matches);
+    }
+
+    #[test]
+    fn identical_resubmission_is_a_cache_hit_with_identical_bits() {
+        let service = small_service(1);
+        let job = CountJob::new(catalog::triangle()).seed(3).budget(8);
+        let first = service.run(job.clone()).unwrap();
+        let second = service.run(job).unwrap();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(first.estimate.per_trial, second.estimate.per_trial);
+        assert_eq!(
+            first.estimate.estimated_matches.to_bits(),
+            second.estimate.estimated_matches.to_bits()
+        );
+        let metrics = service.metrics();
+        assert_eq!(metrics.cache_misses, 1);
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.cached_results, 1);
+        assert_eq!(metrics.jobs_completed, 2);
+    }
+
+    #[test]
+    fn zero_worker_service_exposes_admission_control_deterministically() {
+        let mut service = Service::with_config(
+            demo_graph(),
+            ServiceConfig {
+                workers: 0,
+                queue_capacity: 2,
+                chunk_trials: 4,
+                trial_parallelism: false,
+            },
+        );
+        let a = service.submit(CountJob::new(catalog::triangle())).unwrap();
+        let _b = service.submit(CountJob::new(catalog::cycle(4))).unwrap();
+        let err = service
+            .submit(CountJob::new(catalog::triangle()).seed(99))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::QueueFull { capacity: 2 });
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_submitted, 2);
+        assert_eq!(metrics.jobs_rejected, 1);
+        assert_eq!(metrics.queue_depth, 2);
+        // Nobody drains a zero-worker queue: shutdown fails the stragglers.
+        service.shutdown();
+        assert!(matches!(a.wait(), Err(ServiceError::ShuttingDown)));
+        let err = service.submit(CountJob::new(catalog::triangle()));
+        assert_eq!(err.unwrap_err(), ServiceError::ShuttingDown);
+    }
+
+    #[test]
+    fn counting_errors_reach_the_handle_as_typed_errors() {
+        let service = small_service(1);
+        // Treewidth > 2: rejected by the planner inside the worker.
+        let mut k4 = sgc_query::QueryGraph::new(4);
+        for a in 0..4u8 {
+            for b in (a + 1)..4 {
+                k4.add_edge(a, b);
+            }
+        }
+        let err = service.run(CountJob::new(k4)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Count(sgc_core::SgcError::Query(_))
+        ));
+        // Zero budget: zero trials.
+        let err = service
+            .run(CountJob::new(catalog::triangle()).budget(0))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::Count(sgc_core::SgcError::ZeroTrials));
+        // Invalid precision is rejected at submission.
+        let err = service
+            .submit(CountJob::new(catalog::triangle()).precision(Precision::within(0.0)))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidPrecision { .. }));
+        // Errors are not cached: no key holds a completed entry.
+        assert_eq!(service.metrics().cached_results, 0);
+    }
+
+    #[test]
+    fn failing_jobs_never_count_as_cache_hits() {
+        let service = small_service(1);
+        let mut k4 = sgc_query::QueryGraph::new(4);
+        for a in 0..4u8 {
+            for b in (a + 1)..4 {
+                k4.add_edge(a, b);
+            }
+        }
+        let job = CountJob::new(k4);
+        assert!(service.run(job.clone()).is_err());
+        assert!(service.run(job).is_err());
+        let metrics = service.metrics();
+        // Errors are not cached, so the second identical job recomputed:
+        // two misses, zero hits, nothing stored.
+        assert_eq!(metrics.cache_misses, 2);
+        assert_eq!(metrics.cache_hits, 0);
+        assert_eq!(metrics.cached_results, 0);
+        assert_eq!(metrics.jobs_completed, 2);
+    }
+
+    #[test]
+    fn all_zero_counts_never_early_stop_as_a_precise_zero() {
+        // A path graph has no triangles: every trial counts zero. A
+        // precision-targeted job must not mistake that run of zeros for a
+        // met target — it spends its whole budget and reports a zero
+        // estimate with BudgetExhausted.
+        let mut b = GraphBuilder::new(8);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let service = Service::with_config(
+            Arc::new(b.build()),
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 4,
+                chunk_trials: 4,
+                trial_parallelism: false,
+            },
+        );
+        let output = service
+            .run(
+                CountJob::new(catalog::triangle())
+                    .seed(5)
+                    .budget(20)
+                    .precision(Precision::within(0.5)),
+            )
+            .unwrap();
+        assert_eq!(output.stop, StopReason::BudgetExhausted);
+        assert_eq!(output.trials_run, 20);
+        assert_eq!(output.estimate.estimated_matches, 0.0);
+        assert_eq!(service.metrics().trials_saved, 0);
+    }
+
+    #[test]
+    fn precision_target_stops_before_the_budget() {
+        let service = small_service(1);
+        // A very loose target on a triangle-rich graph: a handful of chunks
+        // suffices, far below the 400-trial budget.
+        let output = service
+            .run(
+                CountJob::new(catalog::triangle())
+                    .seed(1000)
+                    .budget(400)
+                    .precision(Precision::within(0.5)),
+            )
+            .unwrap();
+        assert_eq!(output.stop, StopReason::PrecisionMet);
+        assert!(
+            output.trials_run < output.budget,
+            "expected early stop, ran {}/{}",
+            output.trials_run,
+            output.budget
+        );
+        // The precision the scheduler stopped on is reproducible from the
+        // returned estimate.
+        assert!(output.estimate.relative_half_width(0.95) <= 0.5);
+        let metrics = service.metrics();
+        assert_eq!(
+            metrics.trials_saved,
+            (output.budget - output.trials_run) as u64
+        );
+    }
+}

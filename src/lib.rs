@@ -36,7 +36,16 @@ pub use sgc_engine as engine;
 pub use sgc_gen as gen;
 pub use sgc_graph as graph;
 pub use sgc_query as query;
+pub use sgc_service as service;
 pub use sgc_theory as theory;
 
 pub use sgc_core::prelude;
 pub use sgc_core::prelude::*;
+
+// The service front door, re-exported at the top level: binding a
+// `Service` is the recommended way to share one graph across many
+// concurrent callers.
+pub use sgc_service::{
+    CountJob, JobHandle, JobOutput, Precision, Service, ServiceConfig, ServiceError,
+    ServiceMetrics, StopReason,
+};

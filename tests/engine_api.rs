@@ -222,3 +222,93 @@ fn engine_estimates_converge_like_the_old_free_functions() {
         est.estimated_matches
     );
 }
+
+#[test]
+fn one_engine_survives_many_concurrent_counting_threads() {
+    // The Mutex-guarded plan cache under real contention: many threads,
+    // one shared engine, a mix of queries that are and are not already
+    // planned, runs and estimates interleaved. Every thread must see
+    // exactly the counts a single-threaded engine produces.
+    let graph = gnp(28, 0.25, 4);
+    let engine = Engine::new(&graph);
+    let queries = [catalog::triangle(), catalog::cycle(4), catalog::glet1()];
+
+    // Single-threaded reference results.
+    let expected_runs: Vec<u64> = queries
+        .iter()
+        .map(|q| engine.count(q).seed(7).run().unwrap().colorful_matches)
+        .collect();
+    let expected_estimates: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .count(q)
+                .trials(6)
+                .seed(40)
+                .estimate()
+                .unwrap()
+                .per_trial
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let engine = &engine;
+            let queries = &queries;
+            let expected_runs = &expected_runs;
+            let expected_estimates = &expected_estimates;
+            scope.spawn(move || {
+                for round in 0..4 {
+                    // Shift the query order per worker so distinct queries
+                    // race each other in the plan cache, not just the same
+                    // entry.
+                    let qi = (worker + round) % queries.len();
+                    let run = engine
+                        .count(&queries[qi])
+                        .seed(7)
+                        .run()
+                        .unwrap()
+                        .colorful_matches;
+                    assert_eq!(run, expected_runs[qi], "worker {worker} round {round}");
+                    let est = engine
+                        .count(&queries[qi])
+                        .trials(6)
+                        .seed(40)
+                        .estimate()
+                        .unwrap();
+                    assert_eq!(
+                        est.per_trial, expected_estimates[qi],
+                        "worker {worker} round {round}"
+                    );
+                }
+            });
+        }
+    });
+
+    // Racing planners may both plan a query, but the cache must converge to
+    // exactly one entry per distinct query.
+    assert_eq!(engine.cached_plans(), queries.len());
+}
+
+#[test]
+fn concurrent_planning_of_the_same_query_caches_one_plan() {
+    let graph = gnp(16, 0.3, 5);
+    let engine = Engine::new(&graph);
+    assert_eq!(engine.cached_plans(), 0);
+    let plans: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = &engine;
+                scope.spawn(move || engine.plan(&catalog::cycle(5)).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(engine.cached_plans(), 1);
+    // Whoever won the insertion race, every thread was handed the single
+    // cached plan object (the `or_insert` winner).
+    let canonical = engine.plan(&catalog::cycle(5)).unwrap();
+    for plan in &plans {
+        assert!(std::sync::Arc::ptr_eq(plan, &canonical));
+    }
+}

@@ -1,0 +1,291 @@
+//! Integration tests of the `sgc-service` layer through the facade crate:
+//! the adaptive scheduler's determinism contract (anytime consistency with
+//! the batch engine API), early stopping under a precision target, and
+//! result-cache correctness under concurrent identical submissions.
+
+use std::sync::Arc;
+use subgraph_counting::gen::erdos_renyi::gnp;
+use subgraph_counting::graph::CsrGraph;
+use subgraph_counting::query::catalog;
+use subgraph_counting::{
+    CountJob, Engine, Precision, Service, ServiceConfig, ServiceError, StopReason,
+};
+
+fn service_graph() -> Arc<CsrGraph> {
+    Arc::new(gnp(60, 0.12, 42))
+}
+
+fn config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        queue_capacity: 64,
+        chunk_trials: 4,
+        trial_parallelism: false,
+    }
+}
+
+/// Acceptance: for a fixed seed, an early-stopped estimate equals a
+/// fixed-trial estimate run for exactly the number of trials executed
+/// (trial `i` still colors with `seed + i`).
+#[test]
+fn early_stopped_jobs_are_anytime_consistent_with_the_batch_api() {
+    let graph = service_graph();
+    let service = Service::with_config(Arc::clone(&graph), config(2));
+
+    for (query, name) in [
+        (catalog::triangle(), "triangle"),
+        (catalog::cycle(4), "square"),
+    ] {
+        let output = service
+            .run(
+                CountJob::new(query.clone())
+                    .seed(500)
+                    .budget(200)
+                    .precision(Precision::within(0.4)),
+            )
+            .unwrap();
+        assert!(output.trials_run >= 1);
+
+        // A plain batch estimate of exactly `trials_run` trials — through a
+        // *fresh* engine, so the equality also covers engine construction.
+        let batch = Engine::new(&graph)
+            .count(&query)
+            .trials(output.trials_run)
+            .seed(500)
+            .estimate()
+            .unwrap();
+        assert_eq!(
+            output.estimate.per_trial, batch.per_trial,
+            "{name}: early-stopped per-trial counts must equal a batch run \
+             of the same length"
+        );
+        assert_eq!(
+            output.estimate.estimated_matches.to_bits(),
+            batch.estimated_matches.to_bits(),
+            "{name}: scaled estimates must be bit-identical"
+        );
+        assert_eq!(
+            output.estimate.variance.to_bits(),
+            batch.variance.to_bits(),
+            "{name}: precision statistics must be bit-identical"
+        );
+    }
+}
+
+/// Acceptance: a precision-satisfied job reports fewer trials than the
+/// budget on at least one catalog query.
+#[test]
+fn precision_targets_save_trials_on_catalog_queries() {
+    let graph = service_graph();
+    let service = Service::with_config(graph, config(2));
+    let budget = 300;
+    let mut stopped_early_somewhere = false;
+
+    for query in [catalog::triangle(), catalog::cycle(4), catalog::glet1()] {
+        let output = service
+            .run(
+                CountJob::new(query)
+                    .seed(1234)
+                    .budget(budget)
+                    .precision(Precision::within(0.5)),
+            )
+            .unwrap();
+        assert!(output.trials_run <= budget);
+        if output.stop == StopReason::PrecisionMet && output.trials_run < budget {
+            stopped_early_somewhere = true;
+            // The reported estimate must actually satisfy the target it
+            // claims to have met.
+            assert!(output.estimate.relative_half_width(0.95) <= 0.5);
+        }
+    }
+    assert!(
+        stopped_early_somewhere,
+        "a ±50% target should stop at least one catalog query before 300 trials"
+    );
+    let metrics = service.metrics();
+    assert!(metrics.trials_saved > 0);
+    assert_eq!(metrics.jobs_completed, 3);
+
+    // Determinism of the scheduler itself: a fresh service stops the same
+    // job after exactly the same number of trials.
+    let service2 = Service::with_config(service_graph(), config(1));
+    let a = service2
+        .run(
+            CountJob::new(catalog::triangle())
+                .seed(1234)
+                .budget(budget)
+                .precision(Precision::within(0.5)),
+        )
+        .unwrap();
+    let b = Service::with_config(service_graph(), config(4))
+        .run(
+            CountJob::new(catalog::triangle())
+                .seed(1234)
+                .budget(budget)
+                .precision(Precision::within(0.5)),
+        )
+        .unwrap();
+    assert_eq!(a.trials_run, b.trials_run);
+    assert_eq!(a.estimate.per_trial, b.estimate.per_trial);
+}
+
+/// Jobs without a precision target run their whole budget, and the result
+/// equals the batch API bit for bit.
+#[test]
+fn unbounded_jobs_exhaust_the_budget_and_match_the_engine() {
+    let graph = service_graph();
+    let service = Service::with_config(Arc::clone(&graph), config(3));
+    let output = service
+        .run(CountJob::new(catalog::glet1()).seed(77).budget(20))
+        .unwrap();
+    assert_eq!(output.trials_run, 20);
+    assert_eq!(output.stop, StopReason::BudgetExhausted);
+    let batch = service
+        .engine()
+        .count(&catalog::glet1())
+        .trials(20)
+        .seed(77)
+        .estimate()
+        .unwrap();
+    assert_eq!(output.estimate.per_trial, batch.per_trial);
+}
+
+/// Acceptance: N threads submitting the identical job produce one
+/// computation (hit-rate metric ≥ N−1 hits) and all receive bit-identical
+/// results.
+#[test]
+fn concurrent_identical_jobs_compute_once_and_agree_bitwise() {
+    const N: usize = 12;
+    let service = Service::with_config(service_graph(), config(4));
+    let job = CountJob::new(catalog::triangle())
+        .seed(9)
+        .budget(60)
+        .precision(Precision::within(0.3));
+
+    let outputs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let service = &service;
+                let job = job.clone();
+                scope.spawn(move || service.run(job).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let reference = &outputs[0];
+    for output in &outputs[1..] {
+        assert_eq!(output.estimate.per_trial, reference.estimate.per_trial);
+        assert_eq!(
+            output.estimate.estimated_matches.to_bits(),
+            reference.estimate.estimated_matches.to_bits()
+        );
+        assert_eq!(output.trials_run, reference.trials_run);
+        assert_eq!(output.stop, reference.stop);
+    }
+    // Exactly one submission computed; every other was a cache hit (served
+    // from the completed entry or joined onto the in-flight computation).
+    assert_eq!(outputs.iter().filter(|o| !o.from_cache).count(), 1);
+
+    let metrics = service.metrics();
+    assert_eq!(metrics.cache_misses, 1, "one computation for {N} twins");
+    assert!(
+        metrics.cache_hits >= (N - 1) as u64,
+        "expected at least {} hits, saw {}",
+        N - 1,
+        metrics.cache_hits
+    );
+    assert_eq!(metrics.jobs_completed, N as u64);
+    assert_eq!(metrics.trials_executed, reference.trials_run as u64);
+    assert_eq!(metrics.cached_results, 1);
+}
+
+/// Admission control: a full queue is a typed rejection, and shutdown is a
+/// typed rejection, never a hang or a panic.
+#[test]
+fn admission_control_and_shutdown_are_typed() {
+    let mut service = Service::with_config(
+        service_graph(),
+        ServiceConfig {
+            workers: 0, // accept-only: the queue fills deterministically
+            queue_capacity: 3,
+            chunk_trials: 4,
+            trial_parallelism: false,
+        },
+    );
+    let mut handles = Vec::new();
+    for seed in 0..3 {
+        handles.push(
+            service
+                .submit(CountJob::new(catalog::triangle()).seed(seed))
+                .unwrap(),
+        );
+    }
+    assert_eq!(
+        service
+            .submit(CountJob::new(catalog::triangle()).seed(99))
+            .unwrap_err(),
+        ServiceError::QueueFull { capacity: 3 }
+    );
+    let metrics = service.metrics();
+    assert_eq!(metrics.queue_depth, 3);
+    assert_eq!(metrics.jobs_rejected, 1);
+
+    service.shutdown();
+    for handle in handles {
+        assert!(matches!(handle.wait(), Err(ServiceError::ShuttingDown)));
+    }
+    assert_eq!(
+        service
+            .submit(CountJob::new(catalog::triangle()))
+            .unwrap_err(),
+        ServiceError::ShuttingDown
+    );
+}
+
+/// Counting errors surface through the handle; distinct precision targets
+/// are distinct cache keys.
+#[test]
+fn error_jobs_and_key_separation() {
+    let service = Service::with_config(service_graph(), config(2));
+    // Unplannable query.
+    let mut k4 = subgraph_counting::query::QueryGraph::new(4);
+    for a in 0..4u8 {
+        for b in (a + 1)..4 {
+            k4.add_edge(a, b);
+        }
+    }
+    assert!(matches!(
+        service.run(CountJob::new(k4)).unwrap_err(),
+        ServiceError::Count(subgraph_counting::SgcError::Query(_))
+    ));
+
+    // Same query/seed/budget at two precision targets: both compute (the
+    // key includes the target), and the tighter target runs at least as
+    // many trials.
+    let loose = service
+        .run(
+            CountJob::new(catalog::triangle())
+                .seed(5)
+                .budget(150)
+                .precision(Precision::within(0.6)),
+        )
+        .unwrap();
+    let tight = service
+        .run(
+            CountJob::new(catalog::triangle())
+                .seed(5)
+                .budget(150)
+                .precision(Precision::within(0.15)),
+        )
+        .unwrap();
+    assert!(!loose.from_cache);
+    assert!(!tight.from_cache);
+    assert!(tight.trials_run >= loose.trials_run);
+    // The shorter run is a strict prefix of the longer one: same seed, same
+    // per-trial contract.
+    assert_eq!(
+        loose.estimate.per_trial[..],
+        tight.estimate.per_trial[..loose.trials_run]
+    );
+}
