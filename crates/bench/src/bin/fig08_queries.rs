@@ -1,12 +1,16 @@
 //! Figure 8 — the real-world query suite.
 //!
-//! Prints the structural characteristics of every query analog: node/edge
-//! counts, longest cycle in the heuristic plan, number of decomposition
-//! plans, and automorphism count.
+//! Prints the structural characteristics of every registered query: node and
+//! edge counts, longest cycle in the heuristic plan, number of decomposition
+//! plans, and automorphism count. The rows come straight from the built-in
+//! [`Registry`] (the ten Figure 8 analogs plus the `satellite` worked
+//! example), so this binary and the name-resolution path of the service can
+//! never disagree about what a name means.
 
 use sgc_bench::print_header;
 use subgraph_counting::query::automorphism::count_automorphisms;
-use subgraph_counting::query::{catalog, enumerate_plans, heuristic_plan, PlanCost};
+use subgraph_counting::query::{enumerate_plans, heuristic_plan, PlanCost};
+use subgraph_counting::Registry;
 
 fn main() {
     print_header("Figure 8: query suite");
@@ -14,33 +18,21 @@ fn main() {
         "{:<10} {:>6} {:>6} {:>14} {:>8} {:>8} {:>6}  description",
         "query", "nodes", "edges", "longest cycle", "blocks", "plans", "aut"
     );
-    for spec in catalog::FIGURE8_QUERIES {
-        let q = (spec.build)();
-        let plan = heuristic_plan(&q).unwrap();
-        let plans = enumerate_plans(&q).unwrap();
+    for entry in Registry::builtin().entries() {
+        let q = entry.query();
+        let plan = heuristic_plan(q).expect("registered queries are treewidth-2");
+        let plans = enumerate_plans(q).unwrap();
         let cost = PlanCost::of(&plan);
         println!(
             "{:<10} {:>6} {:>6} {:>14} {:>8} {:>8} {:>6}  {}",
-            spec.name,
+            entry.name(),
             q.num_nodes(),
             q.num_edges(),
             cost.longest_cycle,
             plan.blocks.len(),
             plans.len(),
-            count_automorphisms(&q),
-            spec.description
+            count_automorphisms(q),
+            entry.description()
         );
     }
-    let sat = catalog::satellite();
-    let plan = heuristic_plan(&sat).unwrap();
-    println!(
-        "{:<10} {:>6} {:>6} {:>14} {:>8} {:>8} {:>6}  the paper's Figure 2 worked example",
-        "satellite",
-        sat.num_nodes(),
-        sat.num_edges(),
-        PlanCost::of(&plan).longest_cycle,
-        plan.blocks.len(),
-        enumerate_plans(&sat).unwrap().len(),
-        count_automorphisms(&sat),
-    );
 }

@@ -17,7 +17,7 @@ use subgraph_counting::core::{Algorithm, CountResult, Engine};
 use subgraph_counting::engine::parallel::run_with_threads;
 use subgraph_counting::gen::catalog::{GraphSpec, TABLE1_ANALOGS};
 use subgraph_counting::graph::{Coloring, CsrGraph};
-use subgraph_counting::query::{catalog, heuristic_plan, DecompositionTree, QueryGraph};
+use subgraph_counting::query::{catalog, heuristic_plan, DecompositionTree, QueryGraph, Registry};
 
 /// The default fraction of the paper's graph sizes used by the experiments.
 pub const DEFAULT_SCALE: f64 = 0.02;
@@ -119,19 +119,43 @@ pub struct BenchQuery {
     pub plan: DecompositionTree,
 }
 
-/// The Figure 8 query suite with heuristic plans.
+/// The benchmark query suite with heuristic plans.
+///
+/// An empty `subset` is the ten-query Figure 8 suite (the paper's 10×10
+/// cross product); a non-empty subset resolves each name through the
+/// built-in [`Registry`] — the same case-insensitive path the pattern
+/// parser and the service use, so `satellite` and mixed-case names work —
+/// and a name the registry does not know panics loudly instead of silently
+/// shrinking the experiment.
+///
+/// # Panics
+/// If `subset` contains a name the catalog does not register.
 pub fn benchmark_queries(subset: &[&str]) -> Vec<BenchQuery> {
-    catalog::FIGURE8_QUERIES
-        .iter()
-        .filter(|spec| subset.is_empty() || subset.contains(&spec.name))
-        .map(|spec| {
-            let query = (spec.build)();
-            let plan = heuristic_plan(&query).expect("catalog queries are treewidth-2");
-            BenchQuery {
-                name: spec.name,
-                query,
-                plan,
-            }
+    let registry = Registry::builtin();
+    let names: Vec<&'static str> = if subset.is_empty() {
+        catalog::FIGURE8_QUERIES.iter().map(|s| s.name).collect()
+    } else {
+        subset
+            .iter()
+            .map(|name| {
+                registry
+                    .get(name)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "unknown query `{name}` in experiment subset; registered names: {}",
+                            catalog::names().join(", ")
+                        )
+                    })
+                    .name()
+            })
+            .collect()
+    };
+    names
+        .into_iter()
+        .map(|name| {
+            let query = registry.build(name).expect("name resolved above");
+            let plan = heuristic_plan(&query).expect("registered queries are treewidth-2");
+            BenchQuery { name, query, plan }
         })
         .collect()
 }
@@ -272,6 +296,23 @@ mod tests {
         assert_eq!(queries.len(), QUICK_QUERIES.len());
         let all_queries = benchmark_queries(&[]);
         assert_eq!(all_queries.len(), 10);
+        // Every bench query name is a registered catalog name.
+        for q in &all_queries {
+            assert!(catalog::names().contains(&q.name));
+        }
+        // Subsets resolve case-insensitively and beyond Figure 8: the same
+        // registry path the pattern parser uses.
+        let cased = benchmark_queries(&["DROS", "satellite"]);
+        assert_eq!(cased.len(), 2);
+        assert_eq!(cased[0].name, "dros");
+        assert_eq!(cased[1].name, "satellite");
+        assert_eq!(cased[1].query.num_nodes(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown query `tirangle`")]
+    fn misspelled_subset_names_panic_loudly() {
+        benchmark_queries(&["tirangle"]);
     }
 
     #[test]

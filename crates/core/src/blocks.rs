@@ -338,7 +338,7 @@ mod tests {
         b.extend_edges([(0, 1), (1, 2), (2, 0)]);
         let g = b.build();
         let coloring = Coloring::from_colors(vec![0, 1, 2], 3);
-        let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
         let tree = decompose(&query).unwrap();
         let prep = crate::context::GraphPrep::new(&g);
         let ctx = Context::new(&g, &prep, &coloring, 4).unwrap();
@@ -364,7 +364,7 @@ mod tests {
         b.extend_edges([(0, 1), (1, 2), (2, 0)]);
         let g = b.build();
         let coloring = Coloring::from_colors(vec![0, 0, 1], 3);
-        let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
         let tree = decompose(&query).unwrap();
         let prep = crate::context::GraphPrep::new(&g);
         let ctx = Context::new(&g, &prep, &coloring, 2).unwrap();

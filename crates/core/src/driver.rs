@@ -209,7 +209,7 @@ mod tests {
         b.extend_edges([(0, 1), (1, 2)]);
         let g = b.build();
         let coloring = Coloring::from_colors(vec![0, 1, 0], 2);
-        let query = QueryGraph::from_edges(2, &[(0, 1)]);
+        let query = QueryGraph::from_edges(2, &[(0, 1)]).unwrap();
         let res = Engine::new(&g)
             .count(&query)
             .coloring(&coloring)

@@ -31,11 +31,15 @@ use crate::context::{Context, GraphPrep};
 use crate::driver::{count_with_context, CountResult};
 use crate::error::SgcError;
 use crate::estimator::{summarize_trials, Estimate, EstimateConfig, TrialAccumulator};
+use crate::explain::PlanReport;
 use crate::runtime::shard::count_sharded;
 use sgc_engine::parallel::parallel_indexed;
 use sgc_engine::Count;
 use sgc_graph::{Coloring, CsrGraph};
-use sgc_query::{canonical_key, heuristic_plan, CanonicalQueryKey, DecompositionTree, QueryGraph};
+use sgc_query::{
+    canonical_key, heuristic_plan, CanonicalQueryKey, DecompositionTree, Pattern, QueryGraph,
+};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -181,6 +185,88 @@ impl<'g> Engine<'g> {
     /// assert_eq!(result.colorful_matches, 6);
     /// ```
     pub fn count<'e, 'a>(&'e self, query: &'a QueryGraph) -> CountRequest<'e, 'g, 'a> {
+        self.request(Cow::Borrowed(query))
+    }
+
+    /// Starts a counting request for a textual pattern: the parsing front
+    /// door. The text is parsed with the built-in
+    /// [`Registry`](sgc_query::Registry) (edge lists, generator macros and
+    /// catalog names all work; see [`sgc_query::parse`] for the grammar) and
+    /// the resulting request behaves exactly like
+    /// [`count`](Engine::count) of the equivalent constructor-built query —
+    /// same plan cache entry, bit-identical counts.
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::GraphBuilder;
+    /// use sgc_query::catalog;
+    ///
+    /// let mut b = GraphBuilder::new(5);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]);
+    /// let graph = b.build();
+    /// let engine = Engine::new(&graph);
+    ///
+    /// let by_text = engine.count_str("a-b, b-c, c-a").unwrap().seed(7).run().unwrap();
+    /// let by_ctor = engine.count(&catalog::triangle()).seed(7).run().unwrap();
+    /// assert_eq!(by_text.colorful_matches, by_ctor.colorful_matches);
+    /// ```
+    ///
+    /// # Errors
+    /// [`SgcError::Pattern`] with the byte span of the offending token for
+    /// malformed patterns (never a panic).
+    pub fn count_str<'e, 'a>(
+        &'e self,
+        pattern: &str,
+    ) -> Result<CountRequest<'e, 'g, 'a>, SgcError> {
+        let query = Pattern::parse(pattern)?.into_query();
+        Ok(self.request(Cow::Owned(query)))
+    }
+
+    /// Explains what a request for `query` would do, without running it: the
+    /// candidate decomposition trees with their Section 6 cost vectors, the
+    /// heuristic's choice (exactly the plan [`Engine::plan`] caches), the
+    /// treewidth verdict, and upper bounds on the projection-table sizes on
+    /// this engine's graph. The returned [`PlanReport`] `Display`s as the
+    /// explain text.
+    ///
+    /// `&Pattern` dereferences to `&QueryGraph`, so parsed patterns can be
+    /// explained directly: `engine.explain(&pattern)`.
+    ///
+    /// # Errors
+    /// [`SgcError::Query`] for unplannable queries (empty, disconnected,
+    /// treewidth > 2).
+    pub fn explain(&self, query: &QueryGraph) -> Result<PlanReport, SgcError> {
+        crate::explain::build_report(
+            self.graph().num_vertices(),
+            query,
+            self.default_config.algorithm,
+        )
+    }
+
+    /// [`explain`](Engine::explain) for a textual pattern.
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::GraphBuilder;
+    ///
+    /// let mut b = GraphBuilder::new(4);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+    /// let graph = b.build();
+    /// let report = Engine::new(&graph).explain_str("cycle(3)").unwrap();
+    /// assert_eq!(report.num_nodes, 3);
+    /// assert_eq!(report.candidates.len(), 1);
+    /// println!("{report}"); // the explain text
+    /// ```
+    ///
+    /// # Errors
+    /// [`SgcError::Pattern`] for malformed patterns, plus everything
+    /// [`explain`](Engine::explain) reports.
+    pub fn explain_str(&self, pattern: &str) -> Result<PlanReport, SgcError> {
+        let query = Pattern::parse(pattern)?.into_query();
+        self.explain(&query)
+    }
+
+    fn request<'e, 'a>(&'e self, query: Cow<'a, QueryGraph>) -> CountRequest<'e, 'g, 'a> {
         let estimate_defaults = EstimateConfig::default();
         CountRequest {
             engine: self,
@@ -222,7 +308,7 @@ impl std::ops::Deref for PlanRef<'_> {
 #[must_use = "a CountRequest does nothing until .run() or .estimate() is called"]
 pub struct CountRequest<'e, 'g, 'a> {
     engine: &'e Engine<'g>,
-    query: &'a QueryGraph,
+    query: Cow<'a, QueryGraph>,
     algorithm: Algorithm,
     num_ranks: usize,
     coloring: Option<&'a Coloring>,
@@ -346,7 +432,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 // Same canonical form as the cache key, so "is this plan for
                 // this query" and "would the cache treat these queries as
                 // equal" can never diverge.
-                if canonical_key(&tree.query) != canonical_key(self.query) {
+                if canonical_key(&tree.query) != canonical_key(&self.query) {
                     return Err(SgcError::PlanQueryMismatch {
                         query_nodes: self.query.num_nodes(),
                         plan_nodes: tree.query.num_nodes(),
@@ -356,7 +442,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 }
                 Ok(PlanRef::Borrowed(tree))
             }
-            None => Ok(PlanRef::Cached(self.engine.plan(self.query)?)),
+            None => Ok(PlanRef::Cached(self.engine.plan(&self.query)?)),
         }
     }
 
@@ -780,7 +866,7 @@ mod tests {
         engine.plan(&catalog::cycle(4)).unwrap();
         assert_eq!(engine.cached_plans(), 2);
         // Structurally equal queries built independently share a plan.
-        let again = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let again = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
         let p3 = engine.plan(&again).unwrap();
         assert!(Arc::ptr_eq(&p1, &p3));
         assert_eq!(engine.cached_plans(), 2);
@@ -885,7 +971,7 @@ mod tests {
         let mut k4 = QueryGraph::new(4);
         for a in 0..4u8 {
             for b in (a + 1)..4 {
-                k4.add_edge(a, b);
+                k4.add_edge(a, b).unwrap();
             }
         }
         assert_eq!(

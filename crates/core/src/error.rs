@@ -5,7 +5,7 @@
 //! [`Engine`](crate::Engine) must be able to reject a bad request without
 //! aborting the process.
 
-use sgc_query::QueryError;
+use sgc_query::{PatternParseError, QueryError};
 
 /// Reasons a counting or estimation request cannot run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -13,6 +13,10 @@ pub enum SgcError {
     /// The query could not be planned (empty, disconnected, treewidth > 2,
     /// too many nodes, or no decomposition found).
     Query(QueryError),
+    /// A textual pattern could not be parsed. The wrapped error carries the
+    /// byte span of the offending token and renders a caret diagnostic; see
+    /// [`sgc_query::parse`].
+    Pattern(PatternParseError),
     /// The coloring does not assign a color to every vertex of the data
     /// graph.
     ColoringSizeMismatch {
@@ -61,6 +65,7 @@ impl std::fmt::Display for SgcError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SgcError::Query(e) => write!(f, "query cannot be planned: {e}"),
+            SgcError::Pattern(e) => write!(f, "pattern cannot be parsed: {}", e.message()),
             SgcError::ColoringSizeMismatch {
                 graph_vertices,
                 coloring_vertices,
@@ -99,6 +104,7 @@ impl std::error::Error for SgcError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SgcError::Query(e) => Some(e),
+            SgcError::Pattern(e) => Some(e),
             _ => None,
         }
     }
@@ -107,6 +113,12 @@ impl std::error::Error for SgcError {
 impl From<QueryError> for SgcError {
     fn from(e: QueryError) -> Self {
         SgcError::Query(e)
+    }
+}
+
+impl From<PatternParseError> for SgcError {
+    fn from(e: PatternParseError) -> Self {
+        SgcError::Pattern(e)
     }
 }
 
@@ -142,5 +154,17 @@ mod tests {
         assert_eq!(err, SgcError::Query(QueryError::Disconnected));
         let source = std::error::Error::source(&err).expect("Query wraps a source");
         assert!(source.to_string().contains("connected"));
+    }
+
+    #[test]
+    fn pattern_errors_convert_and_keep_their_span() {
+        let parse_err = sgc_query::Pattern::parse("a-a").unwrap_err();
+        let err = SgcError::from(parse_err.clone());
+        assert!(err.to_string().contains("self loop"));
+        match &err {
+            SgcError::Pattern(inner) => assert_eq!(inner.span(), parse_err.span()),
+            other => panic!("expected Pattern, got {other:?}"),
+        }
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -1,0 +1,274 @@
+//! The library-level `EXPLAIN` API: what would the engine do with a pattern?
+//!
+//! A query engine serving arbitrary patterns owes its callers a plan report
+//! *before* they pay for execution: which decomposition trees exist, which
+//! one the Section 6 heuristic picks and why, and how much table state a run
+//! is bounded by. [`Engine::explain`](crate::Engine::explain) returns that as
+//! a structured [`PlanReport`] (the data the `plan_explorer` example used to
+//! compute inline), and the report's `Display` renders the familiar explain
+//! text.
+
+use crate::config::Algorithm;
+use crate::error::SgcError;
+use sgc_query::automorphism::count_automorphisms;
+use sgc_query::treewidth::is_tree;
+use sgc_query::{enumerate_plans, DecompositionTree, PlanCost, QueryGraph};
+
+/// The planner's structural verdict on a query (queries that exceed
+/// treewidth 2 never get a report — they are rejected with
+/// [`SgcError::Query`] instead).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreewidthVerdict {
+    /// The query is a tree (treewidth 1): every block is a leaf edge and
+    /// the linear-time FASCIA-style DP applies.
+    Tree,
+    /// The query has cycles but treewidth ≤ 2: the paper's cycle-block
+    /// machinery is needed.
+    AtMostTwo,
+}
+
+impl std::fmt::Display for TreewidthVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreewidthVerdict::Tree => f.write_str("tree (treewidth 1)"),
+            TreewidthVerdict::AtMostTwo => f.write_str("cyclic, treewidth <= 2"),
+        }
+    }
+}
+
+/// One block of a candidate plan, with its predicted table bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockReport {
+    /// Kind and member nodes, e.g. `C(0,1,2)` or `L(0,3)`.
+    pub kind: String,
+    /// Cycle length (0 for a leaf edge).
+    pub cycle_length: usize,
+    /// Number of boundary nodes (0, 1 or 2).
+    pub boundary_nodes: usize,
+    /// Nodes of the subquery `SQ(B)` the block's table summarises.
+    pub subquery_nodes: usize,
+    /// Upper bound on the block's projection-table rows (see
+    /// [`PlanCandidate::predicted_rows`]).
+    pub predicted_rows: u64,
+}
+
+/// One candidate decomposition tree, costed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanCandidate {
+    /// The Section 6 cost vector (longest cycle, boundary nodes,
+    /// annotations) the heuristic compares lexicographically.
+    pub cost: PlanCost,
+    /// Per-block structure and table bounds.
+    pub blocks: Vec<BlockReport>,
+    /// The tree's canonical signature (the dedup identity).
+    pub signature: String,
+    /// Sum of the per-block [`BlockReport::predicted_rows`]: an upper bound
+    /// on the projection-table rows a run of this plan can materialise. Each
+    /// block with subquery size `s` and `b` boundary nodes is bounded by
+    /// `C(k, s) · n^b` rows — one per (signature, boundary image) pair —
+    /// with `k` colors and `n` data-graph vertices; only non-zero rows are
+    /// ever stored, so real tables are far smaller.
+    pub predicted_rows: u64,
+    /// Whether this is the plan the heuristic (and therefore
+    /// [`CountRequest::run`](crate::CountRequest::run)) would use.
+    pub chosen: bool,
+}
+
+/// The structured result of [`Engine::explain`](crate::Engine::explain).
+///
+/// `Display` renders the explain text; the fields are the machine-readable
+/// version. See `DESIGN.md` ("Pattern language & explain") for how each
+/// field maps to the paper's decomposition and cost notions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanReport {
+    /// The query in canonical pattern-language form (re-parseable).
+    pub pattern: String,
+    /// Number of query nodes `k`.
+    pub num_nodes: usize,
+    /// Number of query edges.
+    pub num_edges: usize,
+    /// Vertices in the engine's bound data graph (the `n` of the table
+    /// bounds).
+    pub graph_vertices: usize,
+    /// Structural verdict (tree vs general treewidth-2).
+    pub verdict: TreewidthVerdict,
+    /// `|Aut(Q)|`, the divisor that turns match counts into subgraph counts.
+    pub automorphisms: u64,
+    /// The cycle-solving algorithm a request would run with (the engine's
+    /// default; per-request overrides don't change the plan).
+    pub algorithm: Algorithm,
+    /// Every distinct decomposition tree, in enumeration order.
+    pub candidates: Vec<PlanCandidate>,
+    /// Index into [`candidates`](PlanReport::candidates) of the heuristic
+    /// choice.
+    pub chosen: usize,
+}
+
+impl PlanReport {
+    /// The candidate the heuristic selected (what
+    /// [`Engine::plan`](crate::Engine::plan) caches and every request
+    /// without an explicit plan runs).
+    pub fn chosen_candidate(&self) -> &PlanCandidate {
+        &self.candidates[self.chosen]
+    }
+}
+
+impl std::fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "pattern: {} ({} nodes, {} edges; {}; {} automorphisms)",
+            self.pattern, self.num_nodes, self.num_edges, self.verdict, self.automorphisms
+        )?;
+        writeln!(
+            f,
+            "algorithm: {} on a {}-vertex graph",
+            self.algorithm, self.graph_vertices
+        )?;
+        writeln!(f, "{} candidate decomposition(s):", self.candidates.len())?;
+        for (i, plan) in self.candidates.iter().enumerate() {
+            writeln!(
+                f,
+                "  plan {i:>2}: blocks={:<2} longest cycle={:<2} boundary nodes={:<2} \
+                 annotations={:<2} predicted rows <= {}{}",
+                plan.blocks.len(),
+                plan.cost.longest_cycle,
+                plan.cost.boundary_nodes,
+                plan.cost.annotations,
+                plan.predicted_rows,
+                if plan.chosen { "  <-- chosen" } else { "" }
+            )?;
+        }
+        writeln!(f, "chosen plan blocks:")?;
+        for (i, block) in self.chosen_candidate().blocks.iter().enumerate() {
+            writeln!(
+                f,
+                "  block {i}: {} boundary={} subquery nodes={} predicted rows <= {}",
+                block.kind, block.boundary_nodes, block.subquery_nodes, block.predicted_rows
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// `C(n, r)`, exact for the query domain (`n ≤ 32`, where the largest
+/// intermediate is far below `u64::MAX`).
+fn binomial(n: usize, r: usize) -> u64 {
+    if r > n {
+        return 0;
+    }
+    let r = r.min(n - r);
+    let mut out: u64 = 1;
+    for i in 0..r {
+        // out * (n - i) is always divisible by i + 1: it equals C(n, i+1)
+        // times (i + 1).
+        out = out * (n - i) as u64 / (i + 1) as u64;
+    }
+    out
+}
+
+/// Saturating `n^b` for the boundary-image factor (`b` is 0, 1 or 2).
+fn power(n: u64, b: usize) -> u64 {
+    (0..b).fold(1u64, |acc, _| acc.saturating_mul(n))
+}
+
+fn block_report(
+    tree: &DecompositionTree,
+    block: sgc_query::BlockId,
+    k: usize,
+    graph_vertices: usize,
+) -> BlockReport {
+    let b = &tree.blocks[block];
+    let subquery = tree.subquery_nodes(block).len();
+    let boundary = b.boundary.len();
+    let predicted = binomial(k, subquery).saturating_mul(power(graph_vertices as u64, boundary));
+    let kind = match &b.kind {
+        sgc_query::BlockKind::LeafEdge { boundary, leaf } => format!("L({boundary},{leaf})"),
+        sgc_query::BlockKind::Cycle { nodes } => format!(
+            "C({})",
+            nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    };
+    BlockReport {
+        kind,
+        cycle_length: b.cycle_length(),
+        boundary_nodes: boundary,
+        subquery_nodes: subquery,
+        predicted_rows: predicted,
+    }
+}
+
+/// Builds the report; the engine half lives in
+/// [`Engine::explain`](crate::Engine::explain).
+pub(crate) fn build_report(
+    graph_vertices: usize,
+    query: &QueryGraph,
+    algorithm: Algorithm,
+) -> Result<PlanReport, SgcError> {
+    let plans = enumerate_plans(query)?;
+    let k = query.num_nodes();
+    // The chosen candidate is identified by asking the heuristic itself, so
+    // the report can never desynchronize from the plan the engine caches
+    // and runs, whatever selection key `heuristic_plan` uses.
+    let heuristic_signature = sgc_query::heuristic_plan(query)?.signature();
+    let chosen = plans
+        .iter()
+        .position(|t| t.signature() == heuristic_signature)
+        .expect("the heuristic plan is one of the enumerated plans");
+    let candidates: Vec<PlanCandidate> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, tree)| {
+            let blocks: Vec<BlockReport> = (0..tree.blocks.len())
+                .map(|b| block_report(tree, b, k, graph_vertices))
+                .collect();
+            let predicted_rows = blocks
+                .iter()
+                .fold(0u64, |acc, b| acc.saturating_add(b.predicted_rows));
+            PlanCandidate {
+                cost: PlanCost::of(tree),
+                blocks,
+                signature: tree.signature(),
+                predicted_rows,
+                chosen: i == chosen,
+            }
+        })
+        .collect();
+    let verdict = if is_tree(query) {
+        TreewidthVerdict::Tree
+    } else {
+        TreewidthVerdict::AtMostTwo
+    };
+    Ok(PlanReport {
+        pattern: query.to_string(),
+        num_nodes: k,
+        num_edges: query.num_edges(),
+        graph_vertices,
+        verdict,
+        automorphisms: count_automorphisms(query),
+        algorithm,
+        candidates,
+        chosen,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_and_power_basics() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(3, 4), 0);
+        assert_eq!(binomial(32, 16), 601_080_390);
+        assert_eq!(power(10, 0), 1);
+        assert_eq!(power(10, 2), 100);
+        assert_eq!(power(u64::MAX, 2), u64::MAX);
+    }
+}

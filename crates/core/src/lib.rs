@@ -19,6 +19,10 @@
 //! * [`estimator`] — the approximate subgraph counting statistics: the
 //!   `k^k / k!` unbiased scaling and the precision metrics of Figure 15
 //!   (the trial loop itself lives in [`CountRequest::estimate`]),
+//! * [`explain`] — the library-level `EXPLAIN`: [`Engine::explain`] turns a
+//!   query or pattern string into a structured [`PlanReport`] (candidate
+//!   decompositions, Section 6 costs, predicted table bounds) before any
+//!   counting runs,
 //! * [`runtime`] — the sharded rank-runtime: vertex-partitioned execution
 //!   of the DP with explicit partial-sum exchange rounds, the shared-memory
 //!   realization of the paper's distributed rank model (Sections 5–7),
@@ -38,6 +42,7 @@ pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod estimator;
+pub mod explain;
 pub mod metrics;
 pub mod paths;
 pub mod prelude;
@@ -50,6 +55,7 @@ pub use driver::CountResult;
 pub use engine::{CountRequest, Engine, TrialStream};
 pub use error::SgcError;
 pub use estimator::{Estimate, EstimateConfig, TrialAccumulator};
+pub use explain::{BlockReport, PlanCandidate, PlanReport, TreewidthVerdict};
 pub use metrics::{RunMetrics, ShardMetrics};
 pub use runtime::{ShardPlan, VertexShard};
 

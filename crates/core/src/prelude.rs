@@ -10,11 +10,14 @@ pub use crate::driver::CountResult;
 pub use crate::engine::{CountRequest, Engine, TrialStream};
 pub use crate::error::SgcError;
 pub use crate::estimator::{Estimate, EstimateConfig, TrialAccumulator};
+pub use crate::explain::{BlockReport, PlanCandidate, PlanReport, TreewidthVerdict};
 pub use crate::metrics::{RunMetrics, ShardMetrics};
 pub use crate::runtime::{ShardPlan, VertexShard};
 pub use sgc_engine::{Count, Signature};
 pub use sgc_graph::{Coloring, CsrGraph, GraphBuilder, VertexId};
-pub use sgc_query::{decompose, heuristic_plan, DecompositionTree, QueryGraph};
+pub use sgc_query::{
+    decompose, heuristic_plan, DecompositionTree, Pattern, PatternParseError, QueryGraph, Registry,
+};
 
 #[allow(deprecated)]
 pub use crate::driver::{count_colorful, count_colorful_with_tree};

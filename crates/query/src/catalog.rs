@@ -12,6 +12,14 @@
 //! reproduced exactly from the text.
 
 use crate::graph::{QueryGraph, QueryNode};
+use crate::registry::Registry;
+
+/// Builds a catalog query from a static edge list. The lists below are
+/// simple, in range and duplicate-free by construction, so the typed
+/// [`from_edges`](QueryGraph::from_edges) errors are unreachable.
+fn build(num_nodes: usize, edges: &[(QueryNode, QueryNode)]) -> QueryGraph {
+    QueryGraph::from_edges(num_nodes, edges).expect("catalog edge lists are valid")
+}
 
 /// A named query in the catalog.
 #[derive(Clone, Copy, Debug)]
@@ -28,7 +36,8 @@ pub struct QuerySpec {
 pub fn path(n: usize) -> QueryGraph {
     let mut q = QueryGraph::new(n);
     for i in 1..n {
-        q.add_edge((i - 1) as QueryNode, i as QueryNode);
+        q.add_edge((i - 1) as QueryNode, i as QueryNode)
+            .expect("path edges are simple");
     }
     q
 }
@@ -38,7 +47,8 @@ pub fn cycle(n: usize) -> QueryGraph {
     assert!(n >= 3);
     let mut q = QueryGraph::new(n);
     for i in 0..n {
-        q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+        q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode)
+            .expect("cycle edges of length >= 3 are simple");
     }
     q
 }
@@ -52,7 +62,8 @@ pub fn triangle() -> QueryGraph {
 pub fn star(leaves: usize) -> QueryGraph {
     let mut q = QueryGraph::new(leaves + 1);
     for leaf in 1..=leaves {
-        q.add_edge(0, leaf as QueryNode);
+        q.add_edge(0, leaf as QueryNode)
+            .expect("star edges are simple");
     }
     q
 }
@@ -64,7 +75,23 @@ pub fn binary_tree(levels: usize) -> QueryGraph {
     let n = (1usize << levels) - 1;
     let mut q = QueryGraph::new(n);
     for i in 1..n {
-        q.add_edge(i as QueryNode, ((i - 1) / 2) as QueryNode);
+        q.add_edge(i as QueryNode, ((i - 1) / 2) as QueryNode)
+            .expect("binary tree edges are simple");
+    }
+    q
+}
+
+/// Complete graph `K_n`. Cliques beyond `K_3` have treewidth `n - 1 > 2`
+/// and are rejected by the planner; the constructor exists so the pattern
+/// language can express them (and report the treewidth error downstream
+/// instead of failing to parse).
+pub fn clique(n: usize) -> QueryGraph {
+    let mut q = QueryGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            q.add_edge(a as QueryNode, b as QueryNode)
+                .expect("clique edges are simple");
+        }
     }
     q
 }
@@ -72,7 +99,7 @@ pub fn binary_tree(levels: usize) -> QueryGraph {
 /// glet1 — the "house" graphlet: a 4-cycle fused with a triangle along an edge
 /// (5 nodes, longest cycle 4).
 pub fn glet1() -> QueryGraph {
-    QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 3)])
+    build(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 3)])
 }
 
 /// glet2 — the 5-cycle graphlet.
@@ -83,38 +110,38 @@ pub fn glet2() -> QueryGraph {
 /// youtube — spam-campaign motif: a triangle with two pendant accounts on the
 /// same hub (5 nodes, longest cycle 3). The cheapest query in the suite.
 pub fn youtube() -> QueryGraph {
-    QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (0, 4)])
+    build(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (0, 4)])
 }
 
 /// dros — Drosophila protein-interaction motif: a 4-cycle with two pendant
 /// proteins on opposite sides (6 nodes, longest cycle 4).
 pub fn dros() -> QueryGraph {
-    QueryGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (2, 5)])
+    build(6, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (2, 5)])
 }
 
 /// wiki — article-classification motif: a triangle with one pendant per
 /// corner (6 nodes, longest cycle 3).
 pub fn wiki() -> QueryGraph {
-    QueryGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5)])
+    build(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5)])
 }
 
 /// ecoli1 — E. coli regulatory motif: two triangles sharing a hub plus a
 /// pendant on the hub (6 nodes, longest cycle 3).
 pub fn ecoli1() -> QueryGraph {
-    QueryGraph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (0, 5)])
+    build(6, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0), (0, 5)])
 }
 
 /// ecoli2 — E. coli motif: a 5-cycle with two pendant genes on adjacent
 /// cycle nodes (7 nodes, longest cycle 5).
 pub fn ecoli2() -> QueryGraph {
-    QueryGraph::from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (1, 6)])
+    build(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 5), (1, 6)])
 }
 
 /// brain1 — connectome motif: a 6-cycle and a 4-cycle fused along one edge
 /// (8 nodes, longest cycle 6). This is the query whose two decomposition
 /// trees are discussed in Section 6.
 pub fn brain1() -> QueryGraph {
-    QueryGraph::from_edges(
+    build(
         8,
         &[
             (0, 1),
@@ -133,7 +160,7 @@ pub fn brain1() -> QueryGraph {
 /// brain2 — connectome motif: a 6-cycle with a triangle fused at a node and a
 /// pendant region (9 nodes, longest cycle 6).
 pub fn brain2() -> QueryGraph {
-    QueryGraph::from_edges(
+    build(
         9,
         &[
             (0, 1),
@@ -154,7 +181,7 @@ pub fn brain2() -> QueryGraph {
 /// between two hub regions (10 nodes, longest cycle 8). Section 8.2 reports
 /// it as the slowest query by a wide margin.
 pub fn brain3() -> QueryGraph {
-    QueryGraph::from_edges(
+    build(
         10,
         &[
             (0, 2),
@@ -176,7 +203,7 @@ pub fn brain3() -> QueryGraph {
 /// 5-cycle, two triangles and a pendant edge.
 pub fn satellite() -> QueryGraph {
     // a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10
-    QueryGraph::from_edges(
+    build(
         11,
         &[
             (0, 1),
@@ -251,15 +278,19 @@ pub const FIGURE8_QUERIES: &[QuerySpec] = &[
     },
 ];
 
-/// Looks up a Figure 8 query by name (case-insensitive).
+/// Looks up a registered query by name (case-insensitive), resolving
+/// through the built-in [`Registry`] — the same path the pattern parser and
+/// the service take, so "what does this name mean" can never diverge
+/// between layers.
 pub fn query_by_name(name: &str) -> Option<QueryGraph> {
-    if name.eq_ignore_ascii_case("satellite") {
-        return Some(satellite());
-    }
-    FIGURE8_QUERIES
-        .iter()
-        .find(|s| s.name.eq_ignore_ascii_case(name))
-        .map(|s| (s.build)())
+    Registry::builtin().build(name)
+}
+
+/// Every name [`query_by_name`] resolves, in registration order (the ten
+/// Figure 8 queries followed by `satellite`). This is the single source of
+/// truth the bench binaries iterate instead of repeating name lists.
+pub fn names() -> Vec<&'static str> {
+    Registry::builtin().names()
 }
 
 #[cfg(test)]

@@ -543,7 +543,8 @@ pub(crate) mod tests {
     fn cycle_query(n: usize) -> QueryGraph {
         let mut q = QueryGraph::new(n);
         for i in 0..n {
-            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode)
+                .unwrap();
         }
         q
     }
@@ -551,7 +552,7 @@ pub(crate) mod tests {
     fn path_query(n: usize) -> QueryGraph {
         let mut q = QueryGraph::new(n);
         for i in 1..n {
-            q.add_edge((i - 1) as QueryNode, i as QueryNode);
+            q.add_edge((i - 1) as QueryNode, i as QueryNode).unwrap();
         }
         q
     }
@@ -579,11 +580,12 @@ pub(crate) mod tests {
                 (5, 7),  // leaf f-h
             ],
         )
+        .unwrap()
     }
 
     #[test]
     fn single_edge_decomposes_to_one_leaf_block() {
-        let q = QueryGraph::from_edges(2, &[(0, 1)]);
+        let q = QueryGraph::from_edges(2, &[(0, 1)]).unwrap();
         let t = decompose(&q).unwrap();
         assert_eq!(t.blocks.len(), 1);
         assert!(matches!(t.blocks[0].kind, BlockKind::LeafEdge { .. }));
@@ -613,7 +615,7 @@ pub(crate) mod tests {
 
     #[test]
     fn triangle_with_pendant() {
-        let q = QueryGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let q = QueryGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
         let t = decompose(&q).unwrap();
         t.verify().unwrap();
         assert_eq!(t.blocks.len(), 2);
@@ -641,7 +643,7 @@ pub(crate) mod tests {
         let mut q = QueryGraph::new(4);
         for a in 0..4u8 {
             for b in (a + 1)..4 {
-                q.add_edge(a, b);
+                q.add_edge(a, b).unwrap();
             }
         }
         assert_eq!(decompose(&q), Err(QueryError::TreewidthExceeded));
@@ -650,8 +652,8 @@ pub(crate) mod tests {
     #[test]
     fn disconnected_query_is_rejected() {
         let mut q = QueryGraph::new(4);
-        q.add_edge(0, 1);
-        q.add_edge(2, 3);
+        q.add_edge(0, 1).unwrap();
+        q.add_edge(2, 3).unwrap();
         assert_eq!(decompose(&q), Err(QueryError::Disconnected));
     }
 
@@ -675,7 +677,8 @@ pub(crate) mod tests {
 
     #[test]
     fn bowtie_two_triangles_sharing_a_node() {
-        let q = QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+        let q =
+            QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]).unwrap();
         let t = decompose(&q).unwrap();
         t.verify().unwrap();
         assert_eq!(t.blocks.len(), 2);
@@ -685,7 +688,8 @@ pub(crate) mod tests {
     #[test]
     fn house_query_fused_square_and_triangle() {
         // 4-cycle 0-1-2-3 plus apex 4 connected to 2 and 3 (sharing edge 2-3).
-        let q = QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 3)]);
+        let q =
+            QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 3)]).unwrap();
         let t = decompose(&q).unwrap();
         t.verify().unwrap();
         assert_eq!(t.blocks.len(), 2);

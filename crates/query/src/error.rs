@@ -1,5 +1,7 @@
 //! Errors reported by the query-side machinery.
 
+use crate::graph::QueryNode;
+
 /// Reasons a query graph cannot be processed by the treewidth-2 pipeline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
@@ -22,6 +24,31 @@ pub enum QueryError {
         /// Maximum supported number of query nodes / colors.
         max: usize,
     },
+    /// An edge `(a, a)` was added. Query graphs are simple: a colorful match
+    /// maps distinct query nodes to distinct vertices, so a self loop could
+    /// never be matched and is rejected at construction instead of being
+    /// silently dropped.
+    SelfLoop {
+        /// The node the loop was attached to.
+        node: QueryNode,
+    },
+    /// An edge was added twice. The adjacency bitmasks would absorb the
+    /// duplicate silently, which usually means the caller's edge list is
+    /// wrong (a typo, or an undirected edge listed in both directions), so
+    /// it is rejected at construction.
+    DuplicateEdge {
+        /// Smaller endpoint of the repeated edge.
+        a: QueryNode,
+        /// Larger endpoint of the repeated edge.
+        b: QueryNode,
+    },
+    /// An edge endpoint is not a node of the query.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: QueryNode,
+        /// Number of nodes in the query (valid nodes are `0..num_nodes`).
+        num_nodes: usize,
+    },
 }
 
 impl std::fmt::Display for QueryError {
@@ -38,6 +65,15 @@ impl std::fmt::Display for QueryError {
             ),
             QueryError::TooManyNodes { nodes, max } => {
                 write!(f, "query has {nodes} nodes, more than the supported {max}")
+            }
+            QueryError::SelfLoop { node } => {
+                write!(f, "self loop on node {node}: query graphs are simple")
+            }
+            QueryError::DuplicateEdge { a, b } => {
+                write!(f, "edge ({a}, {b}) was added twice")
+            }
+            QueryError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node {node} out of range for a {num_nodes}-node query")
             }
         }
     }
@@ -58,5 +94,15 @@ mod tests {
         assert!(QueryError::TooManyNodes { nodes: 40, max: 32 }
             .to_string()
             .contains("40"));
+        assert!(QueryError::SelfLoop { node: 3 }.to_string().contains("3"));
+        assert!(QueryError::DuplicateEdge { a: 1, b: 2 }
+            .to_string()
+            .contains("(1, 2)"));
+        assert!(QueryError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4
+        }
+        .to_string()
+        .contains("9"));
     }
 }

@@ -37,26 +37,49 @@ impl QueryGraph {
     }
 
     /// Builds a query graph from an edge list.
-    pub fn from_edges(num_nodes: usize, edges: &[(QueryNode, QueryNode)]) -> Self {
+    ///
+    /// # Errors
+    /// The same errors as [`add_edge`](QueryGraph::add_edge): a self loop, a
+    /// duplicated edge (including an undirected edge listed in both
+    /// directions), or an endpoint `≥ num_nodes`.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(QueryNode, QueryNode)],
+    ) -> Result<Self, QueryError> {
         let mut q = QueryGraph::new(num_nodes);
         for &(a, b) in edges {
-            q.add_edge(a, b);
+            q.add_edge(a, b)?;
         }
-        q
+        Ok(q)
     }
 
-    /// Adds the undirected edge `(a, b)`. Self loops are ignored.
-    pub fn add_edge(&mut self, a: QueryNode, b: QueryNode) {
+    /// Adds the undirected edge `(a, b)`.
+    ///
+    /// # Errors
+    /// [`QueryError::SelfLoop`] for `a == b`, [`QueryError::NodeOutOfRange`]
+    /// for an endpoint that is not a node, and [`QueryError::DuplicateEdge`]
+    /// if the edge is already present — query graphs are simple, and a
+    /// silently absorbed duplicate almost always means the caller's edge
+    /// list is wrong.
+    pub fn add_edge(&mut self, a: QueryNode, b: QueryNode) -> Result<(), QueryError> {
         if a == b {
-            return;
+            return Err(QueryError::SelfLoop { node: a });
         }
-        assert!(
-            (a as usize) < self.adjacency.len() && (b as usize) < self.adjacency.len(),
-            "edge ({a}, {b}) out of range for {}-node query",
-            self.adjacency.len()
-        );
+        let num_nodes = self.adjacency.len();
+        for node in [a, b] {
+            if node as usize >= num_nodes {
+                return Err(QueryError::NodeOutOfRange { node, num_nodes });
+            }
+        }
+        if self.has_edge(a, b) {
+            return Err(QueryError::DuplicateEdge {
+                a: a.min(b),
+                b: a.max(b),
+            });
+        }
         self.adjacency[a as usize] |= 1 << b;
         self.adjacency[b as usize] |= 1 << a;
+        Ok(())
     }
 
     /// Number of nodes `k`.
@@ -136,6 +159,11 @@ impl QueryGraph {
         visited.count_ones() as usize == n
     }
 
+    /// Nodes with no incident edge, in increasing order.
+    pub fn isolated_nodes(&self) -> Vec<QueryNode> {
+        self.nodes().filter(|&a| self.degree(a) == 0).collect()
+    }
+
     /// Validates that the query is usable by the counting pipeline: non-empty,
     /// connected and small enough for the signature width.
     pub fn validate(&self) -> Result<(), QueryError> {
@@ -155,12 +183,49 @@ impl QueryGraph {
     }
 }
 
+/// Renders the graph in the pattern language's canonical numeric form: the
+/// sorted edge list as `a-b` terms, followed by one bare term per isolated
+/// node, separated by `", "` — e.g. a triangle is `0-1, 0-2, 1-2`.
+///
+/// [`FromStr`](std::str::FromStr) parses this (and the rest of the pattern
+/// language) back, and the round trip is exact: for every non-empty graph
+/// `q`, `render(q).parse() == q`, including isolated nodes. The empty graph
+/// renders as the empty string, which the parser rejects.
+impl std::fmt::Display for QueryGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        let mut term = |f: &mut std::fmt::Formatter<'_>, text: String| {
+            let sep = if first { "" } else { ", " };
+            first = false;
+            write!(f, "{sep}{text}")
+        };
+        for (a, b) in self.edges() {
+            term(f, format!("{a}-{b}"))?;
+        }
+        for node in self.isolated_nodes() {
+            term(f, format!("{node}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses the full pattern language (edge pairs, generator macros, registry
+/// names); see [`crate::parse`] for the grammar. Inverse of
+/// [`Display`](QueryGraph#impl-Display-for-QueryGraph).
+impl std::str::FromStr for QueryGraph {
+    type Err = crate::parse::PatternParseError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        crate::parse::Pattern::parse(text).map(crate::parse::Pattern::into_query)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn triangle() -> QueryGraph {
-        QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+        QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
     }
 
     #[test]
@@ -184,8 +249,8 @@ mod tests {
     fn connectivity() {
         assert!(triangle().is_connected());
         let mut q = QueryGraph::new(4);
-        q.add_edge(0, 1);
-        q.add_edge(2, 3);
+        q.add_edge(0, 1).unwrap();
+        q.add_edge(2, 3).unwrap();
         assert!(!q.is_connected());
         assert!(!QueryGraph::new(0).is_connected());
         assert!(QueryGraph::new(1).is_connected());
@@ -195,22 +260,62 @@ mod tests {
     fn validate_rejects_bad_queries() {
         assert_eq!(QueryGraph::new(0).validate(), Err(QueryError::Empty));
         let mut q = QueryGraph::new(4);
-        q.add_edge(0, 1);
+        q.add_edge(0, 1).unwrap();
         assert_eq!(q.validate(), Err(QueryError::Disconnected));
         assert!(triangle().validate().is_ok());
     }
 
     #[test]
-    fn self_loops_ignored() {
+    fn self_loops_are_rejected() {
         let mut q = QueryGraph::new(2);
-        q.add_edge(1, 1);
+        assert_eq!(q.add_edge(1, 1), Err(QueryError::SelfLoop { node: 1 }));
         assert_eq!(q.num_edges(), 0);
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_range_edge_panics() {
+    fn duplicate_edges_are_rejected_in_both_directions() {
+        let mut q = QueryGraph::new(3);
+        q.add_edge(0, 1).unwrap();
+        assert_eq!(
+            q.add_edge(0, 1),
+            Err(QueryError::DuplicateEdge { a: 0, b: 1 })
+        );
+        assert_eq!(
+            q.add_edge(1, 0),
+            Err(QueryError::DuplicateEdge { a: 0, b: 1 })
+        );
+        assert_eq!(q.num_edges(), 1);
+        assert_eq!(
+            QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 1)]),
+            Err(QueryError::DuplicateEdge { a: 1, b: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_edges_are_rejected() {
         let mut q = QueryGraph::new(2);
-        q.add_edge(0, 5);
+        assert_eq!(
+            q.add_edge(0, 5),
+            Err(QueryError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            })
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_are_listed() {
+        let q = QueryGraph::from_edges(4, &[(1, 2)]).unwrap();
+        assert_eq!(q.isolated_nodes(), vec![0, 3]);
+        assert!(triangle().isolated_nodes().is_empty());
+    }
+
+    #[test]
+    fn display_renders_the_canonical_numeric_form() {
+        assert_eq!(triangle().to_string(), "0-1, 0-2, 1-2");
+        assert_eq!(QueryGraph::new(1).to_string(), "0");
+        let q = QueryGraph::from_edges(4, &[(2, 1)]).unwrap();
+        assert_eq!(q.to_string(), "1-2, 0, 3");
+        assert_eq!(QueryGraph::new(0).to_string(), "");
     }
 }

@@ -44,12 +44,12 @@ impl CanonicalQueryKey {
 /// use sgc_query::{canonical_key, QueryGraph};
 ///
 /// // The same triangle described with edges in two different orders.
-/// let a = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
-/// let b = QueryGraph::from_edges(3, &[(2, 0), (2, 1), (1, 0)]);
+/// let a = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+/// let b = QueryGraph::from_edges(3, &[(2, 0), (2, 1), (1, 0)]).unwrap();
 /// assert_eq!(canonical_key(&a), canonical_key(&b));
 ///
 /// // A different edge set is a different key.
-/// let path = QueryGraph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let path = QueryGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
 /// assert_ne!(canonical_key(&a), canonical_key(&path));
 /// ```
 pub fn canonical_key(query: &QueryGraph) -> CanonicalQueryKey {
@@ -73,22 +73,22 @@ mod tests {
     #[test]
     fn structurally_equal_queries_share_a_key() {
         let built = catalog::triangle();
-        let by_hand = QueryGraph::from_edges(3, &[(2, 1), (0, 2), (1, 0)]);
+        let by_hand = QueryGraph::from_edges(3, &[(2, 1), (0, 2), (1, 0)]).unwrap();
         assert_eq!(canonical_key(&built), canonical_key(&by_hand));
     }
 
     #[test]
     fn node_count_distinguishes_keys_with_equal_edge_sets() {
         // Same edges, one graph has an extra isolated node.
-        let small = QueryGraph::from_edges(3, &[(0, 1), (1, 2)]);
-        let padded = QueryGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let small = QueryGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let padded = QueryGraph::from_edges(4, &[(0, 1), (1, 2)]).unwrap();
         assert_ne!(canonical_key(&small), canonical_key(&padded));
         assert_eq!(canonical_key(&padded).num_nodes(), 4);
     }
 
     #[test]
     fn key_exposes_sorted_edges() {
-        let q = QueryGraph::from_edges(4, &[(3, 2), (0, 3), (1, 0)]);
+        let q = QueryGraph::from_edges(4, &[(3, 2), (0, 3), (1, 0)]).unwrap();
         let key = canonical_key(&q);
         assert_eq!(key.edges(), &[(0, 1), (0, 3), (2, 3)]);
         assert!(key.edges().windows(2).all(|w| w[0] < w[1]));
@@ -100,10 +100,9 @@ mod tests {
         map.insert(canonical_key(&catalog::triangle()), "triangle");
         map.insert(canonical_key(&catalog::cycle(4)), "square");
         assert_eq!(
-            map.get(&canonical_key(&QueryGraph::from_edges(
-                3,
-                &[(0, 1), (1, 2), (0, 2)]
-            ))),
+            map.get(&canonical_key(
+                &QueryGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+            )),
             Some(&"triangle")
         );
         assert_eq!(map.len(), 2);

@@ -16,7 +16,13 @@
 //! * [`key`] — the canonical cache identity of a query, shared by the
 //!   engine's plan cache and the service's result cache,
 //! * [`catalog`] — the Figure 8 query suite (analogs) plus the paper's
-//!   `Satellite` worked example and assorted simple queries.
+//!   `Satellite` worked example and assorted simple queries,
+//! * [`parse`] — the textual pattern language (`"a-b, b-c, c-a"`,
+//!   `cycle(5)`, catalog names), parsed into a [`Pattern`] with spanned
+//!   [`PatternParseError`]s and caret diagnostics,
+//! * [`registry`] — the name → query [`Registry`] behind
+//!   [`catalog::query_by_name`] and the parser's bare-name resolution,
+//!   extensible at runtime.
 //!
 //! Everything here is independent of the data graph: it is the paper's
 //! "planner" layer (Section 7) and runs in microseconds for 10-node queries.
@@ -28,7 +34,9 @@ pub mod decomposition;
 pub mod error;
 pub mod graph;
 pub mod key;
+pub mod parse;
 pub mod plan;
+pub mod registry;
 pub mod treewidth;
 
 pub use block::{Block, BlockId, BlockKind};
@@ -36,4 +44,6 @@ pub use decomposition::{decompose, DecompositionTree};
 pub use error::QueryError;
 pub use graph::{QueryGraph, QueryNode};
 pub use key::{canonical_key, CanonicalQueryKey};
+pub use parse::{Pattern, PatternErrorKind, PatternParseError};
 pub use plan::{enumerate_plans, heuristic_plan, PlanCost};
+pub use registry::{Registry, RegistryEntry, RegistryError};

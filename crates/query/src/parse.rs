@@ -1,0 +1,914 @@
+//! The textual pattern language: the parsing front door for user queries.
+//!
+//! A service counting patterns for arbitrary callers cannot ask them to link
+//! against `catalog::*` constructors or hand-number edge tuples. This module
+//! gives queries a compact, human-writable text form:
+//!
+//! ```text
+//! pattern   := generator | name | terms
+//! generator := ident '(' integer ')'     cycle(5) path(4) star(6) clique(3) binary_tree(3)
+//! name      := ident                     a registry name: glet1, brain2, satellite, …
+//! terms     := term (',' term)*
+//! term      := node ('-' node)*          a chain: a-b-c adds edges a-b and b-c
+//! node      := integer | ident
+//! ```
+//!
+//! Nodes are either *all numeric* (`0-1, 1-2, 2-0` — numbers are node
+//! indices, the node count is the largest index plus one) or *all named*
+//! (`a-b, b-c, c-a` — names are case-sensitive labels, indexed in order of
+//! first appearance); mixing the two styles in one pattern is rejected so a
+//! label can never silently collide with an index. A bare node term declares
+//! an isolated node. Whitespace is free around every token.
+//!
+//! Parsing never panics: every malformed input is reported as a
+//! [`PatternParseError`] carrying the byte [`span`](PatternParseError::span)
+//! of the offending token and rendering a caret diagnostic:
+//!
+//! ```text
+//! error: self loop on node `b`
+//!   |
+//!   | a-b, b-b
+//!   |      ^^^
+//! ```
+//!
+//! [`Pattern::parse`] resolves bare names against the built-in
+//! [`Registry`]; [`Pattern::parse_with`] takes any registry, which is how
+//! runtime-registered patterns become addressable by name.
+//!
+//! ```
+//! use sgc_query::{catalog, Pattern};
+//!
+//! // The same query three ways: catalog constructor, generator, edge list.
+//! let built = catalog::cycle(5);
+//! assert_eq!(*Pattern::parse("cycle(5)").unwrap(), built);
+//! assert_eq!(*Pattern::parse("0-1-2-3-4-0").unwrap(), built);
+//!
+//! // Errors are spanned, never panics.
+//! let err = Pattern::parse("cycle(2)").unwrap_err();
+//! assert_eq!(err.span(), 6..7);
+//! ```
+
+use crate::error::QueryError;
+use crate::graph::{QueryGraph, QueryNode, MAX_QUERY_NODES};
+use crate::registry::Registry;
+use std::ops::Range;
+
+/// What went wrong while parsing a pattern; the machine-readable half of a
+/// [`PatternParseError`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternErrorKind {
+    /// The pattern is empty (or all whitespace).
+    Empty,
+    /// A character outside the language (anything but identifiers, numbers,
+    /// `-`, `,`, parentheses and whitespace).
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+    },
+    /// A well-formed token in the wrong place.
+    UnexpectedToken {
+        /// The offending token's text.
+        found: String,
+        /// What the parser was looking for instead.
+        expected: &'static str,
+    },
+    /// A bare identifier that is neither a generator nor a registered name.
+    UnknownName {
+        /// The unresolved name.
+        name: String,
+        /// Every name the consulted registry would have accepted.
+        known: Vec<String>,
+    },
+    /// A `name(arg)` call whose name is not a generator.
+    UnknownGenerator {
+        /// The unresolved generator name.
+        name: String,
+    },
+    /// A generator argument outside the generator's supported range.
+    GeneratorArg {
+        /// The generator's name.
+        name: &'static str,
+        /// Why the argument was rejected.
+        reason: String,
+    },
+    /// Named and numeric nodes mixed in one pattern.
+    MixedNodeStyles,
+    /// A numeric node index too large for the signature width.
+    NodeIndexTooLarge {
+        /// The index as written.
+        index: String,
+        /// Largest usable index (`MAX_QUERY_NODES - 1`).
+        max: usize,
+    },
+    /// More distinct named nodes than the signature width supports.
+    TooManyNodes {
+        /// Number of distinct nodes seen so far.
+        nodes: usize,
+        /// Maximum supported node count.
+        max: usize,
+    },
+    /// An edge from a node to itself.
+    SelfLoop {
+        /// The node, as written in the pattern.
+        node: String,
+    },
+    /// The same edge written twice (in either direction).
+    DuplicateEdge {
+        /// One endpoint, as written in the pattern.
+        a: String,
+        /// The other endpoint, as written in the pattern.
+        b: String,
+    },
+}
+
+/// A spanned pattern-parse failure.
+///
+/// Carries the [`kind`](PatternParseError::kind), the byte
+/// [`span`](PatternParseError::span) of the offending token in the original
+/// text, and the text itself; [`Display`](std::fmt::Display) renders the
+/// full caret diagnostic (see the [module docs](self) for the shape).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PatternParseError {
+    kind: PatternErrorKind,
+    span: Range<usize>,
+    text: String,
+}
+
+impl PatternParseError {
+    fn new(kind: PatternErrorKind, span: Range<usize>, text: &str) -> Self {
+        PatternParseError {
+            kind,
+            span,
+            text: text.to_string(),
+        }
+    }
+
+    /// The machine-readable failure reason.
+    pub fn kind(&self) -> &PatternErrorKind {
+        &self.kind
+    }
+
+    /// Byte range of the offending token in [`pattern`](Self::pattern).
+    pub fn span(&self) -> Range<usize> {
+        self.span.clone()
+    }
+
+    /// The pattern text that failed to parse.
+    pub fn pattern(&self) -> &str {
+        &self.text
+    }
+
+    /// The one-line human-readable message (no caret rendering).
+    pub fn message(&self) -> String {
+        match &self.kind {
+            PatternErrorKind::Empty => "empty pattern".to_string(),
+            PatternErrorKind::UnexpectedChar { found } => {
+                format!("unexpected character `{found}`")
+            }
+            PatternErrorKind::UnexpectedToken { found, expected } => {
+                format!("expected {expected}, found `{found}`")
+            }
+            PatternErrorKind::UnknownName { name, known } => {
+                if known.is_empty() {
+                    format!("unknown pattern name `{name}` (the registry is empty)")
+                } else {
+                    format!(
+                        "unknown pattern name `{name}` (known names: {})",
+                        known.join(", ")
+                    )
+                }
+            }
+            PatternErrorKind::UnknownGenerator { name } => format!(
+                "unknown generator `{name}` (generators: {})",
+                GENERATOR_NAMES.join(", ")
+            ),
+            PatternErrorKind::GeneratorArg { name, reason } => {
+                format!("bad argument to `{name}`: {reason}")
+            }
+            PatternErrorKind::MixedNodeStyles => {
+                "pattern mixes named and numeric nodes; use one style throughout".to_string()
+            }
+            PatternErrorKind::NodeIndexTooLarge { index, max } => {
+                format!("node index {index} exceeds the largest supported index {max}")
+            }
+            PatternErrorKind::TooManyNodes { nodes, max } => {
+                format!("pattern uses {nodes} distinct nodes, more than the supported {max}")
+            }
+            PatternErrorKind::SelfLoop { node } => format!("self loop on node `{node}`"),
+            PatternErrorKind::DuplicateEdge { a, b } => {
+                format!("edge `{a}-{b}` appears more than once")
+            }
+        }
+    }
+
+    /// The rendered caret diagnostic: the message, the line of the pattern
+    /// containing the error, and a `^^^` marker under the offending span.
+    pub fn diagnostic(&self) -> String {
+        let mut out = format!("error: {}", self.message());
+        // Locate the line holding the span start (patterns are usually one
+        // line, but whitespace — including newlines — is legal anywhere).
+        let start = self.span.start.min(self.text.len());
+        let line_start = self.text[..start].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = self.text[line_start..]
+            .find('\n')
+            .map_or(self.text.len(), |p| line_start + p);
+        let line = &self.text[line_start..line_end];
+        let col = self.text[line_start..start].chars().count();
+        let marked = self.span.end.min(line_end).saturating_sub(start);
+        let carets = self.text[start..start + marked].chars().count().max(1);
+        out.push_str("\n  |");
+        out.push_str(&format!("\n  | {line}"));
+        out.push_str(&format!("\n  | {}{}", " ".repeat(col), "^".repeat(carets)));
+        out
+    }
+}
+
+impl std::fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.diagnostic())
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// A parsed pattern: the [`QueryGraph`] plus the text it came from.
+///
+/// Obtained from [`Pattern::parse`] / [`Pattern::parse_with`] (or
+/// [`Pattern::from_query`] for programmatically built queries, which renders
+/// the canonical text). Dereferences to the underlying [`QueryGraph`], so a
+/// `&Pattern` goes anywhere a `&QueryGraph` does — including
+/// `engine.count(&pattern)` and `engine.explain(&pattern)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Pattern {
+    query: QueryGraph,
+    text: String,
+}
+
+impl Pattern {
+    /// Parses `text`, resolving bare names against the built-in
+    /// [`Registry`].
+    ///
+    /// # Errors
+    /// A spanned [`PatternParseError`]; parsing never panics.
+    pub fn parse(text: &str) -> Result<Self, PatternParseError> {
+        Pattern::parse_with(Registry::builtin(), text)
+    }
+
+    /// Parses `text`, resolving bare names against `registry`.
+    ///
+    /// # Errors
+    /// A spanned [`PatternParseError`]; parsing never panics.
+    pub fn parse_with(registry: &Registry, text: &str) -> Result<Self, PatternParseError> {
+        let query = parse_query(registry, text)?;
+        Ok(Pattern {
+            query,
+            text: text.to_string(),
+        })
+    }
+
+    /// Wraps a programmatically built query, rendering its canonical text
+    /// form (see [`QueryGraph`]'s `Display`).
+    pub fn from_query(query: QueryGraph) -> Self {
+        Pattern {
+            text: query.to_string(),
+            query,
+        }
+    }
+
+    /// The parsed query graph.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// Consumes the pattern, returning the query graph.
+    pub fn into_query(self) -> QueryGraph {
+        self.query
+    }
+
+    /// The source text the pattern was parsed from (or the canonical render
+    /// for [`from_query`](Pattern::from_query) patterns).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::ops::Deref for Pattern {
+    type Target = QueryGraph;
+
+    fn deref(&self) -> &QueryGraph {
+        &self.query
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = PatternParseError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        Pattern::parse(text)
+    }
+}
+
+/// The generator macros the parser accepts, for diagnostics.
+const GENERATOR_NAMES: &[&str] = &["cycle", "path", "star", "clique", "binary_tree"];
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Int(String),
+    Dash,
+    Comma,
+    LParen,
+    RParen,
+}
+
+impl Token {
+    fn text(&self) -> String {
+        match self {
+            Token::Ident(s) | Token::Int(s) => s.clone(),
+            Token::Dash => "-".to_string(),
+            Token::Comma => ",".to_string(),
+            Token::LParen => "(".to_string(),
+            Token::RParen => ")".to_string(),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<(Token, Range<usize>)>, PatternParseError> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        match bytes[i] {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' => {
+                tokens.push((Token::Dash, start..start + 1));
+                i += 1;
+            }
+            b',' => {
+                tokens.push((Token::Comma, start..start + 1));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push((Token::LParen, start..start + 1));
+                i += 1;
+            }
+            b')' => {
+                tokens.push((Token::RParen, start..start + 1));
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                tokens.push((Token::Int(text[start..i].to_string()), start..i));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(text[start..i].to_string()), start..i));
+            }
+            _ => {
+                let found = text[start..].chars().next().expect("in-bounds offset");
+                return Err(PatternParseError::new(
+                    PatternErrorKind::UnexpectedChar { found },
+                    start..start + found.len_utf8(),
+                    text,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Parses the pattern language into a [`QueryGraph`]; the engine behind
+/// [`Pattern::parse_with`] and `QueryGraph`'s `FromStr`.
+fn parse_query(registry: &Registry, text: &str) -> Result<QueryGraph, PatternParseError> {
+    let tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Err(PatternParseError::new(
+            PatternErrorKind::Empty,
+            0..text.len(),
+            text,
+        ));
+    }
+    // `ident ( … )` is a generator call; a lone `ident` is a registry name.
+    if let (Token::Ident(name), name_span) = &tokens[0] {
+        if matches!(tokens.get(1), Some((Token::LParen, _))) {
+            return parse_generator(text, &tokens, name, name_span.clone());
+        }
+        if tokens.len() == 1 {
+            return registry.build(name).ok_or_else(|| {
+                PatternParseError::new(
+                    PatternErrorKind::UnknownName {
+                        name: name.clone(),
+                        known: registry.names().iter().map(|n| n.to_string()).collect(),
+                    },
+                    name_span.clone(),
+                    text,
+                )
+            });
+        }
+    }
+    parse_edge_terms(text, &tokens)
+}
+
+fn parse_generator(
+    text: &str,
+    tokens: &[(Token, Range<usize>)],
+    name: &str,
+    name_span: Range<usize>,
+) -> Result<QueryGraph, PatternParseError> {
+    let expect = |index: usize, want: &Token, expected: &'static str| match tokens.get(index) {
+        Some((token, span)) if token == want => Ok(span.clone()),
+        Some((token, span)) => Err(PatternParseError::new(
+            PatternErrorKind::UnexpectedToken {
+                found: token.text(),
+                expected,
+            },
+            span.clone(),
+            text,
+        )),
+        None => Err(PatternParseError::new(
+            PatternErrorKind::UnexpectedToken {
+                found: "end of pattern".to_string(),
+                expected,
+            },
+            text.len()..text.len(),
+            text,
+        )),
+    };
+    expect(1, &Token::LParen, "`(`")?;
+    let (arg, arg_span) = match tokens.get(2) {
+        Some((Token::Int(digits), span)) => (digits.clone(), span.clone()),
+        Some((token, span)) => {
+            return Err(PatternParseError::new(
+                PatternErrorKind::UnexpectedToken {
+                    found: token.text(),
+                    expected: "an integer argument",
+                },
+                span.clone(),
+                text,
+            ))
+        }
+        None => {
+            return Err(PatternParseError::new(
+                PatternErrorKind::UnexpectedToken {
+                    found: "end of pattern".to_string(),
+                    expected: "an integer argument",
+                },
+                text.len()..text.len(),
+                text,
+            ))
+        }
+    };
+    expect(3, &Token::RParen, "`)`")?;
+    if let Some((token, span)) = tokens.get(4) {
+        return Err(PatternParseError::new(
+            PatternErrorKind::UnexpectedToken {
+                found: token.text(),
+                expected: "end of pattern after the generator call",
+            },
+            span.clone(),
+            text,
+        ));
+    }
+
+    // Resolve the generator name case-insensitively and range-check the
+    // argument before delegating to the catalog constructors (whose
+    // preconditions would otherwise panic).
+    let lower = name.to_ascii_lowercase();
+    let gen_error = |reason: String| {
+        PatternParseError::new(
+            PatternErrorKind::GeneratorArg {
+                name: GENERATOR_NAMES
+                    .iter()
+                    .find(|g| **g == lower)
+                    .expect("checked generator name"),
+                reason,
+            },
+            arg_span.clone(),
+            text,
+        )
+    };
+    if !GENERATOR_NAMES.contains(&lower.as_str()) {
+        return Err(PatternParseError::new(
+            PatternErrorKind::UnknownGenerator {
+                name: name.to_string(),
+            },
+            name_span,
+            text,
+        ));
+    }
+    let n: usize = arg
+        .parse()
+        .map_err(|_| gen_error(format!("`{arg}` is not a representable size")))?;
+    let max = MAX_QUERY_NODES;
+    match lower.as_str() {
+        "cycle" => {
+            if !(3..=max).contains(&n) {
+                return Err(gen_error(format!(
+                    "cycle size must be in 3..={max}, got {n}"
+                )));
+            }
+            Ok(crate::catalog::cycle(n))
+        }
+        "path" => {
+            if !(1..=max).contains(&n) {
+                return Err(gen_error(format!(
+                    "path size must be in 1..={max}, got {n}"
+                )));
+            }
+            Ok(crate::catalog::path(n))
+        }
+        "star" => {
+            if !(1..=max - 1).contains(&n) {
+                return Err(gen_error(format!(
+                    "star leaf count must be in 1..={}, got {n}",
+                    max - 1
+                )));
+            }
+            Ok(crate::catalog::star(n))
+        }
+        "clique" => {
+            if !(1..=max).contains(&n) {
+                return Err(gen_error(format!(
+                    "clique size must be in 1..={max}, got {n}"
+                )));
+            }
+            Ok(crate::catalog::clique(n))
+        }
+        "binary_tree" => {
+            if !(1..=5).contains(&n) {
+                return Err(gen_error(format!(
+                    "binary_tree levels must be in 1..=5, got {n}"
+                )));
+            }
+            Ok(crate::catalog::binary_tree(n))
+        }
+        _ => unreachable!("generator membership checked above"),
+    }
+}
+
+/// Node-label bookkeeping for one edge-term pattern: either literal numeric
+/// indices or named labels indexed by first appearance.
+enum NodeStyle {
+    Undecided,
+    Numeric { max_index: QueryNode },
+    Named { labels: Vec<String> },
+}
+
+impl NodeStyle {
+    fn resolve(
+        &mut self,
+        token: &Token,
+        span: &Range<usize>,
+        text: &str,
+    ) -> Result<QueryNode, PatternParseError> {
+        match token {
+            Token::Int(digits) => {
+                if matches!(self, NodeStyle::Named { .. }) {
+                    return Err(PatternParseError::new(
+                        PatternErrorKind::MixedNodeStyles,
+                        span.clone(),
+                        text,
+                    ));
+                }
+                let index: usize = digits.parse().unwrap_or(usize::MAX);
+                if index >= MAX_QUERY_NODES {
+                    return Err(PatternParseError::new(
+                        PatternErrorKind::NodeIndexTooLarge {
+                            index: digits.clone(),
+                            max: MAX_QUERY_NODES - 1,
+                        },
+                        span.clone(),
+                        text,
+                    ));
+                }
+                let index = index as QueryNode;
+                match self {
+                    NodeStyle::Numeric { max_index } => *max_index = (*max_index).max(index),
+                    _ => *self = NodeStyle::Numeric { max_index: index },
+                }
+                Ok(index)
+            }
+            Token::Ident(label) => {
+                if matches!(self, NodeStyle::Numeric { .. }) {
+                    return Err(PatternParseError::new(
+                        PatternErrorKind::MixedNodeStyles,
+                        span.clone(),
+                        text,
+                    ));
+                }
+                if matches!(self, NodeStyle::Undecided) {
+                    *self = NodeStyle::Named { labels: Vec::new() };
+                }
+                let NodeStyle::Named { labels } = self else {
+                    unreachable!("style set to Named above")
+                };
+                if let Some(index) = labels.iter().position(|l| l == label) {
+                    return Ok(index as QueryNode);
+                }
+                if labels.len() >= MAX_QUERY_NODES {
+                    return Err(PatternParseError::new(
+                        PatternErrorKind::TooManyNodes {
+                            nodes: labels.len() + 1,
+                            max: MAX_QUERY_NODES,
+                        },
+                        span.clone(),
+                        text,
+                    ));
+                }
+                labels.push(label.clone());
+                Ok((labels.len() - 1) as QueryNode)
+            }
+            _ => Err(PatternParseError::new(
+                PatternErrorKind::UnexpectedToken {
+                    found: token.text(),
+                    expected: "a node (a number or a name)",
+                },
+                span.clone(),
+                text,
+            )),
+        }
+    }
+
+    /// The label a node renders under in diagnostics.
+    fn label(&self, node: QueryNode) -> String {
+        match self {
+            NodeStyle::Named { labels } => labels[node as usize].clone(),
+            _ => node.to_string(),
+        }
+    }
+}
+
+fn parse_edge_terms(
+    text: &str,
+    tokens: &[(Token, Range<usize>)],
+) -> Result<QueryGraph, PatternParseError> {
+    let mut style = NodeStyle::Undecided;
+    // (a, b, span of the `a-…-b` step) for edges. A bare node term adds no
+    // edge; resolving it is enough to declare it (the style tracks every
+    // node seen).
+    let mut edges: Vec<(QueryNode, QueryNode, Range<usize>)> = Vec::new();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        // One term: node ('-' node)*
+        let (first_token, first_span) = &tokens[i];
+        let mut prev = style.resolve(first_token, first_span, text)?;
+        let mut prev_span = first_span.clone();
+        i += 1;
+        while matches!(tokens.get(i), Some((Token::Dash, _))) {
+            i += 1;
+            let Some((node_token, node_span)) = tokens.get(i) else {
+                return Err(PatternParseError::new(
+                    PatternErrorKind::UnexpectedToken {
+                        found: "end of pattern".to_string(),
+                        expected: "a node after `-`",
+                    },
+                    text.len()..text.len(),
+                    text,
+                ));
+            };
+            let next = style.resolve(node_token, node_span, text)?;
+            let step_span = prev_span.start..node_span.end;
+            edges.push((prev, next, step_span));
+            prev = next;
+            prev_span = node_span.clone();
+            i += 1;
+        }
+        match tokens.get(i) {
+            None => {}
+            Some((Token::Comma, _)) => i += 1,
+            Some((token, span)) => {
+                return Err(PatternParseError::new(
+                    PatternErrorKind::UnexpectedToken {
+                        found: token.text(),
+                        expected: "`-`, `,` or end of pattern",
+                    },
+                    span.clone(),
+                    text,
+                ))
+            }
+        }
+    }
+
+    let num_nodes = match &style {
+        NodeStyle::Undecided => unreachable!("token list is non-empty"),
+        NodeStyle::Numeric { max_index } => *max_index as usize + 1,
+        NodeStyle::Named { labels } => labels.len(),
+    };
+    let mut query = QueryGraph::new(num_nodes);
+    for (a, b, span) in edges {
+        query.add_edge(a, b).map_err(|e| {
+            let kind = match e {
+                QueryError::SelfLoop { node } => PatternErrorKind::SelfLoop {
+                    node: style.label(node),
+                },
+                QueryError::DuplicateEdge { a, b } => PatternErrorKind::DuplicateEdge {
+                    a: style.label(a),
+                    b: style.label(b),
+                },
+                // `new(num_nodes)` covers every resolved index, so no other
+                // add_edge error is reachable from the parser.
+                other => unreachable!("unexpected add_edge error from parser: {other}"),
+            };
+            PatternParseError::new(kind, span, text)
+        })?;
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn numeric_and_named_edge_lists_parse() {
+        let numeric = Pattern::parse("0-1, 1-2, 2-0").unwrap();
+        assert_eq!(*numeric, catalog::triangle());
+        let named = Pattern::parse("a-b, b-c, c-a").unwrap();
+        assert_eq!(*named, catalog::triangle());
+        assert_eq!(named.text(), "a-b, b-c, c-a");
+    }
+
+    #[test]
+    fn chains_expand_to_consecutive_edges() {
+        assert_eq!(*Pattern::parse("a-b-c-a").unwrap(), catalog::triangle());
+        assert_eq!(*Pattern::parse("0-1-2-3").unwrap(), catalog::path(4));
+        // The paper's house graphlet as one chain plus a closing edge.
+        assert_eq!(
+            *Pattern::parse("a-b-c-d-a, c-e-d").unwrap(),
+            catalog::glet1()
+        );
+    }
+
+    #[test]
+    fn generators_match_their_constructors() {
+        assert_eq!(*Pattern::parse("cycle(5)").unwrap(), catalog::cycle(5));
+        assert_eq!(*Pattern::parse("path(4)").unwrap(), catalog::path(4));
+        assert_eq!(*Pattern::parse("star(6)").unwrap(), catalog::star(6));
+        assert_eq!(*Pattern::parse("clique(3)").unwrap(), catalog::clique(3));
+        assert_eq!(
+            *Pattern::parse("binary_tree(3)").unwrap(),
+            catalog::binary_tree(3)
+        );
+        // Case-insensitive, whitespace-tolerant.
+        assert_eq!(
+            *Pattern::parse("  Cycle ( 5 ) ").unwrap(),
+            catalog::cycle(5)
+        );
+    }
+
+    #[test]
+    fn registry_names_resolve_case_insensitively() {
+        assert_eq!(*Pattern::parse("glet1").unwrap(), catalog::glet1());
+        assert_eq!(*Pattern::parse("BRAIN2").unwrap(), catalog::brain2());
+        assert_eq!(*Pattern::parse("satellite").unwrap(), catalog::satellite());
+    }
+
+    #[test]
+    fn parse_with_resolves_runtime_registrations() {
+        let mut registry = Registry::with_catalog();
+        registry
+            .register("mytriangle", "a test alias", catalog::triangle())
+            .unwrap();
+        assert_eq!(
+            *Pattern::parse_with(&registry, "mytriangle").unwrap(),
+            catalog::triangle()
+        );
+        // The builtin registry is unaffected.
+        let err = Pattern::parse("mytriangle").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            PatternErrorKind::UnknownName { name, .. } if name == "mytriangle"
+        ));
+    }
+
+    #[test]
+    fn bare_nodes_declare_isolated_nodes() {
+        let q = Pattern::parse("0-1, 3").unwrap();
+        assert_eq!(q.num_nodes(), 4);
+        assert_eq!(q.num_edges(), 1);
+        assert_eq!(q.isolated_nodes(), vec![2, 3]);
+        let named = Pattern::parse("a-b, c").unwrap();
+        assert_eq!(named.num_nodes(), 3);
+        assert_eq!(named.isolated_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn every_error_is_spanned_and_never_a_panic() {
+        for (text, expected_span) in [
+            ("", 0..0),
+            ("   ", 0..3),
+            ("a-b, b?c", 6..7),                // unexpected char
+            ("a-b c-d", 4..5),                 // missing comma
+            ("a-", 2..2),                      // dangling dash
+            ("cycle(2)", 6..7),                // bad generator arg
+            ("cycle(x)", 6..7),                // non-integer arg
+            ("cycle(5", 7..7),                 // missing `)`
+            ("cycle(5) extra", 9..14),         // trailing junk
+            ("spiral(4)", 0..6),               // unknown generator
+            ("glet9", 0..5),                   // unknown name
+            ("a-1", 2..3),                     // mixed styles
+            ("0-32", 2..4),                    // index too large
+            ("a-a", 0..3),                     // self loop
+            ("a-b, b-a", 5..8),                // duplicate edge
+            ("7-7", 0..3),                     // numeric self loop
+            ("99999999999999999999-1", 0..20), // unrepresentable index
+        ] {
+            let err = Pattern::parse(text).unwrap_err();
+            assert_eq!(err.span(), expected_span, "span for {text:?}: {err}");
+            assert_eq!(err.pattern(), text);
+        }
+    }
+
+    #[test]
+    fn error_kinds_are_typed() {
+        assert!(matches!(
+            Pattern::parse("").unwrap_err().kind(),
+            PatternErrorKind::Empty
+        ));
+        assert!(matches!(
+            Pattern::parse("a-a").unwrap_err().kind(),
+            PatternErrorKind::SelfLoop { node } if node == "a"
+        ));
+        assert!(matches!(
+            Pattern::parse("b-c, c-b").unwrap_err().kind(),
+            PatternErrorKind::DuplicateEdge { a, b } if a == "b" && b == "c"
+        ));
+        assert!(matches!(
+            Pattern::parse("1-a").unwrap_err().kind(),
+            PatternErrorKind::MixedNodeStyles
+        ));
+        assert!(matches!(
+            Pattern::parse("0-40").unwrap_err().kind(),
+            PatternErrorKind::NodeIndexTooLarge { index, max: 31 } if index == "40"
+        ));
+        match Pattern::parse("glet9").unwrap_err().kind() {
+            PatternErrorKind::UnknownName { known, .. } => {
+                assert!(known.iter().any(|n| n == "glet1"));
+            }
+            other => panic!("expected UnknownName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caret_diagnostics_point_at_the_offending_token() {
+        let err = Pattern::parse("a-b, b-b").unwrap_err();
+        let diagnostic = err.diagnostic();
+        let lines: Vec<&str> = diagnostic.lines().collect();
+        assert_eq!(lines[0], "error: self loop on node `b`");
+        assert_eq!(lines[2], "  | a-b, b-b");
+        assert_eq!(lines[3], "  |      ^^^");
+        // Display renders the same diagnostic.
+        assert_eq!(err.to_string(), diagnostic);
+    }
+
+    #[test]
+    fn diagnostics_handle_multiline_patterns() {
+        let err = Pattern::parse("a-b,\nb-b").unwrap_err();
+        let diagnostic = err.diagnostic();
+        let lines: Vec<&str> = diagnostic.lines().collect();
+        assert_eq!(lines[2], "  | b-b");
+        assert_eq!(lines[3], "  | ^^^");
+    }
+
+    #[test]
+    fn pattern_wraps_and_round_trips_queries() {
+        let p = Pattern::from_query(catalog::triangle());
+        assert_eq!(p.text(), "0-1, 0-2, 1-2");
+        assert_eq!(*Pattern::parse(p.text()).unwrap(), catalog::triangle());
+        assert_eq!(p.to_string(), p.text());
+        // FromStr round trip on QueryGraph itself.
+        let q: QueryGraph = "cycle(4)".parse().unwrap();
+        assert_eq!(q, catalog::cycle(4));
+        let rendered = q.to_string();
+        assert_eq!(rendered.parse::<QueryGraph>().unwrap(), q);
+    }
+
+    #[test]
+    fn every_builtin_name_parses_to_its_catalog_query() {
+        for name in Registry::builtin().names() {
+            let by_name = Pattern::parse(name).unwrap();
+            let by_catalog = catalog::query_by_name(name).unwrap();
+            assert_eq!(*by_name, by_catalog, "{name}");
+            // …and the canonical render re-parses to the same query.
+            let rendered = by_catalog.to_string();
+            assert_eq!(
+                rendered.parse::<QueryGraph>().unwrap(),
+                by_catalog,
+                "render round trip for {name}: {rendered}"
+            );
+        }
+    }
+}

@@ -138,7 +138,8 @@ mod tests {
     fn cycle_query(n: usize) -> QueryGraph {
         let mut q = QueryGraph::new(n);
         for i in 0..n {
-            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode)
+                .unwrap();
         }
         q
     }
@@ -162,6 +163,7 @@ mod tests {
                 (7, 0),
             ],
         )
+        .unwrap()
     }
 
     #[test]
@@ -230,7 +232,7 @@ mod tests {
     fn tree_queries_have_plans_without_cycles() {
         let mut star = QueryGraph::new(5);
         for leaf in 1..5 {
-            star.add_edge(0, leaf);
+            star.add_edge(0, leaf).unwrap();
         }
         let plans = enumerate_plans(&star).unwrap();
         for p in &plans {
@@ -246,7 +248,7 @@ mod tests {
         let mut k4 = QueryGraph::new(4);
         for a in 0..4u8 {
             for b in (a + 1)..4 {
-                k4.add_edge(a, b);
+                k4.add_edge(a, b).unwrap();
             }
         }
         assert_eq!(enumerate_plans(&k4), Err(QueryError::TreewidthExceeded));

@@ -1,0 +1,295 @@
+//! The query registry: one name → query resolution path for the whole stack.
+//!
+//! Historically every layer kept its own list of known queries: the catalog
+//! had `FIGURE8_QUERIES` plus a special case for `satellite`, the bench
+//! binaries repeated name lists, and anything user-supplied had no name at
+//! all. A [`Registry`] unifies this: it maps names to query specs, is
+//! enumerable ([`Registry::names`]) and extensible at runtime
+//! ([`Registry::register`]), and is what both
+//! [`catalog::query_by_name`](crate::catalog::query_by_name()) and the pattern
+//! parser's bare-name resolution ([`crate::parse`]) consult.
+//!
+//! [`Registry::builtin`] is the shared, immutable instance preloaded with
+//! the paper's query suite; build your own with [`Registry::with_catalog`]
+//! (or [`Registry::new`] for an empty one) when you need to add patterns:
+//!
+//! ```
+//! use sgc_query::{QueryGraph, Registry};
+//!
+//! let mut registry = Registry::with_catalog();
+//! let bowtie = QueryGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+//!     .unwrap();
+//! registry
+//!     .register("bowtie", "two triangles sharing a node", bowtie.clone())
+//!     .unwrap();
+//! assert_eq!(registry.build("BOWTIE"), Some(bowtie));
+//! assert!(registry.names().len() > Registry::builtin().names().len());
+//! ```
+
+use crate::catalog;
+use crate::error::QueryError;
+use crate::graph::QueryGraph;
+use std::sync::OnceLock;
+
+/// One registered query: a name, a short human description, and the query
+/// graph itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegistryEntry {
+    name: String,
+    description: String,
+    query: QueryGraph,
+}
+
+impl RegistryEntry {
+    /// The name the entry resolves under (case-insensitively).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Short structural description of the query.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The registered query graph.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+}
+
+/// Reasons a query cannot be registered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is already taken (names are compared case-insensitively).
+    DuplicateName {
+        /// The conflicting name, as passed to `register`.
+        name: String,
+    },
+    /// The name is empty or not a valid pattern identifier
+    /// (`[A-Za-z_][A-Za-z0-9_]*`), so the parser could never resolve it.
+    InvalidName {
+        /// The rejected name.
+        name: String,
+    },
+    /// The query itself is unusable (empty, disconnected, or too large);
+    /// registering it would only defer the failure to every lookup site.
+    InvalidQuery {
+        /// The rejected name.
+        name: String,
+        /// Why the query was rejected.
+        error: QueryError,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateName { name } => {
+                write!(f, "a query named `{name}` is already registered")
+            }
+            RegistryError::InvalidName { name } => write!(
+                f,
+                "`{name}` is not a valid pattern name (want [A-Za-z_][A-Za-z0-9_]*)"
+            ),
+            RegistryError::InvalidQuery { name, error } => {
+                write!(f, "query `{name}` cannot be registered: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Whether `name` is a valid pattern-language identifier, i.e. something the
+/// parser could resolve as a bare name.
+pub(crate) fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// A name → query registry; see the [module docs](self) for the role it
+/// plays and an extension example.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// A registry preloaded with the paper's query suite: the ten Figure 8
+    /// queries plus the `satellite` worked example, in catalog order.
+    pub fn with_catalog() -> Self {
+        let mut registry = Registry::new();
+        for spec in catalog::FIGURE8_QUERIES {
+            registry
+                .register(spec.name, spec.description, (spec.build)())
+                .expect("catalog names are unique and catalog queries are valid");
+        }
+        registry
+            .register(
+                "satellite",
+                "the paper's Figure 2 worked example (11 nodes)",
+                catalog::satellite(),
+            )
+            .expect("the satellite query is valid");
+        registry
+    }
+
+    /// The shared built-in registry (the immutable
+    /// [`with_catalog`](Registry::with_catalog) instance). This is what
+    /// [`catalog::query_by_name`](crate::catalog::query_by_name()) and the
+    /// default pattern parser resolve against.
+    pub fn builtin() -> &'static Registry {
+        static BUILTIN: OnceLock<Registry> = OnceLock::new();
+        BUILTIN.get_or_init(Registry::with_catalog)
+    }
+
+    /// Registers `query` under `name`.
+    ///
+    /// # Errors
+    /// [`RegistryError::DuplicateName`] if the name is taken (names are
+    /// case-insensitive), [`RegistryError::InvalidName`] if the parser could
+    /// never resolve it, and [`RegistryError::InvalidQuery`] if the query
+    /// fails [`QueryGraph::validate`].
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        query: QueryGraph,
+    ) -> Result<(), RegistryError> {
+        let name = name.into();
+        if !is_valid_name(&name) {
+            return Err(RegistryError::InvalidName { name });
+        }
+        if self.get(&name).is_some() {
+            return Err(RegistryError::DuplicateName { name });
+        }
+        if let Err(error) = query.validate() {
+            return Err(RegistryError::InvalidQuery { name, error });
+        }
+        self.entries.push(RegistryEntry {
+            name,
+            description: description.into(),
+            query,
+        });
+        Ok(())
+    }
+
+    /// Looks up an entry by name, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Builds the query registered under `name` (case-insensitively).
+    pub fn build(&self, name: &str) -> Option<QueryGraph> {
+        self.get(name).map(|e| e.query.clone())
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Iterator over all entries in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = &RegistryEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_the_whole_catalog() {
+        let builtin = Registry::builtin();
+        assert_eq!(builtin.len(), catalog::FIGURE8_QUERIES.len() + 1);
+        for spec in catalog::FIGURE8_QUERIES {
+            let entry = builtin.get(spec.name).expect("catalog name registered");
+            assert_eq!(entry.query(), &(spec.build)());
+            assert_eq!(entry.description(), spec.description);
+        }
+        assert_eq!(
+            builtin.build("satellite").unwrap(),
+            catalog::satellite(),
+            "the worked example resolves too"
+        );
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_misses_return_none() {
+        let builtin = Registry::builtin();
+        assert_eq!(builtin.build("BrAiN1"), builtin.build("brain1"));
+        assert!(builtin.build("brain1").is_some());
+        assert!(builtin.build("nonexistent").is_none());
+    }
+
+    #[test]
+    fn names_enumerate_in_registration_order() {
+        let names = Registry::builtin().names();
+        assert_eq!(names.first(), Some(&"dros"));
+        assert_eq!(names.last(), Some(&"satellite"));
+        assert_eq!(names.len(), Registry::builtin().len());
+    }
+
+    #[test]
+    fn runtime_registration_and_duplicate_rejection() {
+        let mut registry = Registry::with_catalog();
+        let before = registry.len();
+        registry
+            .register("house_alias", "alias of glet1", catalog::glet1())
+            .unwrap();
+        assert_eq!(registry.len(), before + 1);
+        assert_eq!(registry.build("HOUSE_ALIAS"), Some(catalog::glet1()));
+        // Case-insensitive duplicate.
+        let err = registry
+            .register("Glet1", "shadow", catalog::glet2())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::DuplicateName {
+                name: "Glet1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_names_and_queries_are_rejected() {
+        let mut registry = Registry::new();
+        for bad in ["", "7up", "a-b", "has space", "paren("] {
+            assert_eq!(
+                registry.register(bad, "", catalog::triangle()).unwrap_err(),
+                RegistryError::InvalidName { name: bad.into() }
+            );
+        }
+        let disconnected = QueryGraph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            registry.register("disco", "", disconnected).unwrap_err(),
+            RegistryError::InvalidQuery {
+                error: QueryError::Disconnected,
+                ..
+            }
+        ));
+        assert!(registry.is_empty());
+    }
+}

@@ -115,7 +115,8 @@ mod tests {
     fn cycle(n: usize) -> QueryGraph {
         let mut q = QueryGraph::new(n);
         for i in 0..n {
-            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode);
+            q.add_edge(i as QueryNode, ((i + 1) % n) as QueryNode)
+                .unwrap();
         }
         q
     }
@@ -124,7 +125,7 @@ mod tests {
         let mut q = QueryGraph::new(n);
         for a in 0..n {
             for b in (a + 1)..n {
-                q.add_edge(a as QueryNode, b as QueryNode);
+                q.add_edge(a as QueryNode, b as QueryNode).unwrap();
             }
         }
         q
@@ -134,7 +135,7 @@ mod tests {
     fn trees_have_treewidth_at_most_two() {
         let mut star = QueryGraph::new(6);
         for leaf in 1..6 {
-            star.add_edge(0, leaf);
+            star.add_edge(0, leaf).unwrap();
         }
         assert!(treewidth_at_most_two(&star));
         assert!(is_tree(&star));
@@ -155,15 +156,15 @@ mod tests {
     fn series_parallel_is_treewidth_two() {
         // Three internally disjoint paths between nodes 0 and 1.
         let mut q = QueryGraph::new(8);
-        q.add_edge(0, 2);
-        q.add_edge(2, 1);
-        q.add_edge(0, 3);
-        q.add_edge(3, 4);
-        q.add_edge(4, 1);
-        q.add_edge(0, 5);
-        q.add_edge(5, 6);
-        q.add_edge(6, 7);
-        q.add_edge(7, 1);
+        q.add_edge(0, 2).unwrap();
+        q.add_edge(2, 1).unwrap();
+        q.add_edge(0, 3).unwrap();
+        q.add_edge(3, 4).unwrap();
+        q.add_edge(4, 1).unwrap();
+        q.add_edge(0, 5).unwrap();
+        q.add_edge(5, 6).unwrap();
+        q.add_edge(6, 7).unwrap();
+        q.add_edge(7, 1).unwrap();
         assert!(treewidth_at_most_two(&q));
     }
 
@@ -181,7 +182,7 @@ mod tests {
         let mut r = QueryGraph::new(4);
         for (a, b) in q.edges() {
             if (a, b) != (0, 1) {
-                r.add_edge(a, b);
+                r.add_edge(a, b).unwrap();
             }
         }
         q = r;
@@ -191,7 +192,9 @@ mod tests {
     #[test]
     fn small_graphs_are_trivially_fine() {
         assert!(treewidth_at_most_two(&QueryGraph::new(1)));
-        assert!(treewidth_at_most_two(&QueryGraph::from_edges(2, &[(0, 1)])));
+        assert!(treewidth_at_most_two(
+            &QueryGraph::from_edges(2, &[(0, 1)]).unwrap()
+        ));
     }
 
     #[test]
@@ -202,10 +205,10 @@ mod tests {
         for r in 0..3 {
             for c in 0..3 {
                 if r + 1 < 3 {
-                    q.add_edge(id(r, c), id(r + 1, c));
+                    q.add_edge(id(r, c), id(r + 1, c)).unwrap();
                 }
                 if c + 1 < 3 {
-                    q.add_edge(id(r, c), id(r, c + 1));
+                    q.add_edge(id(r, c), id(r, c + 1)).unwrap();
                 }
             }
         }

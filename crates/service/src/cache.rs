@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn keys_canonicalize_the_query_and_separate_everything_else() {
         let job = CountJob::new(catalog::triangle());
-        let twin = CountJob::new(QueryGraph::from_edges(3, &[(2, 0), (1, 2), (0, 1)]));
+        let twin = CountJob::new(QueryGraph::from_edges(3, &[(2, 0), (1, 2), (0, 1)]).unwrap());
         assert_eq!(JobKey::new(1, &job), JobKey::new(1, &twin));
         // Any differing component separates the keys.
         assert_ne!(JobKey::new(1, &job), JobKey::new(2, &job));

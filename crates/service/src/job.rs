@@ -9,7 +9,7 @@
 
 use crate::error::ServiceError;
 use sgc_core::{Algorithm, Estimate};
-use sgc_query::QueryGraph;
+use sgc_query::{Pattern, PatternParseError, QueryGraph, Registry};
 use std::sync::{Condvar, Mutex};
 
 /// A precision target for adaptive trial scheduling: stop once the relative
@@ -85,6 +85,48 @@ impl CountJob {
             budget: 64,
             precision: None,
         }
+    }
+
+    /// A job for a textual pattern — the service's parsing front door.
+    ///
+    /// The text is parsed against the built-in
+    /// [`Registry`] (edge lists like `"a-b, b-c, c-a"`,
+    /// generators like `cycle(5)`, catalog names like `glet1`; see
+    /// [`sgc_query::parse`] for the grammar). The parsed query flows into
+    /// the job exactly as a constructor-built one would, including the
+    /// result cache's [`canonical_key`](sgc_query::canonical_key): a text
+    /// job and an equivalent constructor job share one cache entry and
+    /// produce bit-identical outputs.
+    ///
+    /// ```
+    /// use sgc_query::catalog;
+    /// use sgc_service::CountJob;
+    ///
+    /// let by_text = CountJob::from_pattern_str("cycle(5)").unwrap();
+    /// let by_ctor = CountJob::new(catalog::cycle(5));
+    /// assert_eq!(by_text.query, by_ctor.query);
+    /// assert!(CountJob::from_pattern_str("cycle(").is_err());
+    /// ```
+    ///
+    /// # Errors
+    /// A spanned [`PatternParseError`] for malformed patterns; never panics.
+    pub fn from_pattern_str(pattern: &str) -> Result<Self, PatternParseError> {
+        Ok(CountJob::new(Pattern::parse(pattern)?.into_query()))
+    }
+
+    /// [`from_pattern_str`](CountJob::from_pattern_str) resolving bare names
+    /// against a caller-supplied [`Registry`] (for runtime-registered
+    /// patterns).
+    ///
+    /// # Errors
+    /// A spanned [`PatternParseError`] for malformed patterns; never panics.
+    pub fn from_pattern_str_with(
+        registry: &Registry,
+        pattern: &str,
+    ) -> Result<Self, PatternParseError> {
+        Ok(CountJob::new(
+            Pattern::parse_with(registry, pattern)?.into_query(),
+        ))
     }
 
     /// Selects the cycle-solving algorithm.
@@ -234,6 +276,34 @@ mod tests {
         let p = job.precision.unwrap();
         assert_eq!(p.target, 0.05);
         assert_eq!(p.confidence, 0.99);
+    }
+
+    #[test]
+    fn pattern_jobs_match_constructor_jobs() {
+        let text = CountJob::from_pattern_str("glet1").unwrap();
+        let built = CountJob::new(catalog::glet1());
+        assert_eq!(text.query, built.query);
+        assert_eq!(text.seed, built.seed);
+        assert_eq!(text.budget, built.budget);
+        // Same canonical cache identity, by construction.
+        assert_eq!(
+            sgc_query::canonical_key(&text.query),
+            sgc_query::canonical_key(&built.query)
+        );
+        // Custom registries resolve runtime names.
+        let mut registry = sgc_query::Registry::with_catalog();
+        registry
+            .register(
+                "paw",
+                "triangle with a tail",
+                catalog::query_by_name("youtube").unwrap(),
+            )
+            .unwrap();
+        let custom = CountJob::from_pattern_str_with(&registry, "paw").unwrap();
+        assert_eq!(custom.query, catalog::youtube());
+        // Malformed patterns are spanned errors, not panics.
+        let err = CountJob::from_pattern_str("a--b").unwrap_err();
+        assert_eq!(err.span(), 2..3);
     }
 
     #[test]

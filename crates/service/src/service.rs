@@ -462,7 +462,7 @@ mod tests {
         let mut k4 = sgc_query::QueryGraph::new(4);
         for a in 0..4u8 {
             for b in (a + 1)..4 {
-                k4.add_edge(a, b);
+                k4.add_edge(a, b).unwrap();
             }
         }
         let err = service.run(CountJob::new(k4)).unwrap_err();
@@ -490,7 +490,7 @@ mod tests {
         let mut k4 = sgc_query::QueryGraph::new(4);
         for a in 0..4u8 {
             for b in (a + 1)..4 {
-                k4.add_edge(a, b);
+                k4.add_edge(a, b).unwrap();
             }
         }
         let job = CountJob::new(k4);

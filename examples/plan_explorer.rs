@@ -1,96 +1,81 @@
-//! Explore the decomposition trees of the Figure 8 query suite.
+//! Explain any pattern: a thin CLI over `engine.explain_str()`.
 //!
-//! For every query in the catalog this example enumerates all decomposition
-//! trees, prints the plan-cost vector of each (longest cycle, boundary nodes,
-//! annotations — the Section 6 heuristic factors), and highlights the plan
-//! the heuristic selects.
+//! Pass one or more patterns in the pattern language — edge lists
+//! (`"a-b, b-c, c-a"`), generator macros (`cycle(5)`, `star(6)`), or
+//! registered names (`glet1`, `brain2`, `satellite`) — and the explorer
+//! prints each pattern's explain report (candidate decomposition trees with
+//! their Section 6 cost vectors, the heuristic's choice, treewidth verdict,
+//! automorphisms, predicted table bounds) and then counts it, demonstrating
+//! the text front door end to end. With no arguments it walks the whole
+//! built-in registry.
 //!
 //! Run with:
 //! ```text
-//! cargo run --release --example plan_explorer
+//! cargo run --release --example plan_explorer -- "a-b, b-c, c-a" "cycle(5)" brain1
+//! cargo run --release --example plan_explorer            # the catalog suite
+//! ```
+//!
+//! Malformed patterns exit with a caret diagnostic instead of a panic:
+//! ```text
+//! error: self loop on node `b`
+//!   |
+//!   | a-b, b-b
+//!   |      ^^^
 //! ```
 
-use subgraph_counting::gen::erdos_renyi::gnp;
-use subgraph_counting::query::{catalog, enumerate_plans, heuristic_plan, PlanCost};
-use subgraph_counting::{Coloring, Engine};
+use std::process::ExitCode;
+use subgraph_counting::{Engine, Registry, SgcError};
 
-fn main() {
-    for spec in catalog::FIGURE8_QUERIES {
-        let query = (spec.build)();
-        let plans = enumerate_plans(&query).expect("catalog queries are treewidth-2");
-        let best = heuristic_plan(&query).unwrap();
-        println!(
-            "{:<8} ({} nodes, {} edges) — {} plan(s); {}",
-            spec.name,
-            query.num_nodes(),
-            query.num_edges(),
-            plans.len(),
-            spec.description
-        );
-        for (i, plan) in plans.iter().enumerate() {
-            let cost = PlanCost::of(plan);
-            let chosen = if plan.signature() == best.signature() {
-                "  <-- heuristic choice"
-            } else {
-                ""
-            };
-            println!(
-                "    plan {:>2}: blocks={:<2} longest cycle={:<2} boundary nodes={:<2} annotations={:<2}{}",
-                i,
-                plan.blocks.len(),
-                cost.longest_cycle,
-                cost.boundary_nodes,
-                cost.annotations,
-                chosen
-            );
-        }
-        println!();
-    }
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let patterns: Vec<String> = if args.is_empty() {
+        println!("no patterns given; exploring the built-in registry\n");
+        Registry::builtin()
+            .names()
+            .iter()
+            .map(|n| n.to_string())
+            .collect()
+    } else {
+        args
+    };
 
-    // The Satellite worked example from Figure 2 of the paper.
-    let satellite = catalog::satellite();
-    let tree = heuristic_plan(&satellite).unwrap();
-    println!(
-        "satellite (Figure 2 worked example): {} blocks",
-        tree.blocks.len()
-    );
-    for block in &tree.blocks {
-        println!(
-            "    block {}: {:?} boundary {:?} children {:?}",
-            block.id,
-            block.kind,
-            block.boundary,
-            block.children()
-        );
-    }
-    println!();
-
-    // Every plan computes the same count — demonstrate through the Engine,
-    // overriding its cached heuristic plan with each enumerated alternative.
-    let graph = gnp(48, 0.25, 5);
+    // A small Erdős–Rényi demo graph makes the predicted table bounds and
+    // the final counts concrete.
+    let graph = subgraph_counting::gen::erdos_renyi::gnp(48, 0.25, 5);
     let engine = Engine::new(&graph);
-    let query = catalog::dros();
-    let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), 1);
-    println!("dros on G(48, 0.25): colorful count under every plan");
-    let reference = engine.count(&query).coloring(&coloring).run().unwrap();
-    println!(
-        "    heuristic: colorful={:<8} total ops={}",
-        reference.colorful_matches, reference.metrics.total_ops
-    );
-    for (i, plan) in enumerate_plans(&query).unwrap().iter().enumerate() {
-        let res = engine
-            .count(&query)
-            .plan(plan)
-            .coloring(&coloring)
-            .run()
-            .unwrap();
+
+    for pattern in &patterns {
+        let report = match engine.explain_str(pattern) {
+            Ok(report) => report,
+            Err(SgcError::Pattern(parse_error)) => {
+                // The spanned caret diagnostic, straight from the error.
+                eprintln!("{parse_error}");
+                return ExitCode::FAILURE;
+            }
+            Err(other) => {
+                eprintln!("error: `{pattern}` cannot be planned: {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{report}");
+
+        // The same front door counts it: text in, estimate out.
+        let estimate = engine
+            .count_str(pattern)
+            .expect("explained patterns always parse")
+            .trials(8)
+            .seed(7)
+            .estimate()
+            .expect("explained patterns always count");
         println!(
-            "    plan {:>2}: colorful={:<8} total ops={}",
-            i, res.colorful_matches, res.metrics.total_ops
+            "counted on G(48, 0.25): ~{:.1} matches (~{:.1} subgraphs) over {} trials\n",
+            estimate.estimated_matches,
+            estimate.estimated_subgraphs,
+            estimate.per_trial.len()
         );
     }
     println!(
-        "engine plan cache holds {} quer{} (the heuristic plan, computed once)",
+        "engine plan cache holds {} quer{} (explain does not populate it; counting does)",
         engine.cached_plans(),
         if engine.cached_plans() == 1 {
             "y"
@@ -98,4 +83,5 @@ fn main() {
             "ies"
         }
     );
+    ExitCode::SUCCESS
 }

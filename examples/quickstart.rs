@@ -32,6 +32,25 @@ fn main() {
     // computed here and shared by every trial below.
     let engine = Engine::new(&graph);
 
+    // The same query through the text front door: `count_str` parses the
+    // pattern language (edge lists, generators, catalog names) and counts
+    // bit-identically to the constructor path.
+    let by_text = engine
+        .count_str("glet1")
+        .expect("glet1 is a registered pattern name")
+        .trials(10)
+        .seed(2024)
+        .estimate()
+        .unwrap();
+    let by_ctor = engine
+        .count(&query)
+        .trials(10)
+        .seed(2024)
+        .estimate()
+        .unwrap();
+    assert_eq!(by_text.per_trial, by_ctor.per_trial);
+    println!("text front door: count_str(\"glet1\") matches the constructor path bit-for-bit");
+
     // Color-coding estimate with the Degree Based algorithm.
     for trials in [3usize, 10, 50] {
         let estimate = engine

@@ -7,7 +7,11 @@
 //!
 //! The front door is the [`Engine`]: bind it to a data graph once (paying
 //! the preprocessing once), then count or estimate any number of queries
-//! against it.
+//! against it. Queries arrive either as programmatic [`QueryGraph`]s or as
+//! textual patterns (`"a-b, b-c, c-a"`, `cycle(5)`, catalog names — see
+//! [`query::parse`] for the grammar), and
+//! [`Engine::explain`] reports the chosen decomposition plan before
+//! anything runs.
 //!
 //! ```
 //! use subgraph_counting::prelude::*;
@@ -25,6 +29,20 @@
 //!     .estimate()
 //!     .expect("triangle is a valid treewidth-2 query");
 //! assert!(estimate.estimated_subgraphs > 0.0);
+//!
+//! // The same query as a text pattern: bit-identical, same plan cache slot.
+//! let by_text = engine
+//!     .count_str("a-b, b-c, c-a")
+//!     .expect("well-formed pattern")
+//!     .trials(64)
+//!     .seed(7)
+//!     .estimate()
+//!     .unwrap();
+//! assert_eq!(by_text.per_trial, estimate.per_trial);
+//!
+//! // And the explain report for it, before paying for a run.
+//! let report = engine.explain_str("brain1").unwrap();
+//! assert_eq!(report.candidates.len(), 2); // the two Section 6 plans
 //! ```
 //!
 //! The pre-0.2 free functions (`count_colorful`, `estimate_count`, …) are
@@ -49,3 +67,9 @@ pub use sgc_service::{
     CountJob, JobHandle, JobOutput, Precision, Service, ServiceConfig, ServiceError,
     ServiceMetrics, StopReason,
 };
+
+// The pattern front door: the text language, its typed spanned errors, the
+// name registry behind it, and the explain report. (Also available through
+// the prelude; re-exported here so they are discoverable at the top level.)
+pub use sgc_core::{BlockReport, PlanCandidate, PlanReport, TreewidthVerdict};
+pub use sgc_query::{Pattern, PatternErrorKind, PatternParseError, Registry, RegistryError};

@@ -99,7 +99,7 @@ fn treewidth_exceeding_queries_are_rejected_not_panicked_on() {
     let mut k4 = QueryGraph::new(4);
     for a in 0..4u8 {
         for b in (a + 1)..4 {
-            k4.add_edge(a, b);
+            k4.add_edge(a, b).unwrap();
         }
     }
     let err = engine.count(&k4).run().unwrap_err();

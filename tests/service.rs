@@ -252,7 +252,7 @@ fn error_jobs_and_key_separation() {
     let mut k4 = subgraph_counting::query::QueryGraph::new(4);
     for a in 0..4u8 {
         for b in (a + 1)..4 {
-            k4.add_edge(a, b);
+            k4.add_edge(a, b).unwrap();
         }
     }
     assert!(matches!(

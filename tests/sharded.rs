@@ -166,7 +166,7 @@ fn sharded_single_node_and_single_edge_queries() {
     }
 
     // Single-edge query: counted via a leaf-edge block.
-    let edge = QueryGraph::from_edges(2, &[(0, 1)]);
+    let edge = QueryGraph::from_edges(2, &[(0, 1)]).unwrap();
     let coloring2 = Coloring::random(graph.num_vertices(), 2, 3);
     let serial = engine
         .count(&edge)
