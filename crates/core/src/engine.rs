@@ -266,6 +266,64 @@ impl<'g> Engine<'g> {
         self.explain(&query)
     }
 
+    /// Executes many counting requests as one batch: every trial step draws
+    /// each needed coloring **once** (queries with the same node count and
+    /// effective seed share it) and runs the PS/DB dynamic program per
+    /// *distinct* query against that shared coloring — structurally
+    /// identical requests share one plan and one DP result.
+    ///
+    /// Every request's estimate is **bit-identical** to its solo
+    /// [`estimate`](CountRequest::estimate): trial `i` of a request still
+    /// colors with `seed + i` and runs the same DP, so batching changes how
+    /// often shared work happens, never what any query observes. The
+    /// returned [`BatchMetrics`](crate::BatchMetrics) report how much was
+    /// shared.
+    ///
+    /// Requests must come from this engine (so they share its graph,
+    /// preprocessing and plan cache); a request carrying an explicit
+    /// coloring is rejected exactly like a solo `estimate`. If any request
+    /// asked for [`sharded`](CountRequest::sharded) execution and the batch
+    /// runs sequentially ([`parallel(false)`](CountRequest::parallel) on
+    /// every member), each trial step runs through the batch-aware sharded
+    /// runtime: one exchange round serves all queries in a block step.
+    ///
+    /// ```
+    /// use sgc_core::Engine;
+    /// use sgc_graph::GraphBuilder;
+    /// use sgc_query::catalog;
+    ///
+    /// let mut b = GraphBuilder::new(6);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+    /// let graph = b.build();
+    /// let engine = Engine::new(&graph);
+    ///
+    /// let queries = [catalog::triangle(), catalog::cycle(4)];
+    /// let requests: Vec<_> = queries
+    ///     .iter()
+    ///     .map(|q| engine.count(q).trials(8).seed(7))
+    ///     .collect();
+    /// let batch = engine.count_batch(&requests).unwrap();
+    ///
+    /// // Bit-identical to the solo runs, with shared colorings underneath.
+    /// for (query, estimate) in queries.iter().zip(&batch.estimates) {
+    ///     let solo = engine.count(query).trials(8).seed(7).estimate().unwrap();
+    ///     assert_eq!(estimate.per_trial, solo.per_trial);
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    /// [`SgcError::EngineMismatch`] for a request built by another engine,
+    /// [`SgcError::ColoringWithEstimate`] for an explicit coloring,
+    /// [`SgcError::ZeroTrials`] / [`SgcError::ZeroRanks`] /
+    /// [`SgcError::ZeroShards`] for zero trials, ranks or shards, plus the
+    /// planning errors of [`run`](CountRequest::run).
+    pub fn count_batch<'a>(
+        &self,
+        requests: &[CountRequest<'_, 'g, 'a>],
+    ) -> Result<crate::batch::BatchResult, SgcError> {
+        crate::batch::execute(self, requests)
+    }
+
     fn request<'e, 'a>(&'e self, query: Cow<'a, QueryGraph>) -> CountRequest<'e, 'g, 'a> {
         let estimate_defaults = EstimateConfig::default();
         CountRequest {
@@ -284,7 +342,7 @@ impl<'g> Engine<'g> {
 }
 
 /// Either a caller-supplied plan or a cache-owned one.
-enum PlanRef<'a> {
+pub(crate) enum PlanRef<'a> {
     Borrowed(&'a DecompositionTree),
     Cached(Arc<DecompositionTree>),
 }
@@ -307,16 +365,16 @@ impl std::ops::Deref for PlanRef<'_> {
 /// (multi-trial approximate counting).
 #[must_use = "a CountRequest does nothing until .run() or .estimate() is called"]
 pub struct CountRequest<'e, 'g, 'a> {
-    engine: &'e Engine<'g>,
-    query: Cow<'a, QueryGraph>,
-    algorithm: Algorithm,
-    num_ranks: usize,
-    coloring: Option<&'a Coloring>,
-    plan: Option<&'a DecompositionTree>,
-    trials: usize,
-    seed: u64,
-    parallel: bool,
-    shards: Option<usize>,
+    pub(crate) engine: &'e Engine<'g>,
+    pub(crate) query: Cow<'a, QueryGraph>,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) num_ranks: usize,
+    pub(crate) coloring: Option<&'a Coloring>,
+    pub(crate) plan: Option<&'a DecompositionTree>,
+    pub(crate) trials: usize,
+    pub(crate) seed: u64,
+    pub(crate) parallel: bool,
+    pub(crate) shards: Option<usize>,
 }
 
 impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
@@ -426,7 +484,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         self
     }
 
-    fn resolve_plan(&self) -> Result<PlanRef<'a>, SgcError> {
+    pub(crate) fn resolve_plan(&self) -> Result<PlanRef<'a>, SgcError> {
         match self.plan {
             Some(tree) => {
                 // Same canonical form as the cache key, so "is this plan for

@@ -46,6 +46,11 @@ pub enum SgcError {
     /// needs at least one vertex shard; use `sharded(1)` for a single-shard
     /// run that still exercises the exchange path.
     ZeroShards,
+    /// A batch contained a request created by a *different* engine. Batched
+    /// requests share the executing engine's graph, preprocessing and plan
+    /// cache, so a request bound to another engine (and possibly another
+    /// graph) cannot be mixed in.
+    EngineMismatch,
     /// An explicitly supplied decomposition plan was built for a different
     /// query than the one being counted (the node counts, the edge counts,
     /// or the edge sets differ).
@@ -83,6 +88,10 @@ impl std::fmt::Display for SgcError {
                 "estimate() draws its own per-trial colorings; use run() to count under an explicit coloring"
             ),
             SgcError::ZeroRanks => write!(f, "at least one simulated rank is required"),
+            SgcError::EngineMismatch => write!(
+                f,
+                "batched requests must all come from the engine executing the batch"
+            ),
             SgcError::ZeroShards => write!(f, "sharded execution needs at least one shard"),
             SgcError::PlanQueryMismatch {
                 query_nodes,
@@ -146,6 +155,7 @@ mod tests {
         assert!(SgcError::ZeroTrials.to_string().contains("trial"));
         assert!(SgcError::ZeroRanks.to_string().contains("rank"));
         assert!(SgcError::ZeroShards.to_string().contains("shard"));
+        assert!(SgcError::EngineMismatch.to_string().contains("engine"));
     }
 
     #[test]

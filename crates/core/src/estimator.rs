@@ -572,6 +572,87 @@ mod tests {
         }
     }
 
+    /// Builds an [`Estimate`] directly from per-trial counts, the way any
+    /// trial loop would, so the precision accessors can be unit-tested
+    /// without running a counting engine.
+    fn estimate_from_counts(per_trial: Vec<Count>) -> Estimate {
+        summarize_trials(per_trial, &catalog::triangle(), 0.0)
+    }
+
+    #[test]
+    fn relative_half_width_matches_the_closed_form() {
+        let est = estimate_from_counts(vec![96, 104, 100, 98, 102]);
+        let n = 5.0_f64;
+        let mean = 100.0_f64;
+        let var = [96.0_f64, 104.0, 100.0, 98.0, 102.0]
+            .iter()
+            .map(|c| (c - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1.0);
+        let expected = z_for_confidence(0.95) * var.sqrt() / (n.sqrt() * mean);
+        assert!((est.relative_half_width(0.95) - expected).abs() < 1e-12);
+        // Scale invariance: the k^k/k! factor cancels, so the relative
+        // width measured on colorful counts equals the one a caller would
+        // compute on the scaled match estimate.
+        let scaled_expected =
+            z_for_confidence(0.95) * (est.scale * var.sqrt()) / (n.sqrt() * est.scale * mean);
+        assert!((est.relative_half_width(0.95) - scaled_expected).abs() < 1e-12);
+        // Wider confidence, wider interval; collapsed for identical counts.
+        assert!(est.relative_half_width(0.99) > est.relative_half_width(0.95));
+        let flat = estimate_from_counts(vec![7, 7, 7]);
+        assert_eq!(flat.relative_half_width(0.95), 0.0);
+    }
+
+    #[test]
+    fn relative_half_width_degenerate_cases_stay_unstoppable() {
+        // One trial: no variance information, never a finite claim.
+        let one = estimate_from_counts(vec![42]);
+        assert_eq!(one.relative_half_width(0.95), f64::INFINITY);
+        // The zero-count guard: a run of all-zero trials must read as "no
+        // information yet" (infinite width), not as a precise zero — this
+        // is the estimate-side face of the early-stop rule the service's
+        // scheduler relies on for rare subgraphs.
+        for trials in [2usize, 5, 32] {
+            let zeros = estimate_from_counts(vec![0; trials]);
+            assert_eq!(zeros.estimated_matches, 0.0);
+            for confidence in [0.5, 0.9, 0.95, 0.99] {
+                assert_eq!(
+                    zeros.relative_half_width(confidence),
+                    f64::INFINITY,
+                    "{trials} zero trials at {confidence}"
+                );
+            }
+        }
+        // A single zero among positives is fine — the mean is positive.
+        let mixed = estimate_from_counts(vec![0, 8, 4]);
+        assert!(mixed.relative_half_width(0.95).is_finite());
+    }
+
+    #[test]
+    fn zero_count_trials_never_early_stop_through_the_stream() {
+        // The same guard exercised end-to-end through the incremental
+        // estimation path: a triangle query on a triangle-free graph
+        // counts zero in every trial, and the stream must keep reporting
+        // infinite relative width no matter how many chunks run.
+        let mut b = GraphBuilder::new(6);
+        b.extend_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let g = b.build();
+        let engine = Engine::new(&g);
+        let triangle = catalog::triangle();
+        let mut stream = engine
+            .count(&triangle)
+            .seed(3)
+            .estimate_incremental()
+            .unwrap();
+        for _ in 0..4 {
+            stream.run_chunk(4);
+            assert_eq!(stream.relative_half_width(0.95), f64::INFINITY);
+        }
+        let est = stream.estimate().unwrap();
+        assert!(est.per_trial.iter().all(|&c| c == 0));
+        assert_eq!(est.relative_half_width(0.95), f64::INFINITY);
+    }
+
     #[test]
     #[allow(deprecated)]
     fn zero_trials_is_an_error_not_a_panic() {

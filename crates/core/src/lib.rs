@@ -16,6 +16,10 @@
 //!   data graph that amortizes the preprocessing across trials and queries,
 //!   caches decomposition plans, and reports typed [`SgcError`]s instead of
 //!   panicking on bad input,
+//! * [`batch`] — batched multi-query execution ([`Engine::count_batch`]):
+//!   one coloring pass per trial step serves every query in the batch,
+//!   structurally identical queries share one plan and one DP result, and
+//!   every member stays bit-identical to its solo run,
 //! * [`estimator`] — the approximate subgraph counting statistics: the
 //!   `k^k / k!` unbiased scaling and the precision metrics of Figure 15
 //!   (the trial loop itself lives in [`CountRequest::estimate`]),
@@ -33,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod blocks;
 pub mod brute;
 pub mod config;
@@ -50,6 +55,7 @@ pub mod ps;
 pub mod runtime;
 pub mod treelet;
 
+pub use batch::{BatchMetrics, BatchResult};
 pub use config::{Algorithm, CountConfig};
 pub use driver::CountResult;
 pub use engine::{CountRequest, Engine, TrialStream};

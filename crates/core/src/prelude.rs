@@ -5,6 +5,7 @@
 //! build a data graph, bind an [`Engine`] to it, pick a query, count or
 //! estimate.
 
+pub use crate::batch::{BatchMetrics, BatchResult};
 pub use crate::config::{Algorithm, CountConfig};
 pub use crate::driver::CountResult;
 pub use crate::engine::{CountRequest, Engine, TrialStream};

@@ -36,22 +36,62 @@ use sgc_engine::ProjectionTable;
 /// partial tables disagree on shape (scalar/unary/binary) — shards solve
 /// the same block, so a mismatch is a programmer error.
 pub fn combine(partials: Vec<ProjectionTable>, metrics: &mut ShardMetrics) -> ProjectionTable {
-    assert!(
-        !partials.is_empty(),
-        "exchange requires at least one shard's partial table"
-    );
+    combine_round(vec![partials], std::slice::from_mut(metrics))
+        .pop()
+        .expect("one block in, one combined table out")
+}
+
+/// Combines the per-shard partials of *several* blocks — one per member of a
+/// batch trial step — in a single exchange round.
+///
+/// Where [`combine`] is one block's alltoall, this is the batched form the
+/// paper's Section 7 actually performs: every query active in the current
+/// block step contributes its per-shard partial sums to *one* synchronization
+/// point, instead of paying one round per query. Each member's
+/// [`ShardMetrics`] still records the round and its shards' contributed
+/// entries (the per-query message volume is unchanged; what the batch saves
+/// is rounds, not bytes).
+///
+/// Returns the combined table of every member, in input order.
+///
+/// # Panics
+/// Panics if `batch` and `metrics` disagree in length, if any member has no
+/// partials, or if a member's partial count differs from its metrics' shard
+/// count.
+pub fn combine_round(
+    batch: Vec<Vec<ProjectionTable>>,
+    metrics: &mut [ShardMetrics],
+) -> Vec<ProjectionTable> {
     assert_eq!(
-        partials.len(),
-        metrics.num_shards(),
-        "one partial table per shard"
+        batch.len(),
+        metrics.len(),
+        "one ShardMetrics per batch member"
     );
-    metrics.exchange_rounds += 1;
-    for (shard, table) in partials.iter().enumerate() {
-        // A scalar partial is one number on the wire; keyed tables
-        // contribute one message entry per materialised key.
-        metrics.entries_exchanged[shard] += table.len() as u64;
+    for (partials, member_metrics) in batch.iter().zip(metrics.iter_mut()) {
+        assert!(
+            !partials.is_empty(),
+            "exchange requires at least one shard's partial table"
+        );
+        assert_eq!(
+            partials.len(),
+            member_metrics.num_shards(),
+            "one partial table per shard"
+        );
+        member_metrics.exchange_rounds += 1;
+        for (shard, table) in partials.iter().enumerate() {
+            // A scalar partial is one number on the wire; keyed tables
+            // contribute one message entry per materialised key.
+            member_metrics.entries_exchanged[shard] += table.len() as u64;
+        }
     }
-    pairwise_reduce(partials, merge_projection).expect("at least one table")
+    batch
+        .into_iter()
+        .map(|partials| {
+            // Each member's merge is a parallel pairwise reduction, so the
+            // round's critical path is one ⌈log₂ S⌉ merge tree per member.
+            pairwise_reduce(partials, merge_projection).expect("at least one table")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -157,5 +197,47 @@ mod tests {
     fn empty_partials_panic() {
         let mut m = ShardMetrics::new(0);
         let _ = combine(Vec::new(), &mut m);
+    }
+
+    #[test]
+    fn one_round_serves_several_blocks() {
+        // Two batch members combine in one shared round: each member's
+        // metrics record exactly one round and its own entry volume.
+        let mut metrics = vec![ShardMetrics::new(2), ShardMetrics::new(2)];
+        let combined = combine_round(
+            vec![
+                vec![ProjectionTable::Scalar(3), ProjectionTable::Scalar(4)],
+                vec![unary(&[(0, 0, 1), (1, 1, 2)]), unary(&[(0, 0, 5)])],
+            ],
+            &mut metrics,
+        );
+        assert_eq!(combined.len(), 2);
+        assert_eq!(combined[0].total(), 7);
+        assert_eq!(combined[1].total(), 8);
+        assert_eq!(metrics[0].exchange_rounds, 1);
+        assert_eq!(metrics[1].exchange_rounds, 1);
+        assert_eq!(metrics[0].entries_exchanged, vec![1, 1]);
+        assert_eq!(metrics[1].entries_exchanged, vec![2, 1]);
+        // Combining per member one at a time yields the same tables: the
+        // shared round changes synchronization structure, never counts.
+        let mut solo = ShardMetrics::new(2);
+        let alone = combine(
+            vec![unary(&[(0, 0, 1), (1, 1, 2)]), unary(&[(0, 0, 5)])],
+            &mut solo,
+        );
+        assert_eq!(alone.total(), combined[1].total());
+    }
+
+    #[test]
+    #[should_panic(expected = "one ShardMetrics per batch member")]
+    fn mismatched_round_lengths_panic() {
+        let mut m = vec![ShardMetrics::new(1)];
+        let _ = combine_round(
+            vec![
+                vec![ProjectionTable::Scalar(1)],
+                vec![ProjectionTable::Scalar(2)],
+            ],
+            &mut m,
+        );
     }
 }

@@ -115,7 +115,8 @@ impl ShardPlan {
 ///
 /// The result's `colorful_matches` is bit-identical to the serial driver's
 /// for any `num_shards ≥ 1`; `metrics.shards` carries the per-shard load
-/// and exchange-volume accounting.
+/// and exchange-volume accounting. Implemented as the one-job case of
+/// [`count_many_sharded`].
 pub(crate) fn count_sharded(
     graph: &CsrGraph,
     prep: &GraphPrep,
@@ -125,71 +126,220 @@ pub(crate) fn count_sharded(
     num_ranks: usize,
     num_shards: usize,
 ) -> Result<CountResult, SgcError> {
-    let plan = ShardPlan::new(graph.num_vertices(), num_shards)?;
-    Context::validate(graph, coloring, num_ranks)?;
-    let started = Instant::now();
-    let mut metrics = RunMetrics::new(num_ranks);
-    let mut shard_metrics = ShardMetrics::new(num_shards);
-
-    let colorful_matches = match tree.root {
-        // Single-node query: every vertex is a colorful match. Each shard
-        // reports its owned-vertex count as a scalar partial sum; one
-        // exchange round combines them.
-        None => {
-            let partials: Vec<ProjectionTable> = (0..num_shards)
-                .map(|s| ProjectionTable::Scalar(plan.shard(s).num_vertices() as Count))
-                .collect();
-            exchange::combine(partials, &mut shard_metrics).total()
-        }
-        Some(root) => {
-            let mut tables: Vec<Option<ProjectionTable>> = vec![None; tree.blocks.len()];
-            for block in &tree.blocks {
-                // The join-side child-table index is shard-invariant; build
-                // it once here so the workers share it (lazily grouping
-                // each needed orientation exactly once) instead of each
-                // regrouping the full child tables. Scoped so its borrow of
-                // `tables` ends before the exchanged table is stored.
-                let partials = {
-                    let index = BlockJoinIndex::build(block, &tables);
-                    // Fan the block out: shard `s` solves it restricted to
-                    // the paths starting in its vertex range, against the
-                    // full (already exchanged) child tables.
-                    parallel_indexed(num_shards, |s| {
-                        let ctx =
-                            Context::for_shard(graph, prep, coloring, num_ranks, plan.shard(s));
-                        let mut shard_run = RunMetrics::new(num_ranks);
-                        let table = solve_block_with_index(
-                            &ctx,
-                            tree,
-                            block,
-                            &index,
-                            algorithm,
-                            &mut shard_run,
-                        );
-                        (table, shard_run)
-                    })
-                };
-                let mut partial_tables = Vec::with_capacity(num_shards);
-                for (s, (table, shard_run)) in partials.into_iter().enumerate() {
-                    shard_metrics.ops_per_shard[s] += shard_run.total_ops;
-                    metrics.absorb_shard(&shard_run);
-                    partial_tables.push(table);
-                }
-                let table = exchange::combine(partial_tables, &mut shard_metrics);
-                metrics.observe_table(table.len());
-                tables[block.id] = Some(table);
-            }
-            tables[root]
-                .as_ref()
-                .expect("root table was just computed")
-                .total()
-        }
+    let job = ShardedBatchJob {
+        coloring,
+        plan: tree,
+        algorithm,
+        num_ranks,
     };
-    metrics.shards = Some(shard_metrics);
-    metrics.elapsed = started.elapsed();
-    Ok(CountResult {
-        colorful_matches,
-        metrics,
+    let mut outcome = count_many_sharded(graph, prep, &[job], num_shards)?;
+    Ok(outcome.results.pop().expect("one job in, one result out"))
+}
+
+/// One member of a batched sharded run: a coloring/plan/algorithm triple to
+/// evaluate over the shared shard layout.
+pub(crate) struct ShardedBatchJob<'a> {
+    /// The member's trial coloring (batch members of one trial step share
+    /// colorings by reference, one per distinct color count).
+    pub coloring: &'a Coloring,
+    /// The member's decomposition plan.
+    pub plan: &'a DecompositionTree,
+    /// The member's cycle-solving algorithm.
+    pub algorithm: Algorithm,
+    /// Simulated rank count for load attribution.
+    pub num_ranks: usize,
+}
+
+/// What [`count_many_sharded`] produced: one [`CountResult`] per job plus
+/// the number of *shared* exchange rounds the batch actually synchronized
+/// on (block steps), as opposed to the `Σ blocks` rounds the same jobs
+/// would pay when run one at a time.
+pub(crate) struct ShardedBatchOutcome {
+    /// Per-job results, in input order.
+    pub results: Vec<CountResult>,
+    /// Exchange rounds the whole batch synchronized on — one per block
+    /// step, each serving every job active in that step.
+    pub shared_rounds: u64,
+}
+
+/// Runs many colorful counts through the sharded runtime at once, block
+/// step by block step: in step `s`, every job whose plan has a block `s`
+/// fans its partial solves out over the shards, and a **single** exchange
+/// round ([`exchange::combine_round`]) then combines the partial-sum tables
+/// of all of them — the batched alltoall of the paper's Section 7, where
+/// concurrent queries share synchronization points instead of each paying
+/// their own.
+///
+/// Each job's count is bit-identical to its solo run (sharded or serial):
+/// the jobs never mix tables, they only share the fan-out and the round
+/// barrier.
+pub(crate) fn count_many_sharded(
+    graph: &CsrGraph,
+    prep: &GraphPrep,
+    jobs: &[ShardedBatchJob<'_>],
+    num_shards: usize,
+) -> Result<ShardedBatchOutcome, SgcError> {
+    let plan = ShardPlan::new(graph.num_vertices(), num_shards)?;
+    for job in jobs {
+        Context::validate(graph, job.coloring, job.num_ranks)?;
+    }
+    let mut metrics: Vec<RunMetrics> = jobs.iter().map(|j| RunMetrics::new(j.num_ranks)).collect();
+    // Wall time actually spent for each job: its shard solves plus its
+    // share of the exchange rounds it participated in.
+    let mut busy: Vec<std::time::Duration> = vec![std::time::Duration::ZERO; jobs.len()];
+    let mut shard_metrics: Vec<ShardMetrics> =
+        jobs.iter().map(|_| ShardMetrics::new(num_shards)).collect();
+    let mut tables: Vec<Vec<Option<ProjectionTable>>> = jobs
+        .iter()
+        .map(|j| vec![None; j.plan.blocks.len()])
+        .collect();
+    // Single-node queries (no root block) are resolved by a scalar exchange
+    // in step 0; their combined total lands here.
+    let mut single_totals: Vec<Option<Count>> = vec![None; jobs.len()];
+    let mut shared_rounds = 0u64;
+
+    let max_steps = jobs
+        .iter()
+        .map(|j| j.plan.blocks.len().max(1))
+        .max()
+        .unwrap_or(0);
+    for step in 0..max_steps {
+        // Jobs with work in this block step: block `step` of their plan, or
+        // (for single-node queries) the step-0 scalar partial sum.
+        let active: Vec<usize> = (0..jobs.len())
+            .filter(|&j| {
+                if jobs[j].plan.root.is_some() {
+                    step < jobs[j].plan.blocks.len()
+                } else {
+                    step == 0
+                }
+            })
+            .collect();
+        if active.is_empty() {
+            continue;
+        }
+        // Fan out all active jobs' blocks over the shards in one sweep. The
+        // join-side child-table indexes are shard-invariant, so they are
+        // built once per job here and shared by its shard workers; the
+        // scope ends their borrow of `tables` before the combined tables
+        // are stored.
+        let per_job_partials: Vec<Vec<(ProjectionTable, RunMetrics)>> = {
+            let indexes: Vec<Option<BlockJoinIndex<'_>>> = active
+                .iter()
+                .map(|&j| {
+                    jobs[j]
+                        .plan
+                        .root
+                        .is_some()
+                        .then(|| BlockJoinIndex::build(&jobs[j].plan.blocks[step], &tables[j]))
+                })
+                .collect();
+            let flat = parallel_indexed(active.len() * num_shards, |idx| {
+                let (a, s) = (idx / num_shards, idx % num_shards);
+                let j = active[a];
+                let job = &jobs[j];
+                let mut shard_run = RunMetrics::new(job.num_ranks);
+                let solve_started = Instant::now();
+                let table = match &indexes[a] {
+                    Some(index) => {
+                        let ctx = Context::for_shard(
+                            graph,
+                            prep,
+                            job.coloring,
+                            job.num_ranks,
+                            plan.shard(s),
+                        );
+                        solve_block_with_index(
+                            &ctx,
+                            job.plan,
+                            &job.plan.blocks[step],
+                            index,
+                            job.algorithm,
+                            &mut shard_run,
+                        )
+                    }
+                    // Single-node query: the shard's owned-vertex count is
+                    // its scalar partial sum.
+                    None => ProjectionTable::Scalar(plan.shard(s).num_vertices() as Count),
+                };
+                shard_run.elapsed = solve_started.elapsed();
+                (table, shard_run)
+            });
+            let mut chunks: Vec<Vec<(ProjectionTable, RunMetrics)>> =
+                Vec::with_capacity(active.len());
+            let mut it = flat.into_iter();
+            for _ in 0..active.len() {
+                chunks.push((&mut it).take(num_shards).collect());
+            }
+            chunks
+        };
+        // Absorb per-shard execution metrics (including each solve's own
+        // elapsed time, so a job's reported duration reflects the work done
+        // *for it*, not the whole batch), then combine every active job's
+        // partials in ONE shared exchange round.
+        let mut round_partials: Vec<Vec<ProjectionTable>> = Vec::with_capacity(active.len());
+        for (&j, partials) in active.iter().zip(per_job_partials) {
+            let mut job_tables = Vec::with_capacity(num_shards);
+            for (s, (table, shard_run)) in partials.into_iter().enumerate() {
+                shard_metrics[j].ops_per_shard[s] += shard_run.total_ops;
+                metrics[j].absorb_shard(&shard_run);
+                busy[j] += shard_run.elapsed;
+                job_tables.push(table);
+            }
+            round_partials.push(job_tables);
+        }
+        let exchange_started = Instant::now();
+        let mut round_metrics: Vec<ShardMetrics> = active
+            .iter()
+            .map(|&j| std::mem::take(&mut shard_metrics[j]))
+            .collect();
+        let combined = exchange::combine_round(round_partials, &mut round_metrics);
+        shared_rounds += 1;
+        // The shared round's cost is split evenly across the jobs it served.
+        let exchange_share = exchange_started.elapsed() / active.len() as u32;
+        for ((&j, taken), table) in active.iter().zip(round_metrics).zip(combined) {
+            shard_metrics[j] = taken;
+            busy[j] += exchange_share;
+            if jobs[j].plan.root.is_some() {
+                // Parity with the serial driver: only real block tables are
+                // observed; a single-node query's scalar exchange is not a
+                // produced table there either.
+                metrics[j].observe_table(table.len());
+                let id = jobs[j].plan.blocks[step].id;
+                tables[j][id] = Some(table);
+            } else {
+                single_totals[j] = Some(table.total());
+            }
+        }
+    }
+
+    let results = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, job)| {
+            let colorful_matches = match job.plan.root {
+                Some(root) => tables[j][root]
+                    .as_ref()
+                    .expect("root table was computed in its block step")
+                    .total(),
+                None => single_totals[j].expect("single-node totals resolve in step 0"),
+            };
+            let mut metrics = std::mem::replace(&mut metrics[j], RunMetrics::new(1));
+            metrics.shards = Some(std::mem::take(&mut shard_metrics[j]));
+            // Per-job duration: the solves and exchange shares performed
+            // for THIS job, so batching other jobs alongside never inflates
+            // a member's reported time. (For a one-job batch this is the
+            // whole loop minus scheduling gaps — the solo cost as before.)
+            metrics.elapsed = busy[j];
+            CountResult {
+                colorful_matches,
+                metrics,
+            }
+        })
+        .collect();
+    Ok(ShardedBatchOutcome {
+        results,
+        shared_rounds,
     })
 }
 

@@ -65,6 +65,32 @@ pub fn canonical_key(query: &QueryGraph) -> CanonicalQueryKey {
     }
 }
 
+/// Maps every query in a batch to the index of its first structural twin.
+///
+/// `groups[i] == i` marks the first occurrence of a structure;
+/// `groups[i] == j` with `j < i` means `queries[i]` has the same
+/// [`canonical_key`] as `queries[j]`. Batch executors use this to share one
+/// decomposition plan — and one DP run per coloring — among structurally
+/// identical patterns submitted together, without hashing full canonical
+/// keys on every trial.
+///
+/// ```
+/// use sgc_query::{canonical_groups, catalog, QueryGraph};
+///
+/// let twin = QueryGraph::from_edges(3, &[(2, 0), (1, 2), (0, 1)]).unwrap();
+/// let queries = [catalog::triangle(), catalog::cycle(4), twin];
+/// assert_eq!(canonical_groups(queries.iter()), vec![0, 1, 0]);
+/// ```
+pub fn canonical_groups<'q>(queries: impl IntoIterator<Item = &'q QueryGraph>) -> Vec<usize> {
+    let mut first: std::collections::HashMap<CanonicalQueryKey, usize> =
+        std::collections::HashMap::new();
+    queries
+        .into_iter()
+        .enumerate()
+        .map(|(i, q)| *first.entry(canonical_key(q)).or_insert(i))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +118,23 @@ mod tests {
         let key = canonical_key(&q);
         assert_eq!(key.edges(), &[(0, 1), (0, 3), (2, 3)]);
         assert!(key.edges().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn groups_point_at_first_structural_twins() {
+        let twin = QueryGraph::from_edges(3, &[(1, 0), (2, 1), (0, 2)]).unwrap();
+        let queries = [
+            catalog::triangle(),
+            catalog::cycle(4),
+            twin,
+            catalog::cycle(4),
+            catalog::path(3),
+        ];
+        assert_eq!(canonical_groups(queries.iter()), vec![0, 1, 0, 1, 4]);
+        assert_eq!(canonical_groups(std::iter::empty()), Vec::<usize>::new());
+        // All-distinct batches are the identity mapping.
+        let distinct = [catalog::triangle(), catalog::glet1(), catalog::dros()];
+        assert_eq!(canonical_groups(distinct.iter()), vec![0, 1, 2]);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub use block::{Block, BlockId, BlockKind};
 pub use decomposition::{decompose, DecompositionTree};
 pub use error::QueryError;
 pub use graph::{QueryGraph, QueryNode};
-pub use key::{canonical_key, CanonicalQueryKey};
+pub use key::{canonical_groups, canonical_key, CanonicalQueryKey};
 pub use parse::{Pattern, PatternErrorKind, PatternParseError};
 pub use plan::{enumerate_plans, heuristic_plan, PlanCost};
 pub use registry::{Registry, RegistryEntry, RegistryError};

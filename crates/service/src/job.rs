@@ -154,6 +154,71 @@ impl CountJob {
     }
 }
 
+/// A set of [`CountJob`]s submitted together for batched execution.
+///
+/// A batch is admitted atomically (all members or none, counted against the
+/// queue capacity member by member) and processed by one worker as a unit:
+/// members without a [`Precision`] target run through the engine's batched
+/// executor ([`count_batch`](sgc_core::Engine::count_batch)), sharing one
+/// coloring pass per trial step and one DP result per structurally
+/// identical query; members *with* a precision target keep their individual
+/// adaptive trial loop (early stopping and coloring sharing pull in
+/// opposite directions, so each job gets the optimization that matches its
+/// contract). Every member's result is bit-identical to its solo
+/// submission and lands in the single-flight result cache under the same
+/// canonical key, so batched and solo submissions stay interchangeable.
+///
+/// ```
+/// use sgc_query::catalog;
+/// use sgc_service::{BatchJob, CountJob};
+///
+/// let batch = BatchJob::new()
+///     .push(CountJob::new(catalog::triangle()).seed(7).budget(16))
+///     .push(CountJob::new(catalog::cycle(4)).seed(7).budget(16));
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BatchJob {
+    jobs: Vec<CountJob>,
+}
+
+impl BatchJob {
+    /// An empty batch.
+    pub fn new() -> Self {
+        BatchJob::default()
+    }
+
+    /// A batch over an existing job list.
+    pub fn from_jobs(jobs: Vec<CountJob>) -> Self {
+        BatchJob { jobs }
+    }
+
+    /// Appends one member.
+    pub fn push(mut self, job: CountJob) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// The members, in submission order.
+    pub fn jobs(&self) -> &[CountJob] {
+        &self.jobs
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch has no members.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    pub(crate) fn into_jobs(self) -> Vec<CountJob> {
+        self.jobs
+    }
+}
+
 /// Why a job stopped running trials.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {

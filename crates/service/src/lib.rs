@@ -72,6 +72,6 @@ pub mod metrics;
 pub mod service;
 
 pub use error::ServiceError;
-pub use job::{CountJob, JobHandle, JobOutput, Precision, StopReason};
+pub use job::{BatchJob, CountJob, JobHandle, JobOutput, Precision, StopReason};
 pub use metrics::ServiceMetrics;
 pub use service::{Service, ServiceConfig};

@@ -11,8 +11,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// [`Service::metrics`](crate::Service::metrics).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceMetrics {
-    /// Jobs accepted by admission control.
+    /// Jobs accepted by admission control (batch members count
+    /// individually).
     pub jobs_submitted: u64,
+    /// Batches accepted by admission control (each spanning one or more of
+    /// the submitted jobs).
+    pub batches_submitted: u64,
     /// Jobs rejected with `QueueFull`.
     pub jobs_rejected: u64,
     /// Jobs fulfilled (computed, served from cache, or joined in flight).
@@ -50,6 +54,7 @@ impl ServiceMetrics {
 #[derive(Default)]
 pub(crate) struct Counters {
     pub jobs_submitted: AtomicU64,
+    pub batches_submitted: AtomicU64,
     pub jobs_rejected: AtomicU64,
     pub jobs_completed: AtomicU64,
     pub cache_hits: AtomicU64,
@@ -62,6 +67,7 @@ impl Counters {
     pub(crate) fn snapshot(&self, queue_depth: usize, cached_results: usize) -> ServiceMetrics {
         ServiceMetrics {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             queue_depth,
@@ -91,6 +97,7 @@ mod tests {
         let counters = Counters::default();
         Counters::bump(&counters.jobs_submitted);
         Counters::bump(&counters.jobs_submitted);
+        Counters::bump(&counters.batches_submitted);
         Counters::bump(&counters.jobs_rejected);
         Counters::bump(&counters.jobs_completed);
         Counters::bump(&counters.cache_hits);
@@ -98,6 +105,7 @@ mod tests {
         Counters::add(&counters.trials_saved, 24);
         let snap = counters.snapshot(3, 1);
         assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.batches_submitted, 1);
         assert_eq!(snap.jobs_rejected, 1);
         assert_eq!(snap.jobs_completed, 1);
         assert_eq!(snap.queue_depth, 3);

@@ -18,9 +18,9 @@
 
 use crate::cache::{Claim, JobKey, ResultCache};
 use crate::error::ServiceError;
-use crate::job::{CountJob, JobHandle, JobOutput, JobState, StopReason};
+use crate::job::{BatchJob, CountJob, JobHandle, JobOutput, JobState, StopReason};
 use crate::metrics::{Counters, ServiceMetrics};
-use sgc_core::Engine;
+use sgc_core::{CountRequest, Engine};
 use sgc_graph::CsrGraph;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -67,10 +67,34 @@ struct QueuedJob {
     state: Arc<JobState>,
 }
 
-/// Queue state guarded by one mutex: the jobs and the shutdown latch.
+/// One queue slot: a solo submission or a batch processed as a unit.
+enum QueueEntry {
+    Single(QueuedJob),
+    Batch(Vec<QueuedJob>),
+}
+
+impl QueueEntry {
+    /// Number of jobs this entry admits against the queue capacity.
+    fn members(&self) -> usize {
+        match self {
+            QueueEntry::Single(_) => 1,
+            QueueEntry::Batch(jobs) => jobs.len(),
+        }
+    }
+}
+
+/// Queue state guarded by one mutex: the entries and the shutdown latch.
 struct QueueState {
-    jobs: VecDeque<QueuedJob>,
+    jobs: VecDeque<QueueEntry>,
     shutdown: bool,
+}
+
+impl QueueState {
+    /// Jobs currently queued, counting every batch member individually —
+    /// the quantity admission control bounds.
+    fn member_count(&self) -> usize {
+        self.jobs.iter().map(QueueEntry::members).sum()
+    }
 }
 
 /// Everything the workers share.
@@ -165,20 +189,100 @@ impl Service {
             if queue.shutdown {
                 return Err(ServiceError::ShuttingDown);
             }
-            if queue.jobs.len() >= self.shared.queue_capacity {
+            if queue.member_count() >= self.shared.queue_capacity {
                 Counters::bump(&self.shared.counters.jobs_rejected);
                 return Err(ServiceError::QueueFull {
                     capacity: self.shared.queue_capacity,
                 });
             }
             Counters::bump(&self.shared.counters.jobs_submitted);
-            queue.jobs.push_back(QueuedJob {
+            queue.jobs.push_back(QueueEntry::Single(QueuedJob {
                 job,
                 state: Arc::clone(&state),
-            });
+            }));
         }
         self.shared.available.notify_one();
         Ok(JobHandle { state })
+    }
+
+    /// Submits a batch of jobs for processing as one unit, returning one
+    /// handle per member (in submission order).
+    ///
+    /// Admission is atomic: either every member fits within the queue
+    /// capacity or the whole batch is rejected with
+    /// [`ServiceError::QueueFull`] — a batch cannot be half-admitted. One
+    /// worker then picks the batch up and routes every member through the
+    /// single-flight result cache under its own canonical key (so batch
+    /// members join or serve identical solo jobs and vice versa);
+    /// fixed-budget members that miss the cache execute together through
+    /// [`Engine::count_batch`], sharing colorings and deduplicated DP runs,
+    /// while precision-targeted members keep their adaptive early-stop
+    /// loop. Every member's output is bit-identical to a solo submission
+    /// of the same job.
+    ///
+    /// ```
+    /// use sgc_graph::GraphBuilder;
+    /// use sgc_query::catalog;
+    /// use sgc_service::{BatchJob, CountJob, Service};
+    /// use std::sync::Arc;
+    ///
+    /// let mut b = GraphBuilder::new(6);
+    /// b.extend_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+    /// let service = Service::new(Arc::new(b.build()));
+    ///
+    /// let batch = BatchJob::new()
+    ///     .push(CountJob::new(catalog::triangle()).seed(3).budget(8))
+    ///     .push(CountJob::new(catalog::cycle(4)).seed(3).budget(8));
+    /// let handles = service.submit_batch(batch).unwrap();
+    /// for handle in handles {
+    ///     assert!(handle.wait().unwrap().trials_run > 0);
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    /// [`ServiceError::QueueFull`] when the members would overflow the
+    /// queue, [`ServiceError::ShuttingDown`] after shutdown,
+    /// [`ServiceError::InvalidPrecision`] for an unusable member target.
+    /// Counting-level failures are reported through the member handles.
+    pub fn submit_batch(&self, batch: BatchJob) -> Result<Vec<JobHandle>, ServiceError> {
+        for job in batch.jobs() {
+            if let Some(precision) = &job.precision {
+                precision.validate()?;
+            }
+        }
+        let jobs = batch.into_jobs();
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let states: Vec<Arc<JobState>> = jobs.iter().map(|_| Arc::new(JobState::new())).collect();
+        {
+            let mut queue = self.shared.lock_queue();
+            if queue.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if queue.member_count() + jobs.len() > self.shared.queue_capacity {
+                Counters::add(&self.shared.counters.jobs_rejected, jobs.len() as u64);
+                return Err(ServiceError::QueueFull {
+                    capacity: self.shared.queue_capacity,
+                });
+            }
+            Counters::add(&self.shared.counters.jobs_submitted, jobs.len() as u64);
+            Counters::bump(&self.shared.counters.batches_submitted);
+            queue.jobs.push_back(QueueEntry::Batch(
+                jobs.into_iter()
+                    .zip(&states)
+                    .map(|(job, state)| QueuedJob {
+                        job,
+                        state: Arc::clone(state),
+                    })
+                    .collect(),
+            ));
+        }
+        self.shared.available.notify_one();
+        Ok(states
+            .into_iter()
+            .map(|state| JobHandle { state })
+            .collect())
     }
 
     /// Submits a job and blocks until it completes — submission and
@@ -187,9 +291,27 @@ impl Service {
         self.submit(job)?.wait()
     }
 
+    /// Submits a batch and blocks until every member completes, returning
+    /// each member's outcome in submission order.
+    ///
+    /// # Errors
+    /// The batch-level admission errors of
+    /// [`submit_batch`](Service::submit_batch); per-member counting
+    /// failures are the inner `Result`s.
+    pub fn run_batch(
+        &self,
+        batch: BatchJob,
+    ) -> Result<Vec<Result<JobOutput, ServiceError>>, ServiceError> {
+        Ok(self
+            .submit_batch(batch)?
+            .into_iter()
+            .map(JobHandle::wait)
+            .collect())
+    }
+
     /// A snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
-        let queue_depth = self.shared.lock_queue().jobs.len();
+        let queue_depth = self.shared.lock_queue().member_count();
         self.shared
             .counters
             .snapshot(queue_depth, self.shared.cache.ready_entries())
@@ -218,12 +340,18 @@ impl Service {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        let leftovers: Vec<QueuedJob> = {
+        let leftovers: Vec<QueueEntry> = {
             let mut queue = self.shared.lock_queue();
             queue.jobs.drain(..).collect()
         };
-        for queued in leftovers {
-            queued.state.fulfill(Err(ServiceError::ShuttingDown));
+        for entry in leftovers {
+            let members = match entry {
+                QueueEntry::Single(queued) => vec![queued],
+                QueueEntry::Batch(members) => members,
+            };
+            for queued in members {
+                queued.state.fulfill(Err(ServiceError::ShuttingDown));
+            }
         }
         // Nothing can complete an in-flight computation once the workers
         // are gone (only reachable if a worker died outside catch_unwind).
@@ -241,11 +369,11 @@ impl Drop for Service {
 /// before honoring shutdown.
 fn worker_loop(shared: Arc<Shared>) {
     loop {
-        let queued = {
+        let entry = {
             let mut queue = shared.lock_queue();
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
-                    break job;
+                if let Some(entry) = queue.jobs.pop_front() {
+                    break entry;
                 }
                 if queue.shutdown {
                     return;
@@ -256,7 +384,10 @@ fn worker_loop(shared: Arc<Shared>) {
                     .unwrap_or_else(|p| p.into_inner());
             }
         };
-        process(&shared, queued);
+        match entry {
+            QueueEntry::Single(queued) => process(&shared, queued),
+            QueueEntry::Batch(members) => process_batch(&shared, members),
+        }
     }
 }
 
@@ -264,52 +395,159 @@ fn worker_loop(shared: Arc<Shared>) {
 /// computation, runs the adaptive trial loop and fans the result out to
 /// every identical job that joined in flight.
 fn process(shared: &Shared, queued: QueuedJob) {
+    if let Some((key, queued)) = route(shared, queued) {
+        // A panic in the counting code must neither kill the worker nor
+        // strand the jobs joined onto this computation.
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
+            .unwrap_or(Err(ServiceError::WorkerLost));
+        finish_compute(shared, key, &queued, result);
+    }
+}
+
+/// Routes one job through the single-flight cache. Serves cache hits and
+/// joins in-flight twins immediately; returns the key and job when this
+/// worker owns the computation (the miss counter is already bumped).
+///
+/// Counters are always bumped BEFORE the corresponding handle is
+/// fulfilled: once a caller's wait() returns, the metrics already account
+/// for that job.
+fn route(shared: &Shared, queued: QueuedJob) -> Option<(JobKey, QueuedJob)> {
     let key = JobKey::new(shared.graph_fingerprint, &queued.job);
-    // Counters are always bumped BEFORE the corresponding handle is
-    // fulfilled: once a caller's wait() returns, the metrics already
-    // account for that job.
     match shared.cache.claim(key.clone(), &queued.state) {
         Claim::Served(output) => {
             Counters::bump(&shared.counters.cache_hits);
             Counters::bump(&shared.counters.jobs_completed);
             queued.state.fulfill(Ok(output));
+            None
         }
         Claim::Joined => {
             // This worker is done with the job: the computation's owner
             // receives the handle from complete() and counts + fulfills it.
+            None
         }
         Claim::Compute => {
             Counters::bump(&shared.counters.cache_misses);
-            // A panic in the counting code must neither kill the worker nor
-            // strand the jobs joined onto this computation.
-            let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
-                .unwrap_or(Err(ServiceError::WorkerLost));
-            if let Ok(output) = &result {
-                Counters::add(&shared.counters.trials_executed, output.trials_run as u64);
-                Counters::add(
-                    &shared.counters.trials_saved,
-                    output.budget.saturating_sub(output.trials_run) as u64,
-                );
+            Some((key, queued))
+        }
+    }
+}
+
+/// Completes a computation this worker owned: updates the trial counters,
+/// stores the result (successes only), and fulfills the owner plus every
+/// joined twin.
+fn finish_compute(
+    shared: &Shared,
+    key: JobKey,
+    queued: &QueuedJob,
+    result: Result<JobOutput, ServiceError>,
+) {
+    if let Ok(output) = &result {
+        Counters::add(&shared.counters.trials_executed, output.trials_run as u64);
+        Counters::add(
+            &shared.counters.trials_saved,
+            output.budget.saturating_sub(output.trials_run) as u64,
+        );
+    }
+    let waiters = shared.cache.complete(key, &result);
+    // Joined twins are cache hits only when something was actually
+    // served from the cache: on an error nothing is cached and
+    // every joiner receives the failure, so counting them as hits
+    // would inflate the hit rate while cached_results stays 0.
+    if result.is_ok() {
+        Counters::add(&shared.counters.cache_hits, waiters.len() as u64);
+    }
+    Counters::add(&shared.counters.jobs_completed, 1 + waiters.len() as u64);
+    queued.state.fulfill(result.clone());
+    for waiter in waiters {
+        let served = result.clone().map(|mut output| {
+            output.from_cache = true;
+            output
+        });
+        waiter.fulfill(served);
+    }
+}
+
+/// Processes a batch entry: routes every member through the cache, runs the
+/// cache-missing fixed-budget members through the engine's batched executor
+/// (shared colorings, deduplicated DP runs), and the precision-targeted
+/// members through their individual adaptive loops.
+fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
+    let computes: Vec<(JobKey, QueuedJob)> = members
+        .into_iter()
+        .filter_map(|queued| route(shared, queued))
+        .collect();
+    // Early stopping is an individual contract (each job stops on its own
+    // confidence interval), so precision-targeted members keep the solo
+    // adaptive loop; fixed-budget members share the batched executor.
+    let (adaptive, fixed): (Vec<_>, Vec<_>) = computes
+        .into_iter()
+        .partition(|(_, queued)| queued.job.precision.is_some());
+    for (key, queued) in adaptive {
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
+            .unwrap_or(Err(ServiceError::WorkerLost));
+        finish_compute(shared, key, &queued, result);
+    }
+    if fixed.is_empty() {
+        return;
+    }
+    match catch_unwind(AssertUnwindSafe(|| run_jobs_batched(shared, &fixed))) {
+        Ok(Ok(outputs)) => {
+            for ((key, queued), output) in fixed.into_iter().zip(outputs) {
+                finish_compute(shared, key, &queued, Ok(output));
             }
-            let waiters = shared.cache.complete(key, &result);
-            // Joined twins are cache hits only when something was actually
-            // served from the cache: on an error nothing is cached and
-            // every joiner receives the failure, so counting them as hits
-            // would inflate the hit rate while cached_results stays 0.
-            if result.is_ok() {
-                Counters::add(&shared.counters.cache_hits, waiters.len() as u64);
+        }
+        // A batch-level validation error (one bad member fails
+        // `count_batch` for everyone): fall back to individual runs so
+        // only the offending members report the failure.
+        Ok(Err(_)) => {
+            for (key, queued) in fixed {
+                let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
+                    .unwrap_or(Err(ServiceError::WorkerLost));
+                finish_compute(shared, key, &queued, result);
             }
-            Counters::add(&shared.counters.jobs_completed, 1 + waiters.len() as u64);
-            queued.state.fulfill(result.clone());
-            for waiter in waiters {
-                let served = result.clone().map(|mut output| {
-                    output.from_cache = true;
-                    output
-                });
-                waiter.fulfill(served);
+        }
+        // A panic inside the batched executor: fail every owned member so
+        // nothing joined onto them is stranded.
+        Err(_) => {
+            for (key, queued) in fixed {
+                finish_compute(shared, key, &queued, Err(ServiceError::WorkerLost));
             }
         }
     }
+}
+
+/// Runs the cache-missing fixed-budget members of one batch through
+/// [`Engine::count_batch`]: one shared coloring pass per trial step, one DP
+/// run per structurally identical member. Outputs are bit-identical to the
+/// members' solo runs (asserted by `tests/batch.rs`).
+fn run_jobs_batched(
+    shared: &Shared,
+    fixed: &[(JobKey, QueuedJob)],
+) -> Result<Vec<JobOutput>, ServiceError> {
+    let requests: Vec<CountRequest<'_, 'static, '_>> = fixed
+        .iter()
+        .map(|(_, queued)| {
+            shared
+                .engine
+                .count(&queued.job.query)
+                .algorithm(queued.job.algorithm)
+                .seed(queued.job.seed)
+                .trials(queued.job.budget)
+                .parallel(shared.trial_parallelism)
+        })
+        .collect();
+    let batch = shared.engine.count_batch(&requests)?;
+    Ok(fixed
+        .iter()
+        .zip(batch.estimates)
+        .map(|((_, queued), estimate)| JobOutput {
+            trials_run: estimate.per_trial.len(),
+            budget: queued.job.budget,
+            stop: StopReason::BudgetExhausted,
+            from_cache: false,
+            estimate,
+        })
+        .collect())
 }
 
 /// The adaptive trial loop of one job: run chunks through the incremental
@@ -534,6 +772,160 @@ mod tests {
         assert_eq!(output.trials_run, 20);
         assert_eq!(output.estimate.estimated_matches, 0.0);
         assert_eq!(service.metrics().trials_saved, 0);
+    }
+
+    #[test]
+    fn batched_members_match_solo_submissions_bitwise() {
+        let service = small_service(1);
+        let batch = BatchJob::new()
+            .push(CountJob::new(catalog::triangle()).seed(21).budget(10))
+            .push(CountJob::new(catalog::cycle(4)).seed(21).budget(10))
+            .push(CountJob::new(catalog::glet1()).seed(4).budget(6));
+        let outputs: Vec<JobOutput> = service
+            .run_batch(batch)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(outputs.len(), 3);
+        // A separate service (fresh cache) computes each job solo: the
+        // batched members must be bit-identical.
+        let solo_service = small_service(1);
+        for (output, job) in outputs.iter().zip([
+            CountJob::new(catalog::triangle()).seed(21).budget(10),
+            CountJob::new(catalog::cycle(4)).seed(21).budget(10),
+            CountJob::new(catalog::glet1()).seed(4).budget(6),
+        ]) {
+            let solo = solo_service.run(job).unwrap();
+            assert_eq!(output.estimate.per_trial, solo.estimate.per_trial);
+            assert_eq!(
+                output.estimate.estimated_matches.to_bits(),
+                solo.estimate.estimated_matches.to_bits()
+            );
+            assert_eq!(output.trials_run, solo.trials_run);
+            assert_eq!(output.stop, StopReason::BudgetExhausted);
+        }
+        assert_eq!(service.metrics().batches_submitted, 1);
+        assert_eq!(service.metrics().jobs_submitted, 3);
+    }
+
+    #[test]
+    fn batch_results_fan_into_the_single_flight_cache() {
+        let service = small_service(1);
+        let job = CountJob::new(catalog::triangle()).seed(8).budget(8);
+        // Duplicate members inside one batch: the second joins the first
+        // in flight through the cache and is served bit-identically.
+        let results = service
+            .run_batch(BatchJob::from_jobs(vec![job.clone(), job.clone()]))
+            .unwrap();
+        let first = results[0].as_ref().unwrap();
+        let second = results[1].as_ref().unwrap();
+        assert_eq!(first.estimate.per_trial, second.estimate.per_trial);
+        // A later solo submission of the same job is a cache hit on the
+        // batched result.
+        let solo = service.run(job).unwrap();
+        assert!(solo.from_cache);
+        assert_eq!(solo.estimate.per_trial, first.estimate.per_trial);
+        let metrics = service.metrics();
+        assert_eq!(metrics.cache_misses, 1, "the batch computed once");
+        assert_eq!(metrics.cache_hits, 2, "the twin and the solo follow-up");
+    }
+
+    #[test]
+    fn batch_admission_is_atomic_and_counts_members() {
+        let mut service = Service::with_config(
+            demo_graph(),
+            ServiceConfig {
+                workers: 0,
+                queue_capacity: 4,
+                chunk_trials: 4,
+                trial_parallelism: false,
+            },
+        );
+        // Five members cannot fit a capacity-4 queue: nothing is admitted.
+        let five = BatchJob::from_jobs(vec![CountJob::new(catalog::triangle()); 5]);
+        assert_eq!(
+            service.submit_batch(five).unwrap_err(),
+            ServiceError::QueueFull { capacity: 4 }
+        );
+        assert_eq!(service.metrics().queue_depth, 0);
+        assert_eq!(service.metrics().jobs_rejected, 5);
+        // Three members fit; a further two-member batch would overflow.
+        let handles = service
+            .submit_batch(BatchJob::from_jobs(vec![
+                CountJob::new(catalog::triangle());
+                3
+            ]))
+            .unwrap();
+        assert_eq!(handles.len(), 3);
+        assert_eq!(service.metrics().queue_depth, 3);
+        assert_eq!(
+            service
+                .submit_batch(BatchJob::from_jobs(vec![
+                    CountJob::new(catalog::cycle(4));
+                    2
+                ]))
+                .unwrap_err(),
+            ServiceError::QueueFull { capacity: 4 }
+        );
+        // Empty batches are a no-op.
+        assert!(service.submit_batch(BatchJob::new()).unwrap().is_empty());
+        // Shutdown fails the still-queued batch members.
+        service.shutdown();
+        for handle in handles {
+            assert!(matches!(handle.wait(), Err(ServiceError::ShuttingDown)));
+        }
+    }
+
+    #[test]
+    fn precision_members_keep_their_adaptive_loop_inside_a_batch() {
+        let service = small_service(1);
+        let adaptive = CountJob::new(catalog::triangle())
+            .seed(1000)
+            .budget(400)
+            .precision(Precision::within(0.5));
+        let fixed = CountJob::new(catalog::cycle(4)).seed(1000).budget(12);
+        let results = service
+            .run_batch(BatchJob::from_jobs(vec![adaptive.clone(), fixed]))
+            .unwrap();
+        let adaptive_out = results[0].as_ref().unwrap();
+        assert_eq!(adaptive_out.stop, StopReason::PrecisionMet);
+        assert!(adaptive_out.trials_run < adaptive_out.budget);
+        // Bit-identical to the solo adaptive run (fresh cache).
+        let solo = small_service(1).run(adaptive).unwrap();
+        assert_eq!(adaptive_out.trials_run, solo.trials_run);
+        assert_eq!(adaptive_out.estimate.per_trial, solo.estimate.per_trial);
+        let fixed_out = results[1].as_ref().unwrap();
+        assert_eq!(fixed_out.trials_run, 12);
+        assert_eq!(fixed_out.stop, StopReason::BudgetExhausted);
+    }
+
+    #[test]
+    fn a_bad_batch_member_fails_alone() {
+        let service = small_service(1);
+        let mut k4 = sgc_query::QueryGraph::new(4);
+        for a in 0..4u8 {
+            for b in (a + 1)..4 {
+                k4.add_edge(a, b).unwrap();
+            }
+        }
+        let results = service
+            .run_batch(BatchJob::from_jobs(vec![
+                CountJob::new(catalog::triangle()).seed(2).budget(6),
+                CountJob::new(k4),
+            ]))
+            .unwrap();
+        let good = results[0].as_ref().unwrap();
+        assert_eq!(good.trials_run, 6);
+        assert!(matches!(
+            results[1],
+            Err(ServiceError::Count(sgc_core::SgcError::Query(_)))
+        ));
+        // The healthy member is still bit-identical to its solo run.
+        let solo = small_service(1)
+            .run(CountJob::new(catalog::triangle()).seed(2).budget(6))
+            .unwrap();
+        assert_eq!(good.estimate.per_trial, solo.estimate.per_trial);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use sgc_core::prelude::*;
 // `Service` is the recommended way to share one graph across many
 // concurrent callers.
 pub use sgc_service::{
-    CountJob, JobHandle, JobOutput, Precision, Service, ServiceConfig, ServiceError,
+    BatchJob, CountJob, JobHandle, JobOutput, Precision, Service, ServiceConfig, ServiceError,
     ServiceMetrics, StopReason,
 };
 

@@ -14,8 +14,9 @@ use proptest::prelude::*;
 use subgraph_counting::core::brute::{count_colorful_matches, count_matches};
 use subgraph_counting::core::{Algorithm, Engine};
 use subgraph_counting::engine::Signature;
+use subgraph_counting::gen::{chung_lu, gnm, power_law_degrees, rmat, RmatParams};
 use subgraph_counting::graph::{Coloring, CsrGraph, GraphBuilder};
-use subgraph_counting::query::{catalog, QueryGraph};
+use subgraph_counting::query::{catalog, QueryGraph, Registry};
 
 /// Builds a random graph on `n` vertices from a list of edge selectors.
 fn graph_from_edges(n: usize, edges: &[(u8, u8)]) -> CsrGraph {
@@ -24,6 +25,38 @@ fn graph_from_edges(n: usize, edges: &[(u8, u8)]) -> CsrGraph {
         b.add_edge((u as usize % n) as u32, (v as usize % n) as u32);
     }
     b.build()
+}
+
+/// A small graph from one of the real generator families (the graphs the
+/// experiment harness actually runs on): Erdős–Rényi, Chung-Lu over a
+/// truncated power-law degree sequence, or R-MAT. `n ≤ 12` keeps the
+/// brute-force oracle exact and fast even for the 11-node satellite query.
+fn generated_graph(family: u8, n: usize, seed: u64) -> CsrGraph {
+    debug_assert!(n <= 12);
+    match family % 3 {
+        0 => gnm(n, 2 * n, seed),
+        1 => {
+            let degrees: Vec<f64> = power_law_degrees(n, 1.8).iter().map(|d| d * 1.5).collect();
+            chung_lu(&degrees, seed)
+        }
+        _ => {
+            // Scale 3 = 8 vertices; a small edge factor keeps it sparse.
+            let params = RmatParams {
+                edge_factor: 3,
+                ..RmatParams::paper()
+            };
+            rmat(3, params, seed)
+        }
+    }
+}
+
+/// Every query of the builtin registry (the ten Figure 8 analogs plus the
+/// 11-node satellite worked example).
+fn registry_queries() -> Vec<(String, QueryGraph)> {
+    Registry::builtin()
+        .entries()
+        .map(|e| (e.name().to_string(), e.query().clone()))
+        .collect()
 }
 
 fn small_queries() -> Vec<(&'static str, QueryGraph)> {
@@ -105,6 +138,64 @@ proptest! {
                     .colorful_matches;
                 prop_assert_eq!(sharded, single, "{} at {} shards", name, shards);
             }
+        }
+    }
+
+    /// The differential suite: on random graphs from the real generator
+    /// families (ER / Chung-Lu / R-MAT, n ≤ 12), PS, DB and the exact
+    /// brute-force oracle agree on every registry query — including the
+    /// 11-node satellite worked example.
+    #[test]
+    fn generators_times_registry_ps_db_brute_agree(
+        family in 0u8..3,
+        n in 6usize..13,
+        graph_seed in 0u64..10_000,
+        coloring_seed in 0u64..1000,
+    ) {
+        let graph = generated_graph(family, n, graph_seed);
+        let engine = Engine::new(&graph);
+        for (name, query) in registry_queries() {
+            let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), coloring_seed);
+            let expected = count_colorful_matches(&graph, &query, &coloring);
+            for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+                let got = engine
+                    .count(&query)
+                    .algorithm(alg)
+                    .coloring(&coloring)
+                    .run()
+                    .unwrap()
+                    .colorful_matches;
+                prop_assert_eq!(got, expected, "{} with {} on family {}", name, alg, family);
+            }
+        }
+    }
+
+    /// `count_batch` is bit-identical to per-query `count(..).estimate()`
+    /// on random generated graphs, for the entire registry at once.
+    #[test]
+    fn batch_equals_solo_on_generated_graphs(
+        family in 0u8..3,
+        n in 6usize..13,
+        graph_seed in 0u64..10_000,
+        seed in 0u64..1000,
+    ) {
+        let graph = generated_graph(family, n, graph_seed);
+        let engine = Engine::new(&graph);
+        let queries = registry_queries();
+        let requests: Vec<_> = queries
+            .iter()
+            .map(|(_, q)| engine.count(q).trials(2).seed(seed))
+            .collect();
+        let batch = engine.count_batch(&requests).unwrap();
+        for ((name, query), estimate) in queries.iter().zip(&batch.estimates) {
+            let solo = engine.count(query).trials(2).seed(seed).estimate().unwrap();
+            prop_assert_eq!(&estimate.per_trial, &solo.per_trial, "{}", name);
+            prop_assert_eq!(
+                estimate.estimated_matches.to_bits(),
+                solo.estimated_matches.to_bits(),
+                "{}",
+                name
+            );
         }
     }
 

@@ -8,7 +8,7 @@ use subgraph_counting::gen::erdos_renyi::gnp;
 use subgraph_counting::graph::CsrGraph;
 use subgraph_counting::query::catalog;
 use subgraph_counting::{
-    CountJob, Engine, Precision, Service, ServiceConfig, ServiceError, StopReason,
+    BatchJob, CountJob, Engine, Precision, Service, ServiceConfig, ServiceError, StopReason,
 };
 
 fn service_graph() -> Arc<CsrGraph> {
@@ -288,4 +288,66 @@ fn error_jobs_and_key_separation() {
         loose.estimate.per_trial[..],
         tight.estimate.per_trial[..loose.trials_run]
     );
+}
+
+/// The determinism matrix, service axis: one seed must yield bit-identical
+/// estimates across worker counts {1, 4} × submission style (batch vs
+/// solo), all agreeing with the raw engine baseline.
+#[test]
+fn determinism_matrix_workers_by_batch_vs_solo() {
+    let graph = service_graph();
+    let jobs = [
+        CountJob::new(catalog::triangle()).seed(77).budget(6),
+        CountJob::new(catalog::cycle(4)).seed(77).budget(6),
+        CountJob::new(catalog::glet1()).seed(123).budget(4),
+    ];
+    // Engine baseline: the determinism contract every cell must hit.
+    let engine = Engine::from_shared(Arc::clone(&graph));
+    let baselines: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            engine
+                .count(&job.query)
+                .trials(job.budget)
+                .seed(job.seed)
+                .estimate()
+                .unwrap()
+        })
+        .collect();
+    for workers in [1usize, 4] {
+        // Solo submissions on a fresh service (fresh cache: everything
+        // actually computes).
+        let solo_service = Service::with_config(Arc::clone(&graph), config(workers));
+        for (job, baseline) in jobs.iter().zip(&baselines) {
+            let output = solo_service.run(job.clone()).unwrap();
+            assert_eq!(
+                output.estimate.per_trial, baseline.per_trial,
+                "solo at {workers} workers"
+            );
+            assert_eq!(
+                output.estimate.estimated_matches.to_bits(),
+                baseline.estimated_matches.to_bits(),
+                "solo at {workers} workers"
+            );
+        }
+        // The same jobs as one batch on another fresh service.
+        let batch_service = Service::with_config(Arc::clone(&graph), config(workers));
+        let outputs = batch_service
+            .run_batch(BatchJob::from_jobs(jobs.to_vec()))
+            .unwrap();
+        for ((job, baseline), output) in jobs.iter().zip(&baselines).zip(outputs) {
+            let output = output.unwrap();
+            assert_eq!(
+                output.estimate.per_trial, baseline.per_trial,
+                "batch at {workers} workers, seed {}",
+                job.seed
+            );
+            assert_eq!(
+                output.estimate.estimated_matches.to_bits(),
+                baseline.estimated_matches.to_bits(),
+                "batch at {workers} workers, seed {}",
+                job.seed
+            );
+        }
+    }
 }

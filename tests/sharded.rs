@@ -275,3 +275,90 @@ fn shard_load_metrics_cover_the_work() {
     assert!(shards.exchange_rounds > 0);
     assert!(shards.total_entries_exchanged() > 0);
 }
+
+/// The determinism matrix, runtime axis: one seed must yield bit-identical
+/// estimates across shard counts {1, 2, 4} × execution style (batch vs
+/// solo), all agreeing with the serial solo baseline.
+#[test]
+fn determinism_matrix_shards_by_batch_vs_solo() {
+    let degrees: Vec<f64> = power_law_degrees(150, 1.7)
+        .iter()
+        .map(|d| d * 2.0)
+        .collect();
+    let graph = chung_lu(&degrees, 31);
+    let engine = Engine::new(&graph);
+    let queries = [catalog::triangle(), catalog::glet1(), catalog::dros()];
+    let baselines: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            engine
+                .count(q)
+                .trials(4)
+                .seed(71)
+                .parallel(false)
+                .estimate()
+                .unwrap()
+        })
+        .collect();
+    // Batch, unsharded.
+    let batch = engine
+        .count_batch(
+            &queries
+                .iter()
+                .map(|q| engine.count(q).trials(4).seed(71).parallel(false))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+    for (baseline, estimate) in baselines.iter().zip(&batch.estimates) {
+        assert_eq!(estimate.per_trial, baseline.per_trial, "unsharded batch");
+    }
+    for shards in [1usize, 2, 4] {
+        // Solo, sharded.
+        for (q, baseline) in queries.iter().zip(&baselines) {
+            let sharded = engine
+                .count(q)
+                .trials(4)
+                .seed(71)
+                .parallel(false)
+                .sharded(shards)
+                .estimate()
+                .unwrap();
+            assert_eq!(
+                sharded.per_trial, baseline.per_trial,
+                "solo at {shards} shards"
+            );
+            assert_eq!(
+                sharded.estimated_matches.to_bits(),
+                baseline.estimated_matches.to_bits(),
+                "solo at {shards} shards"
+            );
+        }
+        // Batch, sharded: every trial step shares one exchange round.
+        let batch = engine
+            .count_batch(
+                &queries
+                    .iter()
+                    .map(|q| {
+                        engine
+                            .count(q)
+                            .trials(4)
+                            .seed(71)
+                            .parallel(false)
+                            .sharded(shards)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        for (baseline, estimate) in baselines.iter().zip(&batch.estimates) {
+            assert_eq!(
+                estimate.per_trial, baseline.per_trial,
+                "batch at {shards} shards"
+            );
+            assert_eq!(
+                estimate.estimated_matches.to_bits(),
+                baseline.estimated_matches.to_bits(),
+                "batch at {shards} shards"
+            );
+        }
+    }
+}
