@@ -1,0 +1,309 @@
+//! PR 6 perf snapshot: the fig08 registry sweep plus `sgc-net` loopback
+//! round-trip throughput, written to `BENCH_PR6.json`.
+//!
+//! ROADMAP item 2 asks for the perf trajectory to be *recorded*, not just
+//! printable; this binary is the first data point. It measures two layers:
+//!
+//! 1. **Engine** — every registry query counted on one bound engine
+//!    (the Figure 8 sweep shape): wall seconds, trials/second, and the
+//!    estimate, per query.
+//! 2. **Wire** — a real `sgc-net` server on a loopback socket, swept over
+//!    client counts: cold rounds (unique seeds, every job computes) and a
+//!    hot round (identical resubmissions, measuring frame + cache overhead
+//!    alone), with the end-of-run [`ServiceMetrics`] in the stable text
+//!    form shared with the `stats` verb.
+//!
+//! Environment knobs (all optional): `SGC_SCALE` (graph scale, default
+//! 0.02), `SGC_TRIALS` (engine sweep trials, default 32), `SGC_NET_CLIENTS`
+//! (comma list, default `1,2,4`), `SGC_NET_JOBS` (jobs per client, default
+//! 8), `SGC_BENCH_OUT` (output path, default `BENCH_PR6.json`).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgc_bench::*;
+use subgraph_counting::net::{Client, Server, ServerConfig};
+use subgraph_counting::query::Registry;
+use subgraph_counting::ServiceMetrics;
+
+/// Minimal JSON emitter: the repo deliberately has no serde, and the file
+/// format is flat enough that assembling it by hand stays readable.
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::new())
+    }
+    fn push(&mut self, s: &str) {
+        self.0.push_str(s);
+    }
+    fn str_field(&mut self, key: &str, value: &str) {
+        self.push(&format!("\"{key}\": \"{value}\""));
+    }
+    fn num_field(&mut self, key: &str, value: f64) {
+        // Shortest round-trip form; integers stay integer-looking.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.push(&format!("\"{key}\": {value:.0}"));
+        } else {
+            self.push(&format!("\"{key}\": {value}"));
+        }
+    }
+}
+
+/// One timed round: `clients` loopback connections, each running
+/// `jobs_per_client` counts. With `shared_seeds` every client submits the
+/// identical job set (so a warmed cache serves everything and the round
+/// measures frame + dispatch overhead); without it every job is unique and
+/// computes.
+fn count_round(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    jobs_per_client: usize,
+    names: &[&str],
+    budget: u64,
+    seed_base: u64,
+    shared_seeds: bool,
+) -> (f64, usize) {
+    let started = Instant::now();
+    let trials: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("loopback connect");
+                    let mut trials = 0usize;
+                    for j in 0..jobs_per_client {
+                        let name = names[j % names.len()];
+                        let offset = if shared_seeds {
+                            j
+                        } else {
+                            c * jobs_per_client + j
+                        };
+                        let output = client
+                            .count(name)
+                            .seed(seed_base + offset as u64)
+                            .budget(budget)
+                            .run()
+                            .expect("registry queries count");
+                        trials += output.trials_run as usize;
+                    }
+                    client.bye().expect("clean goodbye");
+                    trials
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    (started.elapsed().as_secs_f64(), trials)
+}
+
+fn main() {
+    print_header("PR 6 perf snapshot: registry sweep + sgc-net loopback throughput");
+    let scale = experiment_scale();
+    let trials = env_usize("SGC_TRIALS", 32);
+    let clients_sweep: Vec<usize> = std::env::var("SGC_NET_CLIENTS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let jobs_per_client = env_usize("SGC_NET_JOBS", 8);
+    let out_path = std::env::var("SGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+
+    let graphs = benchmark_graphs(scale, &["condMat"]);
+    let bench_graph = graphs.into_iter().next().expect("condMat analog");
+    let graph = Arc::new(bench_graph.graph);
+    println!(
+        "graph: condMat analog at scale {scale} ({} vertices, {} edges)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let mut json = Json::new();
+    json.push("{\n");
+    json.push("  \"benchmark\": \"pr6\",\n");
+    json.push("  \"graph\": {");
+    json.str_field("name", "condMat");
+    json.push(", ");
+    json.num_field("scale", scale);
+    json.push(", ");
+    json.num_field("vertices", graph.num_vertices() as f64);
+    json.push(", ");
+    json.num_field("edges", graph.num_edges() as f64);
+    json.push("},\n");
+
+    // -- Part 1: the fig08 registry sweep on one bound engine ------------
+    println!();
+    println!("registry sweep: {} trials per query", trials);
+    println!(
+        "{:>12} {:>9} {:>12} {:>16}",
+        "query", "seconds", "trials/s", "subgraphs"
+    );
+    let engine = subgraph_counting::core::Engine::from_shared(Arc::clone(&graph));
+    let registry = Registry::builtin();
+    let names = registry.names();
+    json.push("  \"fig08_registry_sweep\": {\n");
+    json.push(&format!("    \"trials\": {trials},\n"));
+    json.push("    \"queries\": [\n");
+    let sweep_started = Instant::now();
+    for (i, name) in names.iter().enumerate() {
+        let query = registry.build(name).expect("registry name");
+        let started = Instant::now();
+        let estimate = engine
+            .count(&query)
+            .trials(trials)
+            .seed(0xF1608)
+            .estimate()
+            .expect("registry queries are plannable");
+        let seconds = started.elapsed().as_secs_f64();
+        let per_sec = trials as f64 / seconds.max(1e-12);
+        println!(
+            "{:>12} {:>9.4} {:>12.1} {:>16.1}",
+            name, seconds, per_sec, estimate.estimated_subgraphs
+        );
+        json.push("      {");
+        json.str_field("name", name);
+        json.push(", ");
+        json.num_field("seconds", seconds);
+        json.push(", ");
+        json.num_field("trials_per_sec", per_sec);
+        json.push(", ");
+        json.num_field("estimated_subgraphs", estimate.estimated_subgraphs);
+        json.push("}");
+        json.push(if i + 1 < names.len() { ",\n" } else { "\n" });
+    }
+    let sweep_seconds = sweep_started.elapsed().as_secs_f64();
+    json.push("    ],\n");
+    json.push("    ");
+    json.num_field("total_seconds", sweep_seconds);
+    json.push(",\n    ");
+    json.num_field(
+        "queries_per_sec",
+        names.len() as f64 / sweep_seconds.max(1e-12),
+    );
+    json.push("\n  },\n");
+
+    // -- Part 2: loopback round-trip throughput through sgc-net ----------
+    println!();
+    println!(
+        "loopback sweep: {} jobs/client, budget {} trials",
+        jobs_per_client, trials
+    );
+    println!(
+        "{:>8} {:>6} {:>9} {:>9} {:>12}",
+        "clients", "round", "seconds", "jobs/s", "trials/s"
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&graph), ServerConfig::default())
+        .expect("loopback bind");
+    let addr = server.local_addr();
+    json.push("  \"server_loopback\": {\n");
+    json.push(&format!(
+        "    \"jobs_per_client\": {jobs_per_client},\n    \"budget\": {trials},\n"
+    ));
+    json.push("    \"rounds\": [\n");
+    // Pre-warm the hot-round job set outside any measurement, so every hot
+    // round below is answered entirely from the result cache.
+    let _ = count_round(
+        addr,
+        1,
+        jobs_per_client,
+        &names,
+        trials as u64,
+        0xCAC4E,
+        true,
+    );
+    for (i, &clients) in clients_sweep.iter().enumerate() {
+        // Cold: unique seeds, every job computes. Hot: everyone resubmits
+        // one identical job set, so the cache answers and the measurement
+        // isolates frame + dispatch overhead.
+        let total_jobs = (clients * jobs_per_client) as f64;
+        let (cold_seconds, cold_trials) = count_round(
+            addr,
+            clients,
+            jobs_per_client,
+            &names,
+            trials as u64,
+            0x10_000 * (i as u64 + 1),
+            false,
+        );
+        let (hot_seconds, _) = count_round(
+            addr,
+            clients,
+            jobs_per_client,
+            &names,
+            trials as u64,
+            0xCAC4E,
+            true,
+        );
+        for (round, seconds, executed) in [
+            ("cold", cold_seconds, cold_trials as f64),
+            ("hot", hot_seconds, 0.0),
+        ] {
+            println!(
+                "{:>8} {:>6} {:>9.4} {:>9.1} {:>12.1}",
+                clients,
+                round,
+                seconds,
+                total_jobs / seconds.max(1e-12),
+                executed / seconds.max(1e-12),
+            );
+            json.push("      {");
+            json.num_field("clients", clients as f64);
+            json.push(", ");
+            json.str_field("round", round);
+            json.push(", ");
+            json.num_field("seconds", seconds);
+            json.push(", ");
+            json.num_field("jobs_per_sec", total_jobs / seconds.max(1e-12));
+            json.push(", ");
+            json.num_field("trials_per_sec", executed / seconds.max(1e-12));
+            json.push("}");
+            json.push(if i + 1 < clients_sweep.len() || round == "cold" {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+    }
+    json.push("    ],\n");
+
+    // End-of-run service state, in the stable `name value` text contract
+    // (the same rendering the `stats` verb and `service_throughput` use).
+    let metrics: ServiceMetrics = server.service().metrics();
+    let stats = server.stats();
+    println!();
+    println!("--- service metrics ---\n{metrics}");
+    println!("--- server stats ---\n{stats}");
+    json.push("    \"service_metrics\": {");
+    for (i, line) in metrics.to_string().lines().enumerate() {
+        let mut parts = line.split_whitespace();
+        let (key, value) = (parts.next().unwrap(), parts.next().unwrap());
+        if i > 0 {
+            json.push(", ");
+        }
+        json.num_field(key, value.parse().unwrap());
+    }
+    json.push("},\n");
+    json.push("    \"server_stats\": {");
+    for (i, line) in stats.to_string().lines().enumerate() {
+        let mut parts = line.split_whitespace();
+        let (key, value) = (parts.next().unwrap(), parts.next().unwrap());
+        if i > 0 {
+            json.push(", ");
+        }
+        json.num_field(key, value.parse().unwrap());
+    }
+    json.push("}\n");
+    json.push("  }\n");
+    json.push("}\n");
+    server.shutdown();
+
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.0.as_bytes()).expect("write json");
+    println!();
+    println!("wrote {out_path}");
+}

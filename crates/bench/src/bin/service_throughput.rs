@@ -70,6 +70,7 @@ fn main() {
         "early%"
     );
 
+    let mut last_metrics = None;
     for &clients in &client_counts {
         for precision in [None, Some(0.3), Some(0.1)] {
             let service = Service::with_config(
@@ -144,6 +145,7 @@ fn main() {
                 metrics.trials_saved,
                 100.0 * early_stops as f64 / total_jobs,
             );
+            last_metrics = Some(metrics);
         }
     }
     println!();
@@ -152,4 +154,11 @@ fn main() {
          estimate; 'saved' = budgeted trials adaptive stopping never ran; \
          'computed' = jobs that missed the result cache"
     );
+    // End-of-run service state of the final sweep cell, in the stable
+    // `name value` text contract shared with the `stats` wire verb — so
+    // scrapers parse one format across the bench bins and the server.
+    if let Some(metrics) = last_metrics {
+        println!();
+        println!("--- service metrics (final cell) ---\n{metrics}");
+    }
 }

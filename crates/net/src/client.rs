@@ -1,0 +1,495 @@
+//! The blocking client: a connection handle, a count builder, and a
+//! streaming iterator over estimate frames.
+//!
+//! ```no_run
+//! use sgc_net::{Client, StreamEvent};
+//!
+//! let mut client = Client::connect("127.0.0.1:7471").unwrap();
+//! let mut stream = client.count("cycle(5)").budget(256).stream().unwrap();
+//! for event in &mut stream {
+//!     match event.unwrap() {
+//!         StreamEvent::Chunk(chunk) => {
+//!             eprintln!(
+//!                 "{}/{} trials, ±{:.1}%",
+//!                 chunk.trials_run,
+//!                 chunk.budget,
+//!                 100.0 * chunk.relative_half_width
+//!             );
+//!         }
+//!         StreamEvent::Final(output) => {
+//!             println!("count ≈ {}", output.estimate.estimated_subgraphs);
+//!         }
+//!     }
+//! }
+//! ```
+
+use crate::proto::{
+    ChunkFrame, CountSpec, ErrorFrame, JobId, Request, Response, StatsFrame, WireOutput,
+};
+use crate::wire::{self, FrameError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+use sgc_core::Algorithm;
+use sgc_service::Precision;
+use std::io::{BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Ways a client call can fail.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(std::io::Error),
+    /// A frame could not be read (truncated, oversized, …).
+    Frame(FrameError),
+    /// A frame was read but its payload did not decode.
+    Wire(WireError),
+    /// The `hello` handshake failed (version mismatch, or the peer is not
+    /// an sgc server).
+    Handshake(String),
+    /// The server sent a response that makes no sense in this state.
+    Unexpected(String),
+    /// The server answered with a typed error frame. Check
+    /// [`ErrorFrame::kind`] — [`is_retryable`](crate::ErrorKind::is_retryable)
+    /// identifies admission-control rejections worth resubmitting.
+    Remote(ErrorFrame),
+    /// The connection closed before the expected response arrived.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Wire(e) => write!(f, "malformed response payload: {e}"),
+            ClientError::Handshake(msg) => write!(f, "handshake failed: {msg}"),
+            ClientError::Unexpected(msg) => write!(f, "unexpected response: {msg}"),
+            ClientError::Remote(frame) => write!(f, "server error: {frame}"),
+            ClientError::ConnectionClosed => write!(f, "connection closed by the server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to an sgc server.
+///
+/// One request runs at a time (`count` streams to completion before the
+/// next verb); job ids are assigned internally. Dropping the client closes
+/// the connection without a goodbye — call [`bye`](Client::bye) for a clean
+/// shutdown handshake.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    max_frame_len: usize,
+    next_id: JobId,
+}
+
+impl Client {
+    /// Connects and performs the `hello` handshake.
+    ///
+    /// # Errors
+    /// Socket errors, or [`ClientError::Handshake`] when the peer does not
+    /// speak this protocol version.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone()?;
+        let mut client = Client {
+            reader: BufReader::new(stream),
+            writer,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            next_id: 1,
+        };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.read_response()? {
+            Response::HelloOk { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::HelloOk { version } => Err(ClientError::Handshake(format!(
+                "server speaks protocol version {version}, this client {PROTOCOL_VERSION}"
+            ))),
+            Response::Error(frame) => Err(ClientError::Handshake(frame.to_string())),
+            other => Err(ClientError::Unexpected(format!(
+                "expected hello-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        let payload = request.encode();
+        wire::write_frame(
+            &mut self.writer,
+            request.tag(),
+            &payload,
+            self.max_frame_len,
+        )?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        match wire::read_frame(&mut self.reader, self.max_frame_len)? {
+            Some(raw) => Ok(Response::decode(raw.tag, &raw.payload)?),
+            None => Err(ClientError::ConnectionClosed),
+        }
+    }
+
+    /// Starts building a count request for `pattern` (the textual pattern
+    /// grammar of `sgc_query::parse`); finish with
+    /// [`stream`](CountBuilder::stream) or [`run`](CountBuilder::run).
+    pub fn count<'a>(&'a mut self, pattern: &str) -> CountBuilder<'a> {
+        CountBuilder {
+            client: self,
+            pattern: pattern.to_string(),
+            algorithm: Algorithm::DegreeBased,
+            seed: 0x5eed,
+            budget: 64,
+            precision: None,
+        }
+    }
+
+    /// Runs several counts as one atomically-admitted batch and blocks
+    /// until every member completes, returning per-member outcomes in
+    /// submission order. Streamed chunk frames are drained silently; use
+    /// solo [`count`](Client::count) streams to observe them.
+    ///
+    /// # Errors
+    /// Transport-level failures. Per-member failures (parse errors,
+    /// `queue-full`, …) are the inner `Err`s.
+    pub fn batch(
+        &mut self,
+        requests: Vec<BatchRequest>,
+    ) -> Result<Vec<Result<WireOutput, ErrorFrame>>, ClientError> {
+        let specs: Vec<CountSpec> = requests
+            .into_iter()
+            .map(|request| {
+                let id = self.next_id;
+                self.next_id += 1;
+                CountSpec {
+                    id,
+                    pattern: request.pattern,
+                    algorithm: request.algorithm,
+                    seed: request.seed,
+                    budget: request.budget,
+                    precision: request.precision,
+                }
+            })
+            .collect();
+        let ids: Vec<JobId> = specs.iter().map(|spec| spec.id).collect();
+        self.send(&Request::Batch(specs))?;
+        let mut outcomes: std::collections::HashMap<JobId, Result<WireOutput, ErrorFrame>> =
+            std::collections::HashMap::new();
+        while outcomes.len() < ids.len() {
+            match self.read_response()? {
+                Response::Chunk(_) => {}
+                Response::Final { id, output } if ids.contains(&id) => {
+                    outcomes.insert(id, Ok(output));
+                }
+                Response::Error(frame) if ids.contains(&frame.id) => {
+                    outcomes.insert(frame.id, Err(frame));
+                }
+                Response::Error(frame) => return Err(ClientError::Remote(frame)),
+                other => {
+                    return Err(ClientError::Unexpected(format!(
+                        "mid-batch frame with tag 0x{:02x}",
+                        other.tag()
+                    )))
+                }
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| outcomes.remove(&id).expect("every id resolved"))
+            .collect())
+    }
+
+    /// Asks the server to plan `pattern` and returns the rendered report.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] with a spanned `parse` frame for malformed
+    /// patterns.
+    pub fn explain(&mut self, pattern: &str) -> Result<String, ClientError> {
+        self.send(&Request::Explain {
+            pattern: pattern.to_string(),
+        })?;
+        match self.read_response()? {
+            Response::ExplainOk { report } => Ok(report),
+            Response::Error(frame) => Err(ClientError::Remote(frame)),
+            other => Err(ClientError::Unexpected(format!(
+                "expected explain-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Fetches the service metrics and server counters.
+    pub fn stats(&mut self) -> Result<StatsFrame, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.read_response()? {
+            Response::StatsOk(frame) => Ok(frame),
+            Response::Error(frame) => Err(ClientError::Remote(frame)),
+            other => Err(ClientError::Unexpected(format!(
+                "expected stats-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Clean goodbye: the server acknowledges and closes the connection.
+    /// The client is consumed — the socket is useless afterwards.
+    ///
+    /// # Errors
+    /// Transport failures while saying goodbye.
+    pub fn bye(mut self) -> Result<(), ClientError> {
+        self.send(&Request::Bye)?;
+        match self.read_response()? {
+            Response::ByeOk => Ok(()),
+            Response::Error(frame) => Err(ClientError::Remote(frame)),
+            other => Err(ClientError::Unexpected(format!(
+                "expected bye-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+}
+
+/// Parameters of one member of a [`Client::batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// The pattern text.
+    pub pattern: String,
+    /// Cycle-solving algorithm.
+    pub algorithm: Algorithm,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Trial budget.
+    pub budget: u64,
+    /// Optional early-stop target.
+    pub precision: Option<Precision>,
+}
+
+impl BatchRequest {
+    /// A member with the service's default parameters.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        BatchRequest {
+            pattern: pattern.into(),
+            algorithm: Algorithm::DegreeBased,
+            seed: 0x5eed,
+            budget: 64,
+            precision: None,
+        }
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trial budget.
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the early-stop precision target.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Selects the cycle-solving algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// A count request under construction; defaults mirror
+/// [`sgc_service::CountJob`].
+pub struct CountBuilder<'a> {
+    client: &'a mut Client,
+    pattern: String,
+    algorithm: Algorithm,
+    seed: u64,
+    budget: u64,
+    precision: Option<Precision>,
+}
+
+impl<'a> CountBuilder<'a> {
+    /// Selects the cycle-solving algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trial budget.
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the early-stop precision target.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
+    /// Sends the request and returns the estimate stream.
+    ///
+    /// # Errors
+    /// Transport failures while sending; server-side rejections arrive as
+    /// the stream's first (and only) item.
+    pub fn stream(self) -> Result<CountStream<'a>, ClientError> {
+        let id = self.client.next_id;
+        self.client.next_id += 1;
+        let spec = CountSpec {
+            id,
+            pattern: self.pattern,
+            algorithm: self.algorithm,
+            seed: self.seed,
+            budget: self.budget,
+            precision: self.precision,
+        };
+        self.client.send(&Request::Count(spec))?;
+        Ok(CountStream {
+            client: self.client,
+            id,
+            done: false,
+        })
+    }
+
+    /// Sends the request and blocks to the final output, discarding the
+    /// streamed chunks.
+    ///
+    /// # Errors
+    /// Everything [`stream`](CountBuilder::stream) and the stream itself
+    /// can report, including [`ClientError::Remote`] for typed server
+    /// errors.
+    pub fn run(self) -> Result<WireOutput, ClientError> {
+        let mut stream = self.stream()?;
+        let mut last = None;
+        for event in &mut stream {
+            if let StreamEvent::Final(output) = event? {
+                last = Some(output);
+            }
+        }
+        last.ok_or(ClientError::ConnectionClosed)
+    }
+}
+
+/// One item of a [`CountStream`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamEvent {
+    /// An in-progress anytime estimate (one per completed trial chunk).
+    Chunk(ChunkFrame),
+    /// The final result; the stream ends after yielding it.
+    Final(WireOutput),
+}
+
+/// A blocking iterator over the estimate frames of one count job: zero or
+/// more [`StreamEvent::Chunk`]s, then exactly one [`StreamEvent::Final`]
+/// (or one `Err` — a typed server rejection or a transport failure), then
+/// `None`.
+pub struct CountStream<'a> {
+    client: &'a mut Client,
+    id: JobId,
+    done: bool,
+}
+
+impl CountStream<'_> {
+    /// The server-visible id of this job.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Requests cancellation of the job: the server stops it at the next
+    /// chunk boundary, after which the stream yields its terminal frame —
+    /// a `Final` with `StopReason::Cancelled` (and the partial estimate)
+    /// when at least one chunk had run, a `cancelled` error otherwise.
+    /// Keep consuming the iterator after cancelling.
+    ///
+    /// # Errors
+    /// Transport failures while sending the cancel frame.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        self.client.send(&Request::Cancel(self.id))
+    }
+}
+
+impl Iterator for CountStream<'_> {
+    type Item = Result<StreamEvent, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let response = match self.client.read_response() {
+                Ok(response) => response,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            match response {
+                Response::Chunk(chunk) if chunk.id == self.id => {
+                    return Some(Ok(StreamEvent::Chunk(chunk)))
+                }
+                Response::Final { id, output } if id == self.id => {
+                    self.done = true;
+                    return Some(Ok(StreamEvent::Final(output)));
+                }
+                Response::Error(frame) if frame.id == self.id || frame.id == 0 => {
+                    self.done = true;
+                    return Some(Err(ClientError::Remote(frame)));
+                }
+                // Acknowledgement of our cancel; the terminal frame is
+                // still coming.
+                Response::CancelOk { id, .. } if id == self.id => {}
+                // Frames for other (older, already-failed) jobs on this
+                // connection: not ours, skip.
+                Response::Chunk(_) | Response::Final { .. } | Response::Error(_) => {}
+                other => {
+                    self.done = true;
+                    return Some(Err(ClientError::Unexpected(format!(
+                        "mid-stream frame with tag 0x{:02x}",
+                        other.tag()
+                    ))));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,656 @@
+//! The server: a thread-per-connection TCP front door over a
+//! [`Service`].
+//!
+//! Std-only by design — the deployment environment has no async runtime,
+//! and the concurrency story the service already has (bounded queue, worker
+//! pool, single-flight cache) does the heavy lifting; the network layer
+//! only needs one cheap blocking thread per connection:
+//!
+//! * the **accept loop** runs on its own thread and hands each connection
+//!   to a handler thread,
+//! * each **connection handler** reads frames with a read timeout (so it
+//!   can poll the shutdown flag while idle), decodes requests, and answers
+//!   on a mutex-guarded write half — whole frames are written under the
+//!   lock, so responses from concurrent jobs never interleave mid-frame,
+//! * each **count job** gets a small waiter thread that blocks on the
+//!   service's [`JobHandle`] and writes the `Final` frame; the streamed
+//!   `Chunk` frames are written by the service worker itself, through the
+//!   progress watcher, strictly *before* the handle is fulfilled — which is
+//!   what guarantees every chunk precedes its final on the wire.
+//!
+//! Counting work is never duplicated for the wire: requests flow through
+//! [`Service::submit_with_progress`], so network jobs share the same
+//! admission control, adaptive scheduling, and single-flight result cache
+//! as in-process callers, and their outputs are bit-identical to
+//! [`Service::run`] with the same parameters.
+
+use crate::proto::{
+    ChunkFrame, CountSpec, ErrorFrame, ErrorKind, JobId, Request, Response, ServerStats,
+    StatsFrame, WireEstimate, WireOutput,
+};
+use crate::wire::{self, FrameError, RawFrame, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
+use sgc_graph::CsrGraph;
+use sgc_service::{
+    BatchJob, CancelToken, ChunkUpdate, CountJob, JobHandle, ProgressFn, Service, ServiceConfig,
+    ServiceError,
+};
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Construction-time configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Configuration of the embedded counting [`Service`].
+    pub service: ServiceConfig,
+    /// Per-connection read timeout: how often an idle connection handler
+    /// wakes to poll the shutdown flag. Not a client deadline — an idle
+    /// tick simply loops.
+    pub read_timeout: Duration,
+    /// Maximum accepted frame length (tag + payload bytes); oversized
+    /// frames are rejected with a `bad-frame` error and the connection is
+    /// closed.
+    pub max_frame_len: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            service: ServiceConfig::default(),
+            read_timeout: Duration::from_millis(100),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Live server counters (atomics; snapshot with
+/// [`ServerCounters::snapshot`]).
+#[derive(Default)]
+struct ServerCounters {
+    connections_accepted: AtomicU64,
+    connections_open: AtomicU64,
+    frames_read: AtomicU64,
+    frames_written: AtomicU64,
+    streams_opened: AtomicU64,
+    streams_active: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl ServerCounters {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            frames_read: self.frames_read.load(Ordering::Relaxed),
+            frames_written: self.frames_written.load(Ordering::Relaxed),
+            streams_opened: self.streams_opened.load(Ordering::Relaxed),
+            streams_active: self.streams_active.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// State shared by the accept loop, every connection handler, and
+/// [`Server::shutdown`].
+struct ServerShared {
+    service: Service,
+    read_timeout: Duration,
+    max_frame_len: usize,
+    shutdown: AtomicBool,
+    counters: ServerCounters,
+    /// Socket clones of every open connection, keyed by connection id, so
+    /// shutdown can unblock handlers stuck in a read.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Handler threads to join on shutdown.
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running TCP server; see the [module docs](self) for the architecture.
+///
+/// Dropping the server shuts it down: the listener stops accepting, open
+/// connections are closed, in-flight jobs drain, and every thread is
+/// joined.
+pub struct Server {
+    shared: Arc<ServerShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port; see
+    /// [`local_addr`](Server::local_addr)), builds a [`Service`] over
+    /// `graph`, and starts accepting connections.
+    ///
+    /// # Errors
+    /// The socket-level errors of [`TcpListener::bind`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        graph: Arc<CsrGraph>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            service: Service::with_config(graph, config.service),
+            read_timeout: config.read_timeout,
+            max_frame_len: config.max_frame_len,
+            shutdown: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            next_conn_id: AtomicU64::new(1),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("sgc-net-accept".to_string())
+            .spawn(move || accept_loop(accept_shared, listener))
+            .expect("failed to spawn accept thread");
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the listener is bound to (the resolved ephemeral port
+    /// when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The embedded counting service — the same instance the wire verbs
+    /// use, so tests and co-located callers can submit jobs and read
+    /// metrics directly.
+    pub fn service(&self) -> &Service {
+        &self.shared.service
+    }
+
+    /// A snapshot of the network-layer counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stops the server: no new connections, open connections are closed
+    /// (streaming jobs get their terminal frame if the socket survives
+    /// long enough, and are failed service-side regardless), the service
+    /// drains, and every thread is joined. Idempotent; also invoked by
+    /// `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the flag before handling anything.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // Drain the service first: in-flight jobs complete (or fail with
+        // ShuttingDown), so waiter threads observe terminal results.
+        self.shared.service.shutdown();
+        // Unblock connection handlers stuck in a read.
+        {
+            let conns = self.shared.conns.lock().unwrap_or_else(|p| p.into_inner());
+            for stream in conns.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let handlers: Vec<JoinHandle<()>> = {
+            let mut threads = self
+                .shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            threads.drain(..).collect()
+        };
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let handler = std::thread::Builder::new()
+            .name(format!("sgc-net-conn-{conn_id}"))
+            .spawn(move || handle_conn(conn_shared, stream, conn_id));
+        match handler {
+            Ok(handle) => shared
+                .conn_threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(handle),
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Per-connection state shared between the request loop and the waiter
+/// threads of its streaming jobs.
+struct Conn {
+    shared: Arc<ServerShared>,
+    /// The write half (a socket clone). Whole frames are written and
+    /// flushed under this lock, so concurrent writers never interleave.
+    writer: Mutex<TcpStream>,
+    /// Active streaming jobs on this connection: id → cancel token.
+    active: Mutex<HashMap<JobId, CancelToken>>,
+}
+
+impl Conn {
+    /// Writes one response frame. Write failures mean the client is gone;
+    /// callers treat them as "stop talking", never as a server error.
+    fn send(&self, response: &Response) -> std::io::Result<()> {
+        let payload = response.encode();
+        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        wire::write_frame(
+            &mut *writer,
+            response.tag(),
+            &payload,
+            self.shared.max_frame_len,
+        )?;
+        writer.flush()?;
+        self.shared
+            .counters
+            .frames_written
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn send_error(&self, id: JobId, kind: ErrorKind, message: impl Into<String>) {
+        let _ = self.send(&Response::Error(ErrorFrame::new(id, kind, message)));
+    }
+}
+
+fn handle_conn(shared: Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
+    shared
+        .counters
+        .connections_accepted
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .connections_open
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    // Three socket handles: the buffered read half (owned here), the
+    // mutex-guarded write half, and a clone registered for shutdown.
+    let conn = match (stream.try_clone(), stream.try_clone()) {
+        (Ok(writer), Ok(for_shutdown)) => {
+            shared
+                .conns
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(conn_id, for_shutdown);
+            Arc::new(Conn {
+                shared: Arc::clone(&shared),
+                writer: Mutex::new(writer),
+                active: Mutex::new(HashMap::new()),
+            })
+        }
+        _ => {
+            shared
+                .counters
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut waiters: Vec<JoinHandle<()>> = Vec::new();
+    let mut greeted = false;
+    loop {
+        let raw = match wire::read_frame(&mut reader, shared.max_frame_len) {
+            Ok(Some(raw)) => raw,
+            // Clean EOF at a frame boundary: the client left.
+            Ok(None) => break,
+            Err(FrameError::IdleTimeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send_error(0, ErrorKind::BadFrame, e.to_string());
+                break;
+            }
+        };
+        shared.counters.frames_read.fetch_add(1, Ordering::Relaxed);
+        if !handle_frame(&conn, raw, &mut greeted, &mut waiters) {
+            break;
+        }
+    }
+    // The request loop is done; cancel whatever is still streaming (the
+    // client cannot read the frames anymore) and wait for the waiter
+    // threads so job resources never outlive the connection unnoticed.
+    {
+        let active = conn.active.lock().unwrap_or_else(|p| p.into_inner());
+        for token in active.values() {
+            token.cancel();
+        }
+    }
+    for waiter in waiters {
+        let _ = waiter.join();
+    }
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .remove(&conn_id);
+    shared
+        .counters
+        .connections_open
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Dispatches one decoded frame. Returns `false` when the connection should
+/// close (goodbye, protocol violation, or a dead socket).
+fn handle_frame(
+    conn: &Arc<Conn>,
+    raw: RawFrame,
+    greeted: &mut bool,
+    waiters: &mut Vec<JoinHandle<()>>,
+) -> bool {
+    let request = match Request::decode(raw.tag, &raw.payload) {
+        Ok(request) => request,
+        Err(e) => {
+            conn.shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send_error(0, ErrorKind::BadFrame, e.to_string());
+            return false;
+        }
+    };
+    if !*greeted && !matches!(request, Request::Hello { .. }) {
+        conn.shared
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        conn.send_error(0, ErrorKind::BadRequest, "expected hello first");
+        return false;
+    }
+    match request {
+        Request::Hello { version } => {
+            if version != PROTOCOL_VERSION {
+                conn.send_error(
+                    0,
+                    ErrorKind::BadRequest,
+                    format!(
+                        "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                    ),
+                );
+                return false;
+            }
+            *greeted = true;
+            conn.send(&Response::HelloOk {
+                version: PROTOCOL_VERSION,
+            })
+            .is_ok()
+        }
+        Request::Count(spec) => {
+            if let Some(waiter) = start_count(conn, spec) {
+                waiters.push(waiter);
+            }
+            true
+        }
+        Request::Batch(specs) => {
+            start_batch(conn, specs, waiters);
+            true
+        }
+        Request::Cancel(id) => {
+            let token = {
+                let active = conn.active.lock().unwrap_or_else(|p| p.into_inner());
+                active.get(&id).cloned()
+            };
+            let was_active = match token {
+                Some(token) => {
+                    token.cancel();
+                    conn.shared
+                        .counters
+                        .jobs_cancelled
+                        .fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                None => false,
+            };
+            conn.send(&Response::CancelOk { id, was_active }).is_ok()
+        }
+        Request::Explain { pattern } => {
+            let response = match conn.shared.service.engine().explain_str(&pattern) {
+                Ok(report) => Response::ExplainOk {
+                    report: report.to_string(),
+                },
+                Err(sgc_core::SgcError::Pattern(e)) => {
+                    Response::Error(ErrorFrame::from_parse_error(0, &e))
+                }
+                Err(e) => Response::Error(ErrorFrame::new(0, ErrorKind::Count, e.to_string())),
+            };
+            conn.send(&response).is_ok()
+        }
+        Request::Stats => conn
+            .send(&Response::StatsOk(StatsFrame {
+                service: conn.shared.service.metrics(),
+                server: conn.shared.counters.snapshot(),
+            }))
+            .is_ok(),
+        Request::Bye => {
+            let _ = conn.send(&Response::ByeOk);
+            false
+        }
+    }
+}
+
+/// Builds the service job for one wire spec. Parse errors become spanned
+/// error frames with the parser's caret diagnostic.
+fn build_job(conn: &Conn, spec: &CountSpec) -> Option<CountJob> {
+    if spec.id == 0 {
+        conn.send_error(
+            0,
+            ErrorKind::BadRequest,
+            "job id 0 is reserved for connection-level errors",
+        );
+        return None;
+    }
+    let job = match CountJob::from_pattern_str(&spec.pattern) {
+        Ok(job) => job,
+        Err(e) => {
+            let _ = conn.send(&Response::Error(ErrorFrame::from_parse_error(spec.id, &e)));
+            return None;
+        }
+    };
+    let mut job = job
+        .algorithm(spec.algorithm)
+        .seed(spec.seed)
+        .budget(spec.budget as usize);
+    if let Some(precision) = spec.precision {
+        job = job.precision(precision);
+    }
+    Some(job)
+}
+
+/// The progress watcher for one streaming job: writes a `Chunk` frame per
+/// completed trial chunk, on the service worker thread, strictly before the
+/// final result is fulfilled. Write failures are ignored — a vanished
+/// client is detected by the request loop, which cancels the job.
+fn chunk_watcher(conn: &Arc<Conn>, id: JobId, confidence: f64) -> ProgressFn {
+    let conn = Arc::clone(conn);
+    Arc::new(move |update: &ChunkUpdate| {
+        let _ = conn.send(&Response::Chunk(ChunkFrame {
+            id,
+            trials_run: update.trials_run as u64,
+            budget: update.budget as u64,
+            estimated_subgraphs: update.estimate.estimated_subgraphs,
+            relative_half_width: update.estimate.relative_half_width(confidence),
+        }));
+    })
+}
+
+/// Registers a submitted job as active and spawns its waiter thread: block
+/// on the handle, write the terminal frame, deregister.
+fn spawn_waiter(conn: &Arc<Conn>, id: JobId, handle: JobHandle) -> JoinHandle<()> {
+    let counters = &conn.shared.counters;
+    counters.streams_opened.fetch_add(1, Ordering::Relaxed);
+    counters.streams_active.fetch_add(1, Ordering::Relaxed);
+    conn.active
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .insert(id, handle.cancel_token());
+    let conn = Arc::clone(conn);
+    std::thread::Builder::new()
+        .name(format!("sgc-net-job-{id}"))
+        .spawn(move || {
+            let response = match handle.wait() {
+                Ok(output) => Response::Final {
+                    id,
+                    output: WireOutput {
+                        trials_run: output.trials_run as u64,
+                        budget: output.budget as u64,
+                        stop: output.stop,
+                        from_cache: output.from_cache,
+                        estimate: WireEstimate::from_estimate(&output.estimate),
+                    },
+                },
+                Err(e) => Response::Error(service_error_frame(id, &e)),
+            };
+            let _ = conn.send(&response);
+            conn.active
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .remove(&id);
+            conn.shared
+                .counters
+                .streams_active
+                .fetch_sub(1, Ordering::Relaxed);
+        })
+        .expect("failed to spawn job waiter thread")
+}
+
+/// Maps a service-level failure onto the wire error taxonomy.
+fn service_error_frame(id: JobId, e: &ServiceError) -> ErrorFrame {
+    let kind = match e {
+        ServiceError::QueueFull { .. } => ErrorKind::QueueFull,
+        ServiceError::ShuttingDown => ErrorKind::ShuttingDown,
+        ServiceError::InvalidPrecision { .. } => ErrorKind::InvalidPrecision,
+        ServiceError::Cancelled => ErrorKind::Cancelled,
+        ServiceError::WorkerLost => ErrorKind::Internal,
+        ServiceError::Count(sgc_core::SgcError::Pattern(parse)) => {
+            return ErrorFrame::from_parse_error(id, parse)
+        }
+        ServiceError::Count(_) => ErrorKind::Count,
+    };
+    ErrorFrame::new(id, kind, e.to_string())
+}
+
+/// Starts one streaming count job; returns the waiter thread handle, or
+/// `None` when the job was rejected before submission (the error frame is
+/// already written).
+fn start_count(conn: &Arc<Conn>, spec: CountSpec) -> Option<JoinHandle<()>> {
+    let job = build_job(conn, &spec)?;
+    {
+        let active = conn.active.lock().unwrap_or_else(|p| p.into_inner());
+        if active.contains_key(&spec.id) {
+            drop(active);
+            conn.send_error(
+                spec.id,
+                ErrorKind::BadRequest,
+                format!("job id {} is already active on this connection", spec.id),
+            );
+            return None;
+        }
+    }
+    let confidence = spec.precision.map(|p| p.confidence).unwrap_or(0.95);
+    let watcher = chunk_watcher(conn, spec.id, confidence);
+    match conn.shared.service.submit_with_progress(job, watcher) {
+        Ok(handle) => Some(spawn_waiter(conn, spec.id, handle)),
+        Err(e) => {
+            let _ = conn.send(&Response::Error(service_error_frame(spec.id, &e)));
+            None
+        }
+    }
+}
+
+/// Starts a batch: members with invalid patterns or ids are answered with
+/// per-member error frames and excluded; the valid rest is submitted as one
+/// atomic batch (an admission failure — e.g. `queue-full` — is reported to
+/// every member, since batch admission is all-or-nothing). Admitted members
+/// stream and complete independently under their own ids.
+fn start_batch(conn: &Arc<Conn>, specs: Vec<CountSpec>, waiters: &mut Vec<JoinHandle<()>>) {
+    let duplicate_id = {
+        let active = conn.active.lock().unwrap_or_else(|p| p.into_inner());
+        let mut seen = std::collections::HashSet::new();
+        specs
+            .iter()
+            .map(|spec| spec.id)
+            .find(|id| active.contains_key(id) || !seen.insert(*id))
+    };
+    if let Some(id) = duplicate_id {
+        conn.send_error(
+            id,
+            ErrorKind::BadRequest,
+            format!("job id {id} is already active on this connection"),
+        );
+        return;
+    }
+    let mut members: Vec<(JobId, CountJob, f64)> = Vec::new();
+    for spec in specs {
+        if let Some(job) = build_job(conn, &spec) {
+            let confidence = spec.precision.map(|p| p.confidence).unwrap_or(0.95);
+            members.push((spec.id, job, confidence));
+        }
+    }
+    if members.is_empty() {
+        return;
+    }
+    let batch = BatchJob::from_jobs(members.iter().map(|(_, job, _)| job.clone()).collect());
+    let progress: Vec<Option<ProgressFn>> = members
+        .iter()
+        .map(|(id, _, confidence)| Some(chunk_watcher(conn, *id, *confidence)))
+        .collect();
+    match conn
+        .shared
+        .service
+        .submit_batch_with_progress(batch, progress)
+    {
+        Ok(handles) => {
+            for ((id, _, _), handle) in members.into_iter().zip(handles) {
+                waiters.push(spawn_waiter(conn, id, handle));
+            }
+        }
+        Err(e) => {
+            for (id, _, _) in members {
+                let _ = conn.send(&Response::Error(service_error_frame(id, &e)));
+            }
+        }
+    }
+}

@@ -121,6 +121,13 @@ impl ResultCache {
     /// stores successful outputs for future hits, drops failed entries
     /// (errors are not cached), and returns the handles of every joined
     /// waiter for the caller to fulfill (after counting them).
+    ///
+    /// Cancelled outputs ([`StopReason::Cancelled`]) are also *not* stored:
+    /// they cover fewer trials than the key's budget promises, so caching
+    /// them would serve a truncated estimate to later identical jobs that
+    /// nobody cancelled. Waiters that joined the cancelled computation do
+    /// still receive its partial output — they attached themselves to this
+    /// run, cancellation and all.
     pub(crate) fn complete(
         &self,
         key: JobKey,
@@ -134,7 +141,9 @@ impl ResultCache {
             _ => Vec::new(),
         };
         if let Ok(output) = result {
-            slots.insert(key, Slot::Ready(output.clone()));
+            if output.stop != crate::job::StopReason::Cancelled {
+                slots.insert(key, Slot::Ready(output.clone()));
+            }
         }
         waiters
     }
@@ -221,28 +230,28 @@ mod tests {
     #[test]
     fn claim_compute_then_complete_serves_later_submissions() {
         let cache = ResultCache::new();
-        let first = Arc::new(JobState::new());
+        let first = Arc::new(JobState::with_progress(None));
         assert!(matches!(cache.claim(demo_key(0), &first), Claim::Compute));
         assert!(cache.complete(demo_key(0), &Ok(demo_output())).is_empty());
         assert_eq!(cache.ready_entries(), 1);
 
-        let second = Arc::new(JobState::new());
+        let second = Arc::new(JobState::with_progress(None));
         match cache.claim(demo_key(0), &second) {
             Claim::Served(output) => assert!(output.from_cache),
             _ => panic!("expected a Served claim from a completed entry"),
         }
 
         // A different key still computes.
-        let third = Arc::new(JobState::new());
+        let third = Arc::new(JobState::with_progress(None));
         assert!(matches!(cache.claim(demo_key(1), &third), Claim::Compute));
     }
 
     #[test]
     fn in_flight_twins_join_and_their_handles_return_on_completion() {
         let cache = ResultCache::new();
-        let owner = Arc::new(JobState::new());
-        let joined_a = Arc::new(JobState::new());
-        let joined_b = Arc::new(JobState::new());
+        let owner = Arc::new(JobState::with_progress(None));
+        let joined_a = Arc::new(JobState::with_progress(None));
+        let joined_b = Arc::new(JobState::with_progress(None));
         assert!(matches!(cache.claim(demo_key(0), &owner), Claim::Compute));
         assert!(matches!(cache.claim(demo_key(0), &joined_a), Claim::Joined));
         assert!(matches!(cache.claim(demo_key(0), &joined_b), Claim::Joined));
@@ -259,7 +268,7 @@ mod tests {
         assert!(!waiters.iter().any(|w| Arc::ptr_eq(w, &owner)));
         // Later arrivals of the same key are served from the stored entry.
         assert!(matches!(
-            cache.claim(demo_key(0), &Arc::new(JobState::new())),
+            cache.claim(demo_key(0), &Arc::new(JobState::with_progress(None))),
             Claim::Served(_)
         ));
     }
@@ -267,8 +276,8 @@ mod tests {
     #[test]
     fn errors_free_the_key_and_are_not_cached() {
         let cache = ResultCache::new();
-        let owner = Arc::new(JobState::new());
-        let joined = Arc::new(JobState::new());
+        let owner = Arc::new(JobState::with_progress(None));
+        let joined = Arc::new(JobState::with_progress(None));
         cache.claim(demo_key(0), &owner);
         cache.claim(demo_key(0), &joined);
         let waiters = cache.complete(
@@ -278,18 +287,18 @@ mod tests {
         assert_eq!(waiters.len(), 1);
         assert_eq!(cache.ready_entries(), 0);
         // The key is free again: the next identical job recomputes.
-        let retry = Arc::new(JobState::new());
+        let retry = Arc::new(JobState::with_progress(None));
         assert!(matches!(cache.claim(demo_key(0), &retry), Claim::Compute));
     }
 
     #[test]
     fn fail_in_flight_keeps_ready_entries() {
         let cache = ResultCache::new();
-        let done = Arc::new(JobState::new());
+        let done = Arc::new(JobState::with_progress(None));
         cache.claim(demo_key(0), &done);
         cache.complete(demo_key(0), &Ok(demo_output()));
-        let stuck = Arc::new(JobState::new());
-        let joined = Arc::new(JobState::new());
+        let stuck = Arc::new(JobState::with_progress(None));
+        let joined = Arc::new(JobState::with_progress(None));
         cache.claim(demo_key(1), &stuck);
         cache.claim(demo_key(1), &joined);
         cache.fail_in_flight(ServiceError::ShuttingDown);

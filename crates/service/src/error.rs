@@ -29,6 +29,11 @@ pub enum ServiceError {
         /// The requested confidence level.
         confidence: f64,
     },
+    /// The job was cancelled before any trials completed, so there is no
+    /// partial estimate to report. (A job cancelled *after* at least one
+    /// chunk ran completes successfully with
+    /// [`StopReason::Cancelled`](crate::StopReason::Cancelled) instead.)
+    Cancelled,
     /// The job's worker disappeared without producing a result (a panic in
     /// the counting code). The service keeps serving other jobs.
     WorkerLost,
@@ -49,6 +54,9 @@ impl std::fmt::Display for ServiceError {
                 "invalid precision target (relative half-width {target}, confidence \
                  {confidence}): the target must be positive and finite, the confidence in (0, 1)"
             ),
+            ServiceError::Cancelled => {
+                write!(f, "job cancelled before any trials completed")
+            }
             ServiceError::WorkerLost => {
                 write!(f, "the worker processing this job terminated unexpectedly")
             }

@@ -10,7 +10,8 @@
 use crate::error::ServiceError;
 use sgc_core::{Algorithm, Estimate};
 use sgc_query::{Pattern, PatternParseError, QueryGraph, Registry};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A precision target for adaptive trial scheduling: stop once the relative
 /// half-width of the confidence interval around the estimate drops to
@@ -228,7 +229,34 @@ pub enum StopReason {
     /// The trial budget was exhausted (always the reason when no precision
     /// target was set).
     BudgetExhausted,
+    /// The job was cancelled ([`JobHandle::cancel`]) after at least one
+    /// chunk of trials had run: the output carries the anytime estimate
+    /// over the trials that completed before the cancellation took effect.
+    /// Cancelled outputs are never stored in the result cache.
+    Cancelled,
 }
+
+/// A progress snapshot delivered to a job's watcher after each chunk of
+/// trials (see [`Service::submit_with_progress`](crate::Service::submit_with_progress)).
+///
+/// The embedded [`Estimate`] is anytime-consistent: bit-identical to what a
+/// batch [`estimate`](sgc_core::CountRequest::estimate) of exactly
+/// `trials_run` trials with the job's seed would return.
+#[derive(Clone, Debug)]
+pub struct ChunkUpdate {
+    /// Trials executed so far (monotonically increasing across updates).
+    pub trials_run: usize,
+    /// The job's trial budget.
+    pub budget: usize,
+    /// The estimate over the trials executed so far.
+    pub estimate: Estimate,
+}
+
+/// A job progress watcher: invoked synchronously on the worker thread after
+/// every completed chunk of trials, strictly before the job's handle is
+/// fulfilled. Keep it cheap — the worker does not run trials while the
+/// watcher executes.
+pub type ProgressFn = Arc<dyn Fn(&ChunkUpdate) + Send + Sync>;
 
 /// The result of a completed job.
 #[derive(Clone, Debug)]
@@ -253,14 +281,40 @@ pub struct JobOutput {
 pub(crate) struct JobState {
     slot: Mutex<Option<Result<JobOutput, ServiceError>>>,
     ready: Condvar,
+    /// Set by [`JobHandle::cancel`] / [`CancelToken::cancel`]; the worker
+    /// checks it at every chunk boundary.
+    cancelled: AtomicBool,
+    /// Optional per-chunk progress watcher, fixed at submission time.
+    progress: Option<ProgressFn>,
 }
 
 impl JobState {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn with_progress(progress: Option<ProgressFn>) -> Self {
         JobState {
             slot: Mutex::new(None),
             ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+            progress,
         }
+    }
+
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Delivers a chunk update to the watcher, if one was registered.
+    pub(crate) fn emit_progress(&self, update: &ChunkUpdate) {
+        if let Some(progress) = &self.progress {
+            progress(update);
+        }
+    }
+
+    pub(crate) fn has_progress(&self) -> bool {
+        self.progress.is_some()
     }
 
     /// Fills the slot (first writer wins) and wakes every waiter.
@@ -320,6 +374,58 @@ impl JobHandle {
     /// blocking.
     pub fn try_result(&self) -> Option<Result<JobOutput, ServiceError>> {
         self.state.peek()
+    }
+
+    /// Requests cancellation of the job.
+    ///
+    /// Cancellation is cooperative and takes effect at the next chunk
+    /// boundary of the adaptive trial loop: a job that already ran at least
+    /// one chunk completes *successfully* with
+    /// [`StopReason::Cancelled`] and the anytime estimate over the trials
+    /// that did run; a job cancelled before its worker picked it up (or
+    /// before its first chunk completed its follow-up check) fails with
+    /// [`ServiceError::Cancelled`]. Cancelling a finished job is a no-op.
+    /// Cancelled outputs are never stored in the result cache, so later
+    /// identical submissions recompute the full result.
+    pub fn cancel(&self) {
+        self.state.cancel();
+    }
+
+    /// A detachable cancellation token for this job: lets one owner wait on
+    /// the handle while another (a network connection reader, a timeout
+    /// watchdog) can still cancel it.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// A clonable token that can cancel one submitted job (see
+/// [`JobHandle::cancel_token`]).
+#[derive(Clone)]
+pub struct CancelToken {
+    state: Arc<JobState>,
+}
+
+impl CancelToken {
+    /// Requests cancellation; same semantics as [`JobHandle::cancel`].
+    pub fn cancel(&self) {
+        self.state.cancel();
+    }
+
+    /// Whether cancellation has been requested (not whether it has taken
+    /// effect yet).
+    pub fn is_cancelled(&self) -> bool {
+        self.state.is_cancelled()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.state.is_cancelled())
+            .finish()
     }
 }
 
@@ -391,7 +497,7 @@ mod tests {
 
     #[test]
     fn job_state_fulfill_once_and_wait() {
-        let state = std::sync::Arc::new(JobState::new());
+        let state = std::sync::Arc::new(JobState::with_progress(None));
         assert!(!state.is_fulfilled());
         state.fulfill(Err(ServiceError::WorkerLost));
         // Second fulfillment is ignored: first writer wins.
@@ -409,7 +515,7 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_a_worker_fulfills() {
-        let state = std::sync::Arc::new(JobState::new());
+        let state = std::sync::Arc::new(JobState::with_progress(None));
         let handle = JobHandle {
             state: state.clone(),
         };

@@ -72,6 +72,9 @@ pub mod metrics;
 pub mod service;
 
 pub use error::ServiceError;
-pub use job::{BatchJob, CountJob, JobHandle, JobOutput, Precision, StopReason};
+pub use job::{
+    BatchJob, CancelToken, ChunkUpdate, CountJob, JobHandle, JobOutput, Precision, ProgressFn,
+    StopReason,
+};
 pub use metrics::ServiceMetrics;
 pub use service::{Service, ServiceConfig};

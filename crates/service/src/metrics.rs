@@ -35,6 +35,11 @@ pub struct ServiceMetrics {
     /// Trials *not* run because adaptive scheduling stopped jobs before
     /// their budget — the work early stopping saved.
     pub trials_saved: u64,
+    /// Jobs whose cancellation took effect: stopped at a chunk boundary
+    /// with a partial estimate, or failed with
+    /// [`ServiceError::Cancelled`](crate::ServiceError::Cancelled) before
+    /// any trials ran.
+    pub jobs_cancelled: u64,
 }
 
 impl ServiceMetrics {
@@ -50,6 +55,46 @@ impl ServiceMetrics {
     }
 }
 
+/// The stable text form of the metrics: one `name value` pair per line, in
+/// a fixed order, no trailing newline.
+///
+/// This is the *serialization contract* shared by every consumer that
+/// prints metrics — the `sgc-net` `stats` verb renders the snapshot it
+/// received over the wire with this impl, and the bench binaries print
+/// their end-of-run service state through it — so scrapers can parse one
+/// format everywhere. New fields are only ever appended.
+impl std::fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "jobs_submitted    {}\n\
+             batches_submitted {}\n\
+             jobs_rejected     {}\n\
+             jobs_completed    {}\n\
+             jobs_cancelled    {}\n\
+             queue_depth       {}\n\
+             cache_hits        {}\n\
+             cache_misses      {}\n\
+             cache_hit_rate    {:.4}\n\
+             cached_results    {}\n\
+             trials_executed   {}\n\
+             trials_saved      {}",
+            self.jobs_submitted,
+            self.batches_submitted,
+            self.jobs_rejected,
+            self.jobs_completed,
+            self.jobs_cancelled,
+            self.queue_depth,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            self.cached_results,
+            self.trials_executed,
+            self.trials_saved,
+        )
+    }
+}
+
 /// The live counters behind [`ServiceMetrics`].
 #[derive(Default)]
 pub(crate) struct Counters {
@@ -61,6 +106,7 @@ pub(crate) struct Counters {
     pub cache_misses: AtomicU64,
     pub trials_executed: AtomicU64,
     pub trials_saved: AtomicU64,
+    pub jobs_cancelled: AtomicU64,
 }
 
 impl Counters {
@@ -76,6 +122,7 @@ impl Counters {
             cached_results,
             trials_executed: self.trials_executed.load(Ordering::Relaxed),
             trials_saved: self.trials_saved.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
         }
     }
 

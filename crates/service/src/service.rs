@@ -18,7 +18,9 @@
 
 use crate::cache::{Claim, JobKey, ResultCache};
 use crate::error::ServiceError;
-use crate::job::{BatchJob, CountJob, JobHandle, JobOutput, JobState, StopReason};
+use crate::job::{
+    BatchJob, ChunkUpdate, CountJob, JobHandle, JobOutput, JobState, ProgressFn, StopReason,
+};
 use crate::metrics::{Counters, ServiceMetrics};
 use sgc_core::{CountRequest, Engine};
 use sgc_graph::CsrGraph;
@@ -123,7 +125,9 @@ impl Shared {
 /// still drained by the workers, then the threads are joined.
 pub struct Service {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    /// Worker thread handles, drained (under the lock, so concurrent
+    /// shutdowns serialize) by [`shutdown`](Service::shutdown).
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Service {
@@ -161,7 +165,10 @@ impl Service {
                     .expect("failed to spawn service worker thread")
             })
             .collect();
-        Service { shared, workers }
+        Service {
+            shared,
+            workers: Mutex::new(workers),
+        }
     }
 
     /// Submits a job for asynchronous processing.
@@ -180,10 +187,44 @@ impl Service {
     /// reported through the handle instead, as
     /// [`ServiceError::Count`].
     pub fn submit(&self, job: CountJob) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(job, None)
+    }
+
+    /// [`submit`](Service::submit) with a progress watcher: `progress` is
+    /// invoked on the worker thread after every completed chunk of trials,
+    /// carrying the anytime [`Estimate`](sgc_core::Estimate) over the
+    /// trials run so far (see [`ChunkUpdate`]).
+    ///
+    /// Watchers fire only when the job actually computes — a submission
+    /// answered from the result cache (or joined onto an identical
+    /// in-flight computation) goes straight to its final output, and batch
+    /// members routed through the batched executor have no chunk
+    /// boundaries. Every update is delivered strictly before the handle is
+    /// fulfilled, so a caller that streams updates and then waits observes
+    /// them in order.
+    ///
+    /// This is the serving primitive behind the `sgc-net` wire protocol's
+    /// streamed estimate frames.
+    ///
+    /// # Errors
+    /// Exactly those of [`submit`](Service::submit).
+    pub fn submit_with_progress(
+        &self,
+        job: CountJob,
+        progress: ProgressFn,
+    ) -> Result<JobHandle, ServiceError> {
+        self.submit_inner(job, Some(progress))
+    }
+
+    fn submit_inner(
+        &self,
+        job: CountJob,
+        progress: Option<ProgressFn>,
+    ) -> Result<JobHandle, ServiceError> {
         if let Some(precision) = &job.precision {
             precision.validate()?;
         }
-        let state = Arc::new(JobState::new());
+        let state = Arc::new(JobState::with_progress(progress));
         {
             let mut queue = self.shared.lock_queue();
             if queue.shutdown {
@@ -245,6 +286,32 @@ impl Service {
     /// [`ServiceError::InvalidPrecision`] for an unusable member target.
     /// Counting-level failures are reported through the member handles.
     pub fn submit_batch(&self, batch: BatchJob) -> Result<Vec<JobHandle>, ServiceError> {
+        self.submit_batch_inner(batch, Vec::new())
+    }
+
+    /// [`submit_batch`](Service::submit_batch) with one optional progress
+    /// watcher per member (`progress` may be shorter than the batch;
+    /// missing tails mean "no watcher"). Watchers follow the
+    /// [`submit_with_progress`](Service::submit_with_progress) contract;
+    /// note that fixed-budget members executed through the batched engine
+    /// path have no chunk boundaries and therefore emit no updates, while
+    /// precision-targeted members stream one update per adaptive chunk.
+    ///
+    /// # Errors
+    /// Exactly those of [`submit_batch`](Service::submit_batch).
+    pub fn submit_batch_with_progress(
+        &self,
+        batch: BatchJob,
+        progress: Vec<Option<ProgressFn>>,
+    ) -> Result<Vec<JobHandle>, ServiceError> {
+        self.submit_batch_inner(batch, progress)
+    }
+
+    fn submit_batch_inner(
+        &self,
+        batch: BatchJob,
+        progress: Vec<Option<ProgressFn>>,
+    ) -> Result<Vec<JobHandle>, ServiceError> {
         for job in batch.jobs() {
             if let Some(precision) = &job.precision {
                 precision.validate()?;
@@ -254,7 +321,11 @@ impl Service {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        let states: Vec<Arc<JobState>> = jobs.iter().map(|_| Arc::new(JobState::new())).collect();
+        let mut progress = progress.into_iter();
+        let states: Vec<Arc<JobState>> = jobs
+            .iter()
+            .map(|_| Arc::new(JobState::with_progress(progress.next().flatten())))
+            .collect();
         {
             let mut queue = self.shared.lock_queue();
             if queue.shutdown {
@@ -327,18 +398,25 @@ impl Service {
     /// Stops accepting jobs, lets the workers drain everything already
     /// queued, and joins them. Jobs still queued when no worker exists to
     /// drain them (a zero-worker service) are failed with
-    /// [`ServiceError::ShuttingDown`]. Idempotent; also invoked by `Drop`.
-    pub fn shutdown(&mut self) {
+    /// [`ServiceError::ShuttingDown`]. Idempotent, and callable through a
+    /// shared reference so an `Arc<Service>` (the `sgc-net` server holds
+    /// one per listener) can be shut down explicitly; concurrent calls
+    /// serialize on the worker list and both return only after the workers
+    /// are joined. Also invoked by `Drop`.
+    pub fn shutdown(&self) {
         {
             let mut queue = self.shared.lock_queue();
-            if queue.shutdown && self.workers.is_empty() {
-                return;
-            }
             queue.shutdown = true;
         }
         self.shared.available.notify_all();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        {
+            // Joining under the lock makes a concurrent second shutdown
+            // wait here until the drain finishes, instead of racing ahead
+            // and failing jobs a worker was still about to process.
+            let mut workers = self.workers.lock().unwrap_or_else(|p| p.into_inner());
+            for worker in workers.drain(..) {
+                let _ = worker.join();
+            }
         }
         let leftovers: Vec<QueueEntry> = {
             let mut queue = self.shared.lock_queue();
@@ -395,13 +473,30 @@ fn worker_loop(shared: Arc<Shared>) {
 /// computation, runs the adaptive trial loop and fans the result out to
 /// every identical job that joined in flight.
 fn process(shared: &Shared, queued: QueuedJob) {
+    if finish_if_cancelled_before_start(shared, &queued) {
+        return;
+    }
     if let Some((key, queued)) = route(shared, queued) {
         // A panic in the counting code must neither kill the worker nor
         // strand the jobs joined onto this computation.
-        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
-            .unwrap_or(Err(ServiceError::WorkerLost));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job(shared, &queued.job, &queued.state)
+        }))
+        .unwrap_or(Err(ServiceError::WorkerLost));
         finish_compute(shared, key, &queued, result);
     }
+}
+
+/// Fails a job whose cancellation arrived while it was still queued, before
+/// it ever touched the cache or ran a trial. Returns whether it did.
+fn finish_if_cancelled_before_start(shared: &Shared, queued: &QueuedJob) -> bool {
+    if !queued.state.is_cancelled() {
+        return false;
+    }
+    Counters::bump(&shared.counters.jobs_cancelled);
+    Counters::bump(&shared.counters.jobs_completed);
+    queued.state.fulfill(Err(ServiceError::Cancelled));
+    true
 }
 
 /// Routes one job through the single-flight cache. Serves cache hits and
@@ -441,12 +536,22 @@ fn finish_compute(
     queued: &QueuedJob,
     result: Result<JobOutput, ServiceError>,
 ) {
-    if let Ok(output) = &result {
-        Counters::add(&shared.counters.trials_executed, output.trials_run as u64);
-        Counters::add(
-            &shared.counters.trials_saved,
-            output.budget.saturating_sub(output.trials_run) as u64,
-        );
+    match &result {
+        Ok(output) => {
+            Counters::add(&shared.counters.trials_executed, output.trials_run as u64);
+            if output.stop == StopReason::Cancelled {
+                // A cancelled job's unspent budget was taken away, not
+                // saved by adaptive stopping; count it separately.
+                Counters::bump(&shared.counters.jobs_cancelled);
+            } else {
+                Counters::add(
+                    &shared.counters.trials_saved,
+                    output.budget.saturating_sub(output.trials_run) as u64,
+                );
+            }
+        }
+        Err(ServiceError::Cancelled) => Counters::bump(&shared.counters.jobs_cancelled),
+        Err(_) => {}
     }
     let waiters = shared.cache.complete(key, &result);
     // Joined twins are cache hits only when something was actually
@@ -474,6 +579,7 @@ fn finish_compute(
 fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
     let computes: Vec<(JobKey, QueuedJob)> = members
         .into_iter()
+        .filter(|queued| !finish_if_cancelled_before_start(shared, queued))
         .filter_map(|queued| route(shared, queued))
         .collect();
     // Early stopping is an individual contract (each job stops on its own
@@ -483,8 +589,10 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
         .into_iter()
         .partition(|(_, queued)| queued.job.precision.is_some());
     for (key, queued) in adaptive {
-        let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
-            .unwrap_or(Err(ServiceError::WorkerLost));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job(shared, &queued.job, &queued.state)
+        }))
+        .unwrap_or(Err(ServiceError::WorkerLost));
         finish_compute(shared, key, &queued, result);
     }
     if fixed.is_empty() {
@@ -501,8 +609,10 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
         // only the offending members report the failure.
         Ok(Err(_)) => {
             for (key, queued) in fixed {
-                let result = catch_unwind(AssertUnwindSafe(|| run_job(shared, &queued.job)))
-                    .unwrap_or(Err(ServiceError::WorkerLost));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_job(shared, &queued.job, &queued.state)
+                }))
+                .unwrap_or(Err(ServiceError::WorkerLost));
                 finish_compute(shared, key, &queued, result);
             }
         }
@@ -551,8 +661,13 @@ fn run_jobs_batched(
 }
 
 /// The adaptive trial loop of one job: run chunks through the incremental
-/// engine API, stop at the precision target or the budget.
-fn run_job(shared: &Shared, job: &CountJob) -> Result<JobOutput, ServiceError> {
+/// engine API, stop at the precision target, the budget, or a cancellation
+/// (checked once per chunk boundary — cancellation never interrupts a
+/// chunk mid-trial, so the trials that did run keep the seed+i contract).
+fn run_job(shared: &Shared, job: &CountJob, state: &JobState) -> Result<JobOutput, ServiceError> {
+    if state.is_cancelled() {
+        return Err(ServiceError::Cancelled);
+    }
     let mut stream = shared
         .engine
         .count(&job.query)
@@ -564,11 +679,26 @@ fn run_job(shared: &Shared, job: &CountJob) -> Result<JobOutput, ServiceError> {
     while stream.trials_run() < job.budget {
         let chunk = shared.chunk_trials.min(job.budget - stream.trials_run());
         stream.run_chunk(chunk);
+        if state.has_progress() {
+            // The snapshot is the stream's own anytime estimate, so every
+            // update a watcher sees is bit-identical to a batch run of
+            // exactly that many trials (the invariant `sgc-net` streams
+            // over the wire).
+            state.emit_progress(&ChunkUpdate {
+                trials_run: stream.trials_run(),
+                budget: job.budget,
+                estimate: stream.estimate()?,
+            });
+        }
         if let Some(precision) = &job.precision {
             if stream.relative_half_width(precision.confidence) <= precision.target {
                 stop = StopReason::PrecisionMet;
                 break;
             }
+        }
+        if state.is_cancelled() {
+            stop = StopReason::Cancelled;
+            break;
         }
     }
     let trials_run = stream.trials_run();
@@ -587,7 +717,7 @@ fn run_job(shared: &Shared, job: &CountJob) -> Result<JobOutput, ServiceError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::Precision;
+    use crate::job::{CancelToken, Precision};
     use sgc_graph::GraphBuilder;
     use sgc_query::catalog;
 
@@ -667,7 +797,7 @@ mod tests {
 
     #[test]
     fn zero_worker_service_exposes_admission_control_deterministically() {
-        let mut service = Service::with_config(
+        let service = Service::with_config(
             demo_graph(),
             ServiceConfig {
                 workers: 0,
@@ -833,7 +963,7 @@ mod tests {
 
     #[test]
     fn batch_admission_is_atomic_and_counts_members() {
-        let mut service = Service::with_config(
+        let service = Service::with_config(
             demo_graph(),
             ServiceConfig {
                 workers: 0,
@@ -956,5 +1086,102 @@ mod tests {
             metrics.trials_saved,
             (output.budget - output.trials_run) as u64
         );
+    }
+
+    /// A progress callback that cancels the job's own token as soon as it
+    /// fires: the first completed chunk triggers the cancellation, making
+    /// the mid-run cancel deterministic without sleeps.
+    fn cancel_on_first_chunk() -> (ProgressFn, Arc<Mutex<Option<CancelToken>>>) {
+        let slot: Arc<Mutex<Option<CancelToken>>> = Arc::default();
+        let shared = Arc::clone(&slot);
+        let progress: ProgressFn = Arc::new(move |_update: &ChunkUpdate| {
+            if let Some(token) = shared.lock().unwrap().as_ref() {
+                token.cancel();
+            }
+        });
+        (progress, slot)
+    }
+
+    #[test]
+    fn cancelling_a_running_job_stops_at_a_chunk_boundary_with_a_partial_estimate() {
+        let service = small_service(1);
+        let budget = 50_000_000; // far beyond what can run before the cancel
+        let (progress, slot) = cancel_on_first_chunk();
+        let handle = service
+            .submit_with_progress(
+                CountJob::new(catalog::triangle()).seed(9).budget(budget),
+                progress,
+            )
+            .unwrap();
+        *slot.lock().unwrap() = Some(handle.cancel_token());
+        let output = handle.wait().unwrap();
+        assert_eq!(output.stop, StopReason::Cancelled);
+        assert!(output.trials_run >= 4, "at least one chunk completes");
+        assert!(output.trials_run < budget, "ran {}", output.trials_run);
+        // The partial estimate honours the anytime contract: bit-identical
+        // to a batch run of exactly the trials that completed.
+        let replay = service
+            .engine()
+            .count(&catalog::triangle())
+            .trials(output.trials_run)
+            .seed(9)
+            .estimate()
+            .unwrap();
+        assert_eq!(output.estimate.per_trial, replay.per_trial);
+        // Cancelled outputs are never cached, so nothing is stored and a
+        // resubmission would recompute.
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_cancelled, 1);
+        assert_eq!(metrics.cached_results, 0);
+        assert_eq!(metrics.cache_misses, 1);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_fails_it_with_the_cancelled_error() {
+        let service = small_service(1);
+        // A blocker holds the only worker until its own first chunk cancels
+        // it, guaranteeing the victim is still queued when *its* cancel
+        // lands.
+        let (progress, slot) = cancel_on_first_chunk();
+        let blocker = service
+            .submit_with_progress(
+                CountJob::new(catalog::triangle())
+                    .seed(1)
+                    .budget(50_000_000),
+                progress,
+            )
+            .unwrap();
+        let victim = service
+            .submit(CountJob::new(catalog::triangle()).seed(2).budget(8))
+            .unwrap();
+        victim.cancel();
+        // Release the worker only after the victim is marked.
+        *slot.lock().unwrap() = Some(blocker.cancel_token());
+        assert_eq!(blocker.wait().unwrap().stop, StopReason::Cancelled);
+        assert!(matches!(victim.wait(), Err(ServiceError::Cancelled)));
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_cancelled, 2);
+        // The victim never computed: the only executed trials are the
+        // blocker's.
+        assert_eq!(metrics.cache_misses, 1);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_no_op() {
+        let service = small_service(1);
+        let handle = service
+            .submit(CountJob::new(catalog::triangle()).seed(4).budget(8))
+            .unwrap();
+        // Wait for the result through a second identical submission, then
+        // cancel the already-fulfilled handle: the output is unaffected.
+        let settled = service
+            .run(CountJob::new(catalog::triangle()).seed(4).budget(8))
+            .unwrap();
+        handle.cancel();
+        let output = handle.wait().unwrap();
+        assert_eq!(output.stop, StopReason::BudgetExhausted);
+        assert_eq!(output.trials_run, 8);
+        assert_eq!(output.estimate.per_trial, settled.estimate.per_trial);
+        assert_eq!(service.metrics().jobs_cancelled, 0);
     }
 }

@@ -1,0 +1,171 @@
+//! A command-line client for a running `sgc_server`.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sgc_client -- --addr HOST:PORT count 'cycle(5)' \
+//!     [--seed N] [--budget N] [--precision F] [--algorithm db|ps]
+//! cargo run --release --example sgc_client -- --addr HOST:PORT explain 'brain1'
+//! cargo run --release --example sgc_client -- --addr HOST:PORT stats
+//! ```
+//!
+//! `count` prints one progress line per streamed estimate chunk to stderr
+//! and the final result to stdout. Typed server errors (including spanned
+//! pattern parse errors with their caret diagnostic) are printed to stderr
+//! and exit nonzero — which is what the CI smoke job asserts.
+
+use std::process::ExitCode;
+use subgraph_counting::net::{Client, ClientError, StreamEvent};
+use subgraph_counting::{Algorithm, Precision, StopReason};
+
+struct Options {
+    addr: String,
+    verb: String,
+    pattern: Option<String>,
+    seed: u64,
+    budget: u64,
+    precision: Option<f64>,
+    algorithm: Algorithm,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        addr: String::new(),
+        verb: String::new(),
+        pattern: None,
+        seed: 0x5eed,
+        budget: 64,
+        precision: None,
+        algorithm: Algorithm::DegreeBased,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--budget" => {
+                options.budget = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?
+            }
+            "--precision" => {
+                options.precision = Some(
+                    value("--precision")?
+                        .parse()
+                        .map_err(|e| format!("--precision: {e}"))?,
+                )
+            }
+            "--algorithm" => {
+                options.algorithm = match value("--algorithm")?.as_str() {
+                    "db" => Algorithm::DegreeBased,
+                    "ps" => Algorithm::PathSplitting,
+                    other => return Err(format!("--algorithm: expected db or ps, got {other}")),
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            positional if options.verb.is_empty() => options.verb = positional.to_string(),
+            positional if options.pattern.is_none() => {
+                options.pattern = Some(positional.to_string())
+            }
+            positional => return Err(format!("unexpected argument {positional}")),
+        }
+    }
+    if options.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".to_string());
+    }
+    if options.verb.is_empty() {
+        return Err("expected a verb: count, explain, or stats".to_string());
+    }
+    Ok(options)
+}
+
+fn run(options: Options) -> Result<(), ClientError> {
+    let mut client = Client::connect(&*options.addr)?;
+    match options.verb.as_str() {
+        "count" => {
+            let pattern = options.pattern.as_deref().unwrap_or_default();
+            let mut builder = client
+                .count(pattern)
+                .algorithm(options.algorithm)
+                .seed(options.seed)
+                .budget(options.budget);
+            if let Some(target) = options.precision {
+                builder = builder.precision(Precision::within(target));
+            }
+            let stream = builder.stream()?;
+            let mut chunks = 0usize;
+            for event in stream {
+                match event? {
+                    StreamEvent::Chunk(chunk) => {
+                        chunks += 1;
+                        eprintln!(
+                            "chunk {:>3}: {:>5}/{} trials, estimate {:>14.2}, ±{:.2}%",
+                            chunks,
+                            chunk.trials_run,
+                            chunk.budget,
+                            chunk.estimated_subgraphs,
+                            100.0 * chunk.relative_half_width
+                        );
+                    }
+                    StreamEvent::Final(output) => {
+                        let stop = match output.stop {
+                            StopReason::BudgetExhausted => "budget exhausted",
+                            StopReason::PrecisionMet => "precision met",
+                            StopReason::Cancelled => "cancelled",
+                        };
+                        println!(
+                            "pattern      {pattern}\n\
+                             subgraphs    {:.2}\n\
+                             matches      {:.2}\n\
+                             trials       {}/{}\n\
+                             stop         {stop}\n\
+                             from_cache   {}",
+                            output.estimate.estimated_subgraphs,
+                            output.estimate.estimated_matches,
+                            output.trials_run,
+                            output.budget,
+                            output.from_cache,
+                        );
+                    }
+                }
+            }
+        }
+        "explain" => {
+            let pattern = options.pattern.as_deref().unwrap_or_default();
+            println!("{}", client.explain(pattern)?);
+        }
+        "stats" => {
+            let stats = client.stats()?;
+            println!("--- service metrics ---\n{}", stats.service);
+            println!("--- server stats ---\n{}", stats.server);
+        }
+        other => {
+            eprintln!("error: unknown verb {other} (expected count, explain, or stats)");
+            std::process::exit(2);
+        }
+    }
+    client.bye()
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            // `Display` on a remote parse error renders the caret
+            // diagnostic the server forwarded from the pattern parser.
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -53,6 +53,7 @@ pub use sgc_core as core;
 pub use sgc_engine as engine;
 pub use sgc_gen as gen;
 pub use sgc_graph as graph;
+pub use sgc_net as net;
 pub use sgc_query as query;
 pub use sgc_service as service;
 pub use sgc_theory as theory;
@@ -64,9 +65,13 @@ pub use sgc_core::prelude::*;
 // `Service` is the recommended way to share one graph across many
 // concurrent callers.
 pub use sgc_service::{
-    BatchJob, CountJob, JobHandle, JobOutput, Precision, Service, ServiceConfig, ServiceError,
-    ServiceMetrics, StopReason,
+    BatchJob, CancelToken, ChunkUpdate, CountJob, JobHandle, JobOutput, Precision, Service,
+    ServiceConfig, ServiceError, ServiceMetrics, StopReason,
 };
+
+// The network front door: serve the bound graph over TCP with streaming
+// anytime results, and talk to such a server from Rust.
+pub use sgc_net::{Client, Server, ServerConfig, StreamEvent};
 
 // The pattern front door: the text language, its typed spanned errors, the
 // name registry behind it, and the explain report. (Also available through

@@ -204,7 +204,7 @@ fn concurrent_identical_jobs_compute_once_and_agree_bitwise() {
 /// typed rejection, never a hang or a panic.
 #[test]
 fn admission_control_and_shutdown_are_typed() {
-    let mut service = Service::with_config(
+    let service = Service::with_config(
         service_graph(),
         ServiceConfig {
             workers: 0, // accept-only: the queue fills deterministically
