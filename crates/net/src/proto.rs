@@ -34,6 +34,12 @@ use sgc_service::{Precision, ServiceMetrics, StopReason};
 /// [`ErrorFrame`] means "about the connection, not any job".
 pub type JobId = u64;
 
+/// Encoded bytes of the smallest possible [`CountSpec`]: id (8) + empty
+/// pattern's length prefix (4) + algorithm (1) + seed (8) + budget (8) +
+/// precision flag (1). Bounds how many members a batch payload of a given
+/// size can plausibly declare.
+const MIN_COUNT_SPEC_BYTES: usize = 30;
+
 // ---------------------------------------------------------------------------
 // Requests
 // ---------------------------------------------------------------------------
@@ -131,12 +137,17 @@ impl Request {
             0x02 => Request::Count(decode_count_spec(&mut r)?),
             0x03 => {
                 let count = r.u32()? as usize;
-                // Each spec needs at least its fixed-width fields; reject
-                // absurd counts before reserving anything.
-                if count > r.remaining() {
+                // Each member needs at least its fixed-width fields on the
+                // wire, so the remaining payload bounds the plausible count;
+                // reject anything above it before reserving — a `CountSpec`
+                // is far larger in memory than on the wire, and an honest
+                // length check alone would let one hostile frame reserve
+                // gigabytes.
+                let max = r.remaining() / MIN_COUNT_SPEC_BYTES;
+                if count > max {
                     return Err(WireError::LengthOverflow {
                         declared: count,
-                        max: r.remaining(),
+                        max,
                     });
                 }
                 let mut specs = Vec::with_capacity(count);
@@ -978,6 +989,32 @@ mod tests {
             Request::decode(0x03, &buf),
             Err(WireError::LengthOverflow { .. })
         ));
+        // A batch count that fits the raw byte length but not the minimum
+        // encoded spec size: 100 bytes cannot hold 50 members, so the
+        // decoder must refuse before reserving 50 spec slots.
+        let mut buf = Vec::new();
+        wire::put_u32(&mut buf, 50);
+        buf.extend_from_slice(&[0u8; 100]);
+        assert_eq!(
+            Request::decode(0x03, &buf),
+            Err(WireError::LengthOverflow {
+                declared: 50,
+                max: 100 / MIN_COUNT_SPEC_BYTES,
+            })
+        );
+        // The bound is tight: a batch whose encoding is exactly its members
+        // still decodes.
+        let specs = vec![CountSpec {
+            id: 1,
+            pattern: String::new(),
+            algorithm: Algorithm::DegreeBased,
+            seed: 0,
+            budget: 1,
+            precision: None,
+        }];
+        let encoded = Request::Batch(specs.clone()).encode();
+        assert_eq!(encoded.len(), 4 + MIN_COUNT_SPEC_BYTES);
+        assert_eq!(Request::decode(0x03, &encoded), Ok(Request::Batch(specs)));
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //! * each **connection handler** reads frames with a read timeout (so it
 //!   can poll the shutdown flag while idle), decodes requests, and answers
 //!   on a mutex-guarded write half — whole frames are written under the
-//!   lock, so responses from concurrent jobs never interleave mid-frame,
+//!   lock, so responses from concurrent jobs never interleave mid-frame.
+//!   Writes carry a timeout too: chunk frames are written by shared
+//!   service workers, and a client that stops reading must not wedge a
+//!   worker forever. The first write failure (timeout included) marks the
+//!   connection **dead** — its socket is shut down, its active jobs are
+//!   cancelled, and every later write fails fast without touching the
+//!   socket,
 //! * each **count job** gets a small waiter thread that blocks on the
 //!   service's [`JobHandle`] and writes the `Final` frame; the streamed
 //!   `Chunk` frames are written by the service worker itself, through the
@@ -49,8 +55,16 @@ pub struct ServerConfig {
     pub service: ServiceConfig,
     /// Per-connection read timeout: how often an idle connection handler
     /// wakes to poll the shutdown flag. Not a client deadline — an idle
-    /// tick simply loops.
+    /// tick simply loops, and a stall *inside* a frame keeps waiting (the
+    /// frame reader retries timeouts mid-frame, so a retransmission-length
+    /// hiccup never kills a healthy connection).
     pub read_timeout: Duration,
+    /// Per-connection write timeout. Response frames — including the chunk
+    /// frames written by shared service worker threads — must land within
+    /// this window; a client that stops reading until its TCP window fills
+    /// is declared dead (its jobs are cancelled and the connection is
+    /// closed) instead of blocking a worker indefinitely.
+    pub write_timeout: Duration,
     /// Maximum accepted frame length (tag + payload bytes); oversized
     /// frames are rejected with a `bad-frame` error and the connection is
     /// closed.
@@ -62,6 +76,7 @@ impl Default for ServerConfig {
         ServerConfig {
             service: ServiceConfig::default(),
             read_timeout: Duration::from_millis(100),
+            write_timeout: Duration::from_secs(10),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
         }
     }
@@ -101,6 +116,7 @@ impl ServerCounters {
 struct ServerShared {
     service: Service,
     read_timeout: Duration,
+    write_timeout: Duration,
     max_frame_len: usize,
     shutdown: AtomicBool,
     counters: ServerCounters,
@@ -140,6 +156,7 @@ impl Server {
         let shared = Arc::new(ServerShared {
             service: Service::with_config(graph, config.service),
             read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
             max_frame_len: config.max_frame_len,
             shutdown: AtomicBool::new(false),
             counters: ServerCounters::default(),
@@ -178,10 +195,13 @@ impl Server {
     }
 
     /// Stops the server: no new connections, open connections are closed
-    /// (streaming jobs get their terminal frame if the socket survives
-    /// long enough, and are failed service-side regardless), the service
-    /// drains, and every thread is joined. Idempotent; also invoked by
-    /// `Drop`.
+    /// immediately (streaming clients lose their sockets — terminal frames
+    /// are not guaranteed on the wire, but every in-flight job still
+    /// settles service-side), the service drains, and every thread is
+    /// joined. Closing sockets *before* draining is what keeps shutdown
+    /// deadlock-free: a worker blocked writing a chunk to a client that
+    /// stopped reading is unblocked by the close instead of being joined
+    /// against forever. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -192,16 +212,19 @@ impl Server {
         if let Some(accept) = self.accept_thread.take() {
             let _ = accept.join();
         }
-        // Drain the service first: in-flight jobs complete (or fail with
-        // ShuttingDown), so waiter threads observe terminal results.
-        self.shared.service.shutdown();
-        // Unblock connection handlers stuck in a read.
+        // Close client sockets FIRST. This unblocks connection handlers
+        // stuck in a read and — critically — any service worker blocked in
+        // a streaming chunk write to a client that stopped reading; only
+        // then is draining the service (which joins its workers) safe.
         {
             let conns = self.shared.conns.lock().unwrap_or_else(|p| p.into_inner());
             for stream in conns.values() {
                 let _ = stream.shutdown(std::net::Shutdown::Both);
             }
         }
+        // Drain the service: in-flight jobs complete (or fail with
+        // ShuttingDown), so waiter threads observe terminal results.
+        self.shared.service.shutdown();
         let handlers: Vec<JoinHandle<()>> = {
             let mut threads = self
                 .shared
@@ -242,11 +265,17 @@ fn accept_loop(shared: Arc<ServerShared>, listener: TcpListener) {
             .name(format!("sgc-net-conn-{conn_id}"))
             .spawn(move || handle_conn(conn_shared, stream, conn_id));
         match handler {
-            Ok(handle) => shared
-                .conn_threads
-                .lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .push(handle),
+            Ok(handle) => {
+                let mut threads = shared
+                    .conn_threads
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                // Reap handlers that already exited so a long-lived server
+                // holds handles proportional to *open* connections, not to
+                // every connection ever accepted.
+                threads.retain(|thread| !thread.is_finished());
+                threads.push(handle);
+            }
             Err(_) => continue,
         }
     }
@@ -259,28 +288,71 @@ struct Conn {
     /// The write half (a socket clone). Whole frames are written and
     /// flushed under this lock, so concurrent writers never interleave.
     writer: Mutex<TcpStream>,
+    /// Set on the first write failure (timeout included): the client is
+    /// unreachable, or a timed-out `write_all` left a torn frame on the
+    /// stream. Either way nothing coherent can be sent anymore, so every
+    /// later `send` fails fast without taking the socket's write timeout
+    /// again — which is what bounds how long a stalled client can occupy a
+    /// shared service worker.
+    dead: AtomicBool,
     /// Active streaming jobs on this connection: id → cancel token.
     active: Mutex<HashMap<JobId, CancelToken>>,
 }
 
 impl Conn {
-    /// Writes one response frame. Write failures mean the client is gone;
-    /// callers treat them as "stop talking", never as a server error.
+    /// Writes one response frame. Write failures mean the client is gone
+    /// (or stopped reading past its write timeout); the connection is
+    /// marked dead and its jobs cancelled — callers treat the error as
+    /// "stop talking", never as a server error.
     fn send(&self, response: &Response) -> std::io::Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "connection marked dead",
+            ));
+        }
         let payload = response.encode();
-        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
-        wire::write_frame(
-            &mut *writer,
-            response.tag(),
-            &payload,
-            self.shared.max_frame_len,
-        )?;
-        writer.flush()?;
-        self.shared
-            .counters
-            .frames_written
-            .fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        let result = {
+            let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            wire::write_frame(
+                &mut *writer,
+                response.tag(),
+                &payload,
+                self.shared.max_frame_len,
+            )
+            .and_then(|()| writer.flush())
+        };
+        match result {
+            Ok(()) => {
+                self.shared
+                    .counters
+                    .frames_written
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.mark_dead();
+                Err(e)
+            }
+        }
+    }
+
+    /// Declares the client unreachable: shuts the socket down (unblocking
+    /// the request loop's reader), and cancels every active job so service
+    /// workers stop computing — and stop writing — for a connection nobody
+    /// reads. Idempotent.
+    fn mark_dead(&self) {
+        if self.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        let active = self.active.lock().unwrap_or_else(|p| p.into_inner());
+        for token in active.values() {
+            token.cancel();
+        }
     }
 
     fn send_error(&self, id: JobId, kind: ErrorKind, message: impl Into<String>) {
@@ -299,6 +371,7 @@ fn handle_conn(shared: Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
         .fetch_add(1, Ordering::Relaxed);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
     // Three socket handles: the buffered read half (owned here), the
     // mutex-guarded write half, and a clone registered for shutdown.
     let conn = match (stream.try_clone(), stream.try_clone()) {
@@ -311,6 +384,7 @@ fn handle_conn(shared: Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
             Arc::new(Conn {
                 shared: Arc::clone(&shared),
                 writer: Mutex::new(writer),
+                dead: AtomicBool::new(false),
                 active: Mutex::new(HashMap::new()),
             })
         }
@@ -373,6 +447,13 @@ fn handle_conn(shared: Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
         .fetch_sub(1, Ordering::Relaxed);
 }
 
+/// Drops waiter handles whose threads already exited, so a connection
+/// running many jobs holds handles proportional to its *active* jobs.
+/// (A finished thread's handle can be dropped without joining.)
+fn reap_finished(waiters: &mut Vec<JoinHandle<()>>) {
+    waiters.retain(|waiter| !waiter.is_finished());
+}
+
 /// Dispatches one decoded frame. Returns `false` when the connection should
 /// close (goodbye, protocol violation, or a dead socket).
 fn handle_frame(
@@ -419,12 +500,14 @@ fn handle_frame(
             .is_ok()
         }
         Request::Count(spec) => {
+            reap_finished(waiters);
             if let Some(waiter) = start_count(conn, spec) {
                 waiters.push(waiter);
             }
             true
         }
         Request::Batch(specs) => {
+            reap_finished(waiters);
             start_batch(conn, specs, waiters);
             true
         }
@@ -501,8 +584,10 @@ fn build_job(conn: &Conn, spec: &CountSpec) -> Option<CountJob> {
 
 /// The progress watcher for one streaming job: writes a `Chunk` frame per
 /// completed trial chunk, on the service worker thread, strictly before the
-/// final result is fulfilled. Write failures are ignored — a vanished
-/// client is detected by the request loop, which cancels the job.
+/// final result is fulfilled. A write failure (the client vanished, or
+/// stopped reading past the write timeout) marks the connection dead inside
+/// [`Conn::send`], which cancels this very job — so the worker stops at the
+/// next chunk boundary instead of streaming into a void.
 fn chunk_watcher(conn: &Arc<Conn>, id: JobId, confidence: f64) -> ProgressFn {
     let conn = Arc::clone(conn);
     Arc::new(move |update: &ChunkUpdate| {

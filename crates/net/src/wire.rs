@@ -316,6 +316,13 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 /// Reads exactly `buf.len()` bytes, reporting how many arrived before an
 /// EOF or error cut the frame short.
+///
+/// Read-timeout expiries mid-frame are retried, not failed: the socket's
+/// read timeout is the server's *idle poll interval* (100 ms by default),
+/// and a TCP retransmission after one lost packet routinely stalls a
+/// healthy connection longer than that. A peer that truly vanished is
+/// detected by the OS (reset/EOF), and a shutdown closes the socket, which
+/// also lands here as EOF — so waiting does not leak connections.
 fn read_exact_counted(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -328,14 +335,7 @@ fn read_exact_counted(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameErro
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            // A timeout mid-frame is truncation from the protocol's point
-            // of view: the peer started a frame and stalled.
-            Err(e) if is_timeout(&e) => {
-                return Err(FrameError::Truncated {
-                    expected: buf.len(),
-                    got: filled,
-                })
-            }
+            Err(e) if is_timeout(&e) => {}
             Err(e) => return Err(FrameError::Io(e)),
         }
     }

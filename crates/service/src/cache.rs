@@ -125,9 +125,11 @@ impl ResultCache {
     /// Cancelled outputs ([`StopReason::Cancelled`]) are also *not* stored:
     /// they cover fewer trials than the key's budget promises, so caching
     /// them would serve a truncated estimate to later identical jobs that
-    /// nobody cancelled. Waiters that joined the cancelled computation do
-    /// still receive its partial output — they attached themselves to this
-    /// run, cancellation and all.
+    /// nobody cancelled. For the same reason the worker fails waiters that
+    /// joined a cancelled computation with [`ServiceError::Cancelled`]
+    /// instead of fulfilling them with the partial output — they asked for
+    /// the full budget and never cancelled; failing lets them retry (the
+    /// key is free again, so the retry recomputes).
     pub(crate) fn complete(
         &self,
         key: JobKey,

@@ -554,20 +554,32 @@ fn finish_compute(
         Err(_) => {}
     }
     let waiters = shared.cache.complete(key, &result);
+    // A cancellation belongs to the job that asked for it: twins that
+    // joined this computation never cancelled anything, so handing them the
+    // truncated partial output as a success would let one caller silently
+    // degrade another's result. They are failed with `Cancelled` instead —
+    // retrying recomputes, since cancelled outputs are never cached.
+    let cancelled_partial = matches!(&result, Ok(output) if output.stop == StopReason::Cancelled);
     // Joined twins are cache hits only when something was actually
-    // served from the cache: on an error nothing is cached and
-    // every joiner receives the failure, so counting them as hits
-    // would inflate the hit rate while cached_results stays 0.
-    if result.is_ok() {
+    // served from the cache: on an error (or a cancelled partial that is
+    // deliberately not served to them) nothing is cached and every joiner
+    // receives a failure, so counting them as hits would inflate the hit
+    // rate while cached_results stays 0.
+    if result.is_ok() && !cancelled_partial {
         Counters::add(&shared.counters.cache_hits, waiters.len() as u64);
     }
     Counters::add(&shared.counters.jobs_completed, 1 + waiters.len() as u64);
     queued.state.fulfill(result.clone());
     for waiter in waiters {
-        let served = result.clone().map(|mut output| {
-            output.from_cache = true;
-            output
-        });
+        let served = if cancelled_partial {
+            Counters::bump(&shared.counters.jobs_cancelled);
+            Err(ServiceError::Cancelled)
+        } else {
+            result.clone().map(|mut output| {
+                output.from_cache = true;
+                output
+            })
+        };
         waiter.fulfill(served);
     }
 }
@@ -1164,6 +1176,68 @@ mod tests {
         // The victim never computed: the only executed trials are the
         // blocker's.
         assert_eq!(metrics.cache_misses, 1);
+    }
+
+    #[test]
+    fn twins_joined_onto_a_cancelled_computation_fail_instead_of_sharing_the_partial() {
+        // A joined twin never asked to cancel: fulfilling it with the
+        // owner's truncated output would let one caller silently degrade
+        // another's result. The cache routing and completion are driven
+        // directly (zero workers, so nothing races) to pin the in-flight
+        // join deterministically.
+        let service = small_service(0);
+        let shared = &service.shared;
+        let job = CountJob::new(catalog::triangle()).seed(9).budget(1000);
+        let key = JobKey::new(shared.graph_fingerprint, &job);
+        let owner = QueuedJob {
+            job: job.clone(),
+            state: Arc::new(JobState::with_progress(None)),
+        };
+        let twin = Arc::new(JobState::with_progress(None));
+        assert!(matches!(
+            shared.cache.claim(key.clone(), &owner.state),
+            Claim::Compute
+        ));
+        assert!(matches!(
+            shared.cache.claim(key.clone(), &twin),
+            Claim::Joined
+        ));
+        // The owner's run was cancelled 8 trials into its 1000 budget.
+        let estimate = shared
+            .engine
+            .count(&catalog::triangle())
+            .seed(9)
+            .trials(8)
+            .estimate()
+            .unwrap();
+        let partial = JobOutput {
+            estimate,
+            trials_run: 8,
+            budget: 1000,
+            stop: StopReason::Cancelled,
+            from_cache: false,
+        };
+        finish_compute(shared, key.clone(), &owner, Ok(partial));
+        // The owner — whose cancellation it was — receives the partial.
+        let owner_out = JobHandle { state: owner.state }.wait().unwrap();
+        assert_eq!(owner_out.stop, StopReason::Cancelled);
+        assert_eq!(owner_out.trials_run, 8);
+        // The twin is failed, not served a result it never asked for.
+        assert!(matches!(
+            JobHandle { state: twin }.try_result(),
+            Some(Err(ServiceError::Cancelled))
+        ));
+        let metrics = service.metrics();
+        assert_eq!(metrics.jobs_cancelled, 2, "owner and failed twin");
+        assert_eq!(metrics.cache_hits, 0, "nothing was served from cache");
+        assert_eq!(metrics.cached_results, 0, "partials are never stored");
+        // The key is free again: a retry recomputes from scratch.
+        assert!(matches!(
+            shared
+                .cache
+                .claim(key, &Arc::new(JobState::with_progress(None))),
+            Claim::Compute
+        ));
     }
 
     #[test]

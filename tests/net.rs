@@ -475,6 +475,84 @@ fn malformed_frames_are_rejected_with_typed_errors() {
     server.shutdown();
 }
 
+/// A client that starts a long streaming job and then vanishes without
+/// reading must not wedge the shared worker pool: its socket dies (here
+/// via the RST a kernel sends when a connection closes with unread data —
+/// the same `Conn::send` failure path a write timeout takes), the
+/// connection is declared dead, the job is cancelled at its next chunk
+/// boundary, and other clients (and shutdown) proceed normally.
+#[test]
+fn a_client_that_vanishes_mid_stream_gets_its_job_cancelled() {
+    use std::io::Write;
+    use std::time::{Duration, Instant};
+    let mut config = server_config(1, 16, 2);
+    config.write_timeout = Duration::from_millis(250);
+    let mut server = Server::bind("127.0.0.1:0", test_graph(), config).expect("ephemeral bind");
+    let addr = server.local_addr();
+
+    // A raw socket that handshakes and submits an effectively endless
+    // streaming job.
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+    let hello = subgraph_counting::net::Request::Hello {
+        version: subgraph_counting::net::PROTOCOL_VERSION,
+    };
+    let payload = hello.encode();
+    let mut frame = ((payload.len() + 1) as u32).to_be_bytes().to_vec();
+    frame.push(hello.tag());
+    frame.extend_from_slice(&payload);
+    raw.write_all(&frame).unwrap();
+    let reply = subgraph_counting::net::wire::read_frame(&mut raw, 1 << 20)
+        .unwrap()
+        .expect("hello-ok");
+    assert_eq!(reply.tag, 0x81);
+    let count = subgraph_counting::net::Request::Count(subgraph_counting::net::CountSpec {
+        id: 1,
+        pattern: "cycle(3)".to_string(),
+        algorithm: subgraph_counting::Algorithm::DegreeBased,
+        seed: 5,
+        budget: 1 << 40,
+        precision: Some(Precision::within(1e-15)),
+    });
+    let payload = count.encode();
+    let mut frame = ((payload.len() + 1) as u32).to_be_bytes().to_vec();
+    frame.push(count.tag());
+    frame.extend_from_slice(&payload);
+    raw.write_all(&frame).unwrap();
+    // Wait for the first streamed chunk (the job is computing on the only
+    // worker), then vanish: dropping the socket with chunk frames still
+    // unread makes the kernel reset the connection, so the server's next
+    // chunk write fails.
+    let first = subgraph_counting::net::wire::read_frame(&mut raw, 1 << 20)
+        .unwrap()
+        .expect("first chunk");
+    assert_eq!(first.tag, 0x82);
+    drop(raw);
+    // The server must cancel the orphaned job rather than hold the (only)
+    // worker hostage streaming into a dead socket.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.service().metrics().jobs_cancelled == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "vanished client was never detected: {:?}",
+            server.service().metrics()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The worker pool is usable again: a healthy client is served.
+    let mut client = Client::connect(addr).expect("connect");
+    let output = client
+        .count("cycle(3)")
+        .seed(1)
+        .budget(4)
+        .run()
+        .expect("healthy client");
+    assert_eq!(output.trials_run, 4);
+    client.bye().expect("clean goodbye");
+    // And shutdown completes with the orphaned job fully settled.
+    server.shutdown();
+    assert_eq!(server.stats().streams_active, 0);
+}
+
 /// Stats travel the wire in full: the decoded service metrics snapshot
 /// renders through the same stable `Display` form the server prints.
 #[test]
