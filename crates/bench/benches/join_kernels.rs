@@ -7,6 +7,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use subgraph_counting::engine::{BinaryTable, PathKey, PathTable, Signature};
 
+/// A signature whose bits straddle the u64 word boundary, so the benches
+/// exercise both lanes of the two-word representation.
+fn sig(bits: u32) -> Signature {
+    Signature::from_words([(bits as u64) << 54, (bits as u64) >> 10])
+}
+
 fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_kernels");
     group.sample_size(20);
@@ -15,7 +21,7 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| {
             let mut t = PathTable::new();
             for i in 0u32..100_000 {
-                let key = PathKey::new(i % 997, i % 1009, Signature(i % 1024));
+                let key = PathKey::new(i % 997, i % 1009, sig(i % 1024));
                 t.add(key, 1);
             }
             t.len()
@@ -26,10 +32,7 @@ fn bench_tables(c: &mut Criterion) {
         let make = |offset: u32| {
             let mut t = PathTable::new();
             for i in 0u32..50_000 {
-                t.add(
-                    PathKey::new((i + offset) % 997, i % 1009, Signature(i % 512)),
-                    1,
-                );
+                t.add(PathKey::new((i + offset) % 997, i % 1009, sig(i % 512)), 1);
             }
             t
         };
@@ -43,7 +46,7 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("binary_table_group_by_first_50k", |b| {
         let mut t = BinaryTable::new();
         for i in 0u32..50_000 {
-            t.add(i % 2048, i % 997, Signature(i % 256), 1);
+            t.add(i % 2048, i % 997, sig(i % 256), 1);
         }
         b.iter(|| t.group_by_first().len());
     });
@@ -52,10 +55,10 @@ fn bench_tables(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u32;
             for i in 0u32..1_000_000 {
-                let a = Signature(i & 0xFFFF);
-                let s = Signature(i.rotate_left(7) & 0xFFFF);
+                let a = sig(i & 0xFFFF);
+                let s = sig(i.rotate_left(7) & 0xFFFF);
                 if a.is_disjoint(s) {
-                    acc ^= a.union(s).0;
+                    acc ^= a.union(s).words()[0] as u32;
                 }
             }
             acc

@@ -1,0 +1,458 @@
+//! PR 7 perf snapshot: the fig08 registry sweep and `sgc-net` loopback
+//! throughput of PR 6, re-measured on the columnar u64-bitset kernel, with
+//! in-binary scalar ≡ columnar bit-identity assertions, written to
+//! `BENCH_PR7.json`.
+//!
+//! Three layers:
+//!
+//! 1. **Bit identity** — before anything is timed, every registry query is
+//!    counted under both algorithms with both kernels, solo and sharded
+//!    ({1, 2, 4} shards) and through `count_batch`, and the per-trial counts
+//!    are asserted bit-identical. A perf snapshot of a kernel that drifted
+//!    would be worthless, so the binary refuses to emit one.
+//! 2. **Engine** — the PR 6 fig08 registry sweep (same seed, same trials)
+//!    on the default columnar kernel, plus the identical sweep pinned to
+//!    the scalar kernel, so the file records the measured speedup.
+//! 3. **Wire** — the PR 6 loopback client sweep (cold and hot rounds)
+//!    against a real `sgc-net` server, now running columnar underneath.
+//!
+//! Environment knobs (all optional): `SGC_SCALE` (graph scale, default
+//! 0.02), `SGC_TRIALS` (engine sweep trials, default 32), `SGC_NET_CLIENTS`
+//! (comma list, default `1,2,4`), `SGC_NET_JOBS` (jobs per client, default
+//! 8), `SGC_BENCH_OUT` (output path, default `BENCH_PR7.json`).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgc_bench::*;
+use subgraph_counting::core::{Algorithm, Engine, KernelKind};
+use subgraph_counting::net::{Client, Server, ServerConfig};
+use subgraph_counting::query::Registry;
+use subgraph_counting::ServiceMetrics;
+
+/// Minimal JSON emitter: the repo deliberately has no serde, and the file
+/// format is flat enough that assembling it by hand stays readable.
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::new())
+    }
+    fn push(&mut self, s: &str) {
+        self.0.push_str(s);
+    }
+    fn str_field(&mut self, key: &str, value: &str) {
+        self.push(&format!("\"{key}\": \"{value}\""));
+    }
+    fn num_field(&mut self, key: &str, value: f64) {
+        // Shortest round-trip form; integers stay integer-looking.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.push(&format!("\"{key}\": {value:.0}"));
+        } else {
+            self.push(&format!("\"{key}\": {value}"));
+        }
+    }
+}
+
+/// Asserts scalar ≡ columnar per-trial counts for every registry query,
+/// both algorithms, solo and sharded {1, 2, 4}, plus one batched sweep per
+/// kernel. Returns the number of (query, algorithm, execution-shape)
+/// configurations checked.
+fn assert_bit_identity(engine: &Engine<'_>, registry: &Registry, trials: usize, seed: u64) -> u64 {
+    let mut checked = 0u64;
+    for name in registry.names() {
+        let query = registry.build(name).expect("registry name");
+        for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+            // Solo (serial driver), then per-trial sharded execution.
+            let scalar = engine
+                .count(&query)
+                .algorithm(alg)
+                .kernel(KernelKind::Scalar)
+                .trials(trials)
+                .seed(seed)
+                .estimate()
+                .expect("registry queries are plannable");
+            let columnar = engine
+                .count(&query)
+                .algorithm(alg)
+                .kernel(KernelKind::Columnar)
+                .trials(trials)
+                .seed(seed)
+                .estimate()
+                .expect("registry queries are plannable");
+            assert_eq!(
+                scalar.per_trial, columnar.per_trial,
+                "solo kernel divergence on {name} with {alg}"
+            );
+            checked += 1;
+            for shards in [1usize, 2, 4] {
+                let s = engine
+                    .count(&query)
+                    .algorithm(alg)
+                    .kernel(KernelKind::Scalar)
+                    .parallel(false)
+                    .sharded(shards)
+                    .trials(trials)
+                    .seed(seed)
+                    .estimate()
+                    .expect("sharded runs plan");
+                let c = engine
+                    .count(&query)
+                    .algorithm(alg)
+                    .kernel(KernelKind::Columnar)
+                    .parallel(false)
+                    .sharded(shards)
+                    .trials(trials)
+                    .seed(seed)
+                    .estimate()
+                    .expect("sharded runs plan");
+                assert_eq!(
+                    s.per_trial, c.per_trial,
+                    "sharded({shards}) kernel divergence on {name} with {alg}"
+                );
+                assert_eq!(
+                    scalar.per_trial, c.per_trial,
+                    "sharded({shards}) vs solo divergence on {name} with {alg}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    // Batched execution: the whole registry in one count_batch per kernel.
+    let queries: Vec<_> = registry
+        .names()
+        .iter()
+        .map(|n| registry.build(n).expect("registry name"))
+        .collect();
+    for kernel in [KernelKind::Scalar, KernelKind::Columnar] {
+        let requests: Vec<_> = queries
+            .iter()
+            .map(|q| engine.count(q).kernel(kernel).trials(trials).seed(seed))
+            .collect();
+        let batch = engine.count_batch(&requests).expect("batch runs");
+        for (q, est) in queries.iter().zip(&batch.estimates) {
+            let solo = engine
+                .count(q)
+                .kernel(kernel)
+                .trials(trials)
+                .seed(seed)
+                .estimate()
+                .expect("solo runs");
+            assert_eq!(
+                est.per_trial, solo.per_trial,
+                "batch vs solo divergence under {kernel}"
+            );
+            checked += 1;
+        }
+    }
+    checked
+}
+
+/// Runs the fig08 registry sweep under one kernel; returns
+/// `(per-query rows, total seconds)` where a row is
+/// `(name, seconds, trials/sec, estimated subgraphs)`.
+fn registry_sweep(
+    engine: &Engine<'_>,
+    registry: &Registry,
+    kernel: KernelKind,
+    trials: usize,
+) -> (Vec<(String, f64, f64, f64)>, f64) {
+    let names = registry.names();
+    let mut rows = Vec::with_capacity(names.len());
+    let started = Instant::now();
+    for name in names {
+        let query = registry.build(name).expect("registry name");
+        let q_started = Instant::now();
+        let estimate = engine
+            .count(&query)
+            .kernel(kernel)
+            .trials(trials)
+            .seed(0xF1608)
+            .estimate()
+            .expect("registry queries are plannable");
+        let seconds = q_started.elapsed().as_secs_f64();
+        rows.push((
+            name.to_string(),
+            seconds,
+            trials as f64 / seconds.max(1e-12),
+            estimate.estimated_subgraphs,
+        ));
+    }
+    (rows, started.elapsed().as_secs_f64())
+}
+
+/// One timed round: `clients` loopback connections, each running
+/// `jobs_per_client` counts. With `shared_seeds` every client submits the
+/// identical job set (so a warmed cache serves everything and the round
+/// measures frame + dispatch overhead); without it every job is unique and
+/// computes.
+fn count_round(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    jobs_per_client: usize,
+    names: &[&str],
+    budget: u64,
+    seed_base: u64,
+    shared_seeds: bool,
+) -> (f64, usize) {
+    let started = Instant::now();
+    let trials: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("loopback connect");
+                    let mut trials = 0usize;
+                    for j in 0..jobs_per_client {
+                        let name = names[j % names.len()];
+                        let offset = if shared_seeds {
+                            j
+                        } else {
+                            c * jobs_per_client + j
+                        };
+                        let output = client
+                            .count(name)
+                            .seed(seed_base + offset as u64)
+                            .budget(budget)
+                            .run()
+                            .expect("registry queries count");
+                        trials += output.trials_run as usize;
+                    }
+                    client.bye().expect("clean goodbye");
+                    trials
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    (started.elapsed().as_secs_f64(), trials)
+}
+
+fn main() {
+    print_header("PR 7 perf snapshot: columnar kernel registry sweep + loopback throughput");
+    let scale = experiment_scale();
+    let trials = env_usize("SGC_TRIALS", 32);
+    let clients_sweep: Vec<usize> = std::env::var("SGC_NET_CLIENTS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let jobs_per_client = env_usize("SGC_NET_JOBS", 8);
+    let out_path = std::env::var("SGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+
+    let graphs = benchmark_graphs(scale, &["condMat"]);
+    let bench_graph = graphs.into_iter().next().expect("condMat analog");
+    let graph = Arc::new(bench_graph.graph);
+    println!(
+        "graph: condMat analog at scale {scale} ({} vertices, {} edges)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let mut json = Json::new();
+    json.push("{\n");
+    json.push("  \"benchmark\": \"pr7\",\n");
+    json.push("  \"graph\": {");
+    json.str_field("name", "condMat");
+    json.push(", ");
+    json.num_field("scale", scale);
+    json.push(", ");
+    json.num_field("vertices", graph.num_vertices() as f64);
+    json.push(", ");
+    json.num_field("edges", graph.num_edges() as f64);
+    json.push("},\n");
+
+    let engine = Engine::from_shared(Arc::clone(&graph));
+    let registry = Registry::builtin();
+
+    // -- Part 0: scalar ≡ columnar bit identity, asserted ----------------
+    println!();
+    println!("bit identity: full registry x {{PS, DB}} x {{solo, sharded 1/2/4, batch}}");
+    let identity_started = Instant::now();
+    let configs = assert_bit_identity(&engine, registry, 2, 0xB17);
+    println!(
+        "  {} configurations bit-identical ({:.2}s)",
+        configs,
+        identity_started.elapsed().as_secs_f64()
+    );
+    json.push("  \"bit_identity\": {");
+    json.num_field("configurations", configs as f64);
+    json.push(", ");
+    json.str_field("verdict", "bit-identical");
+    json.push("},\n");
+
+    // -- Part 1: the fig08 registry sweep, columnar then scalar ----------
+    let names = registry.names();
+    let mut sweep_totals = [0.0f64; 2];
+    for (which, kernel) in [KernelKind::Columnar, KernelKind::Scalar]
+        .into_iter()
+        .enumerate()
+    {
+        println!();
+        println!("registry sweep [{kernel}]: {trials} trials per query");
+        println!(
+            "{:>12} {:>9} {:>12} {:>16}",
+            "query", "seconds", "trials/s", "subgraphs"
+        );
+        let (rows, total) = registry_sweep(&engine, registry, kernel, trials);
+        sweep_totals[which] = total;
+        let section = match kernel {
+            KernelKind::Columnar => "fig08_registry_sweep",
+            KernelKind::Scalar => "fig08_registry_sweep_scalar",
+        };
+        json.push(&format!("  \"{section}\": {{\n"));
+        json.push(&format!("    \"trials\": {trials},\n"));
+        json.push(&format!("    \"kernel\": \"{}\",\n", kernel.short_name()));
+        json.push("    \"queries\": [\n");
+        for (i, (name, seconds, per_sec, subgraphs)) in rows.iter().enumerate() {
+            println!("{name:>12} {seconds:>9.4} {per_sec:>12.1} {subgraphs:>16.1}");
+            json.push("      {");
+            json.str_field("name", name);
+            json.push(", ");
+            json.num_field("seconds", *seconds);
+            json.push(", ");
+            json.num_field("trials_per_sec", *per_sec);
+            json.push(", ");
+            json.num_field("estimated_subgraphs", *subgraphs);
+            json.push("}");
+            json.push(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        json.push("    ],\n");
+        json.push("    ");
+        json.num_field("total_seconds", total);
+        json.push(",\n    ");
+        json.num_field("queries_per_sec", names.len() as f64 / total.max(1e-12));
+        json.push("\n  },\n");
+    }
+    let speedup = sweep_totals[1] / sweep_totals[0].max(1e-12);
+    println!();
+    println!(
+        "columnar {:.4}s vs scalar {:.4}s: {:.2}x in-binary speedup",
+        sweep_totals[0], sweep_totals[1], speedup
+    );
+    json.push("  ");
+    json.num_field("columnar_speedup_vs_scalar", speedup);
+    json.push(",\n");
+
+    // -- Part 2: loopback round-trip throughput through sgc-net ----------
+    println!();
+    println!("loopback sweep: {jobs_per_client} jobs/client, budget {trials} trials");
+    println!(
+        "{:>8} {:>6} {:>9} {:>9} {:>12}",
+        "clients", "round", "seconds", "jobs/s", "trials/s"
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&graph), ServerConfig::default())
+        .expect("loopback bind");
+    let addr = server.local_addr();
+    json.push("  \"server_loopback\": {\n");
+    json.push(&format!(
+        "    \"jobs_per_client\": {jobs_per_client},\n    \"budget\": {trials},\n"
+    ));
+    json.push("    \"rounds\": [\n");
+    // Pre-warm the hot-round job set outside any measurement, so every hot
+    // round below is answered entirely from the result cache.
+    let _ = count_round(
+        addr,
+        1,
+        jobs_per_client,
+        &names,
+        trials as u64,
+        0xCAC4E,
+        true,
+    );
+    for (i, &clients) in clients_sweep.iter().enumerate() {
+        // Cold: unique seeds, every job computes. Hot: everyone resubmits
+        // one identical job set, so the cache answers and the measurement
+        // isolates frame + dispatch overhead.
+        let total_jobs = (clients * jobs_per_client) as f64;
+        let (cold_seconds, cold_trials) = count_round(
+            addr,
+            clients,
+            jobs_per_client,
+            &names,
+            trials as u64,
+            0x10_000 * (i as u64 + 1),
+            false,
+        );
+        let (hot_seconds, _) = count_round(
+            addr,
+            clients,
+            jobs_per_client,
+            &names,
+            trials as u64,
+            0xCAC4E,
+            true,
+        );
+        for (round, seconds, executed) in [
+            ("cold", cold_seconds, cold_trials as f64),
+            ("hot", hot_seconds, 0.0),
+        ] {
+            println!(
+                "{:>8} {:>6} {:>9.4} {:>9.1} {:>12.1}",
+                clients,
+                round,
+                seconds,
+                total_jobs / seconds.max(1e-12),
+                executed / seconds.max(1e-12),
+            );
+            json.push("      {");
+            json.num_field("clients", clients as f64);
+            json.push(", ");
+            json.str_field("round", round);
+            json.push(", ");
+            json.num_field("seconds", seconds);
+            json.push(", ");
+            json.num_field("jobs_per_sec", total_jobs / seconds.max(1e-12));
+            json.push(", ");
+            json.num_field("trials_per_sec", executed / seconds.max(1e-12));
+            json.push("}");
+            json.push(if i + 1 < clients_sweep.len() || round == "cold" {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+    }
+    json.push("    ],\n");
+
+    // End-of-run service state, in the stable `name value` text contract
+    // (the same rendering the `stats` verb and `service_throughput` use).
+    let metrics: ServiceMetrics = server.service().metrics();
+    let stats = server.stats();
+    println!();
+    println!("--- service metrics ---\n{metrics}");
+    println!("--- server stats ---\n{stats}");
+    json.push("    \"service_metrics\": {");
+    for (i, line) in metrics.to_string().lines().enumerate() {
+        let mut parts = line.split_whitespace();
+        let (key, value) = (parts.next().unwrap(), parts.next().unwrap());
+        if i > 0 {
+            json.push(", ");
+        }
+        json.num_field(key, value.parse().unwrap());
+    }
+    json.push("},\n");
+    json.push("    \"server_stats\": {");
+    for (i, line) in stats.to_string().lines().enumerate() {
+        let mut parts = line.split_whitespace();
+        let (key, value) = (parts.next().unwrap(), parts.next().unwrap());
+        if i > 0 {
+            json.push(", ");
+        }
+        json.num_field(key, value.parse().unwrap());
+    }
+    json.push("}\n");
+    json.push("  }\n");
+    json.push("}\n");
+    server.shutdown();
+
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.0.as_bytes()).expect("write json");
+    println!();
+    println!("wrote {out_path}");
+}

@@ -33,6 +33,7 @@ use crate::driver::count_with_context;
 use crate::engine::{CountRequest, Engine, PlanRef};
 use crate::error::SgcError;
 use crate::estimator::{summarize_trials, Estimate};
+use crate::kernel::KernelKind;
 use crate::runtime::shard::{count_many_sharded, ShardedBatchJob};
 use sgc_engine::parallel::parallel_indexed;
 use sgc_engine::Count;
@@ -102,6 +103,7 @@ pub struct BatchResult {
 struct Member<'a> {
     plan: PlanRef<'a>,
     algorithm: Algorithm,
+    kernel: KernelKind,
     seed: u64,
     trials: usize,
     num_ranks: usize,
@@ -152,6 +154,7 @@ pub(crate) fn execute<'g, 'a>(
         members.push(Member {
             plan: request.resolve_plan()?,
             algorithm: request.algorithm,
+            kernel: request.kernel,
             seed: request.seed,
             trials: request.trials,
             num_ranks: request.num_ranks,
@@ -191,7 +194,7 @@ pub(crate) fn execute<'g, 'a>(
         let mut coloring_of: HashMap<(usize, u64), usize> = HashMap::new();
         // ... and one DP run per distinct (structure, algorithm, seed).
         let mut step_jobs: Vec<StepJob> = Vec::new();
-        let mut job_of: HashMap<(usize, Algorithm, u64), usize> = HashMap::new();
+        let mut job_of: HashMap<(usize, Algorithm, KernelKind, u64), usize> = HashMap::new();
         // (member, step job serving it) for every cell of this step.
         let mut cells: Vec<(usize, usize)> = Vec::new();
         for (i, member) in members.iter().enumerate() {
@@ -206,7 +209,8 @@ pub(crate) fn execute<'g, 'a>(
                     *e.insert(colorings.len() - 1)
                 }
             };
-            let job = match job_of.entry((member.group, member.algorithm, eff_seed)) {
+            let job = match job_of.entry((member.group, member.algorithm, member.kernel, eff_seed))
+            {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
                     step_jobs.push(StepJob {
@@ -233,9 +237,16 @@ pub(crate) fn execute<'g, 'a>(
                         plan: &members[job.member].plan,
                         algorithm: members[job.member].algorithm,
                         num_ranks: members[job.member].num_ranks,
+                        kernel: members[job.member].kernel,
                     })
                     .collect();
-                let outcome = count_many_sharded(engine.graph(), engine.prep(), &jobs, num_shards)?;
+                let outcome = count_many_sharded(
+                    engine.graph(),
+                    engine.prep(),
+                    &jobs,
+                    num_shards,
+                    engine.arena_pool(),
+                )?;
                 metrics.exchange_rounds += outcome.shared_rounds;
                 outcome
                     .results
@@ -254,7 +265,13 @@ pub(crate) fn execute<'g, 'a>(
                         member.num_ranks,
                     )
                     .expect("batch-drawn colorings always cover the graph");
-                    let result = count_with_context(&ctx, &member.plan, member.algorithm);
+                    let result = count_with_context(
+                        &ctx,
+                        &member.plan,
+                        member.algorithm,
+                        member.kernel,
+                        engine.arena_pool(),
+                    );
                     (
                         result.colorful_matches,
                         result.metrics.elapsed.as_secs_f64(),

@@ -119,7 +119,7 @@ fn solve_cycle(
 /// The PS split positions: at the two boundary nodes when there are two, at
 /// the boundary node and its diagonal when there is one, and at position 0
 /// and its diagonal for a root cycle without boundary nodes.
-fn ps_split_positions(block: &Block, nodes: &[QueryNode]) -> (usize, usize) {
+pub(crate) fn ps_split_positions(block: &Block, nodes: &[QueryNode]) -> (usize, usize) {
     let l = nodes.len();
     let position_of = |n: QueryNode| nodes.iter().position(|&x| x == n).unwrap();
     match block.boundary.as_slice() {

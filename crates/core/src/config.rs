@@ -1,5 +1,7 @@
 //! Run configuration for the counting algorithms.
 
+use crate::kernel::KernelKind;
+
 /// Which algorithm solves the cycle blocks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
@@ -38,14 +40,20 @@ pub struct CountConfig {
     /// 32–512 MPI ranks; this only affects the reported load vectors, not the
     /// result or the actual parallelism).
     pub num_ranks: usize,
+    /// Which join-kernel implementation runs the DP (default: columnar).
+    /// Both kernels are bit-identical; this switch exists for differential
+    /// testing and benchmarking.
+    pub kernel: KernelKind,
 }
 
 impl CountConfig {
-    /// Configuration for the given algorithm with the default rank count.
+    /// Configuration for the given algorithm with the default rank count and
+    /// kernel.
     pub fn new(algorithm: Algorithm) -> Self {
         CountConfig {
             algorithm,
             num_ranks: 64,
+            kernel: KernelKind::default(),
         }
     }
 
@@ -54,6 +62,12 @@ impl CountConfig {
     /// rather than panicking here.
     pub fn with_ranks(mut self, num_ranks: usize) -> Self {
         self.num_ranks = num_ranks;
+        self
+    }
+
+    /// Selects the join kernel (scalar or columnar).
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -73,13 +87,17 @@ mod tests {
         let c = CountConfig::default();
         assert_eq!(c.algorithm, Algorithm::DegreeBased);
         assert_eq!(c.num_ranks, 64);
+        assert_eq!(c.kernel, KernelKind::Columnar);
     }
 
     #[test]
     fn builder_methods() {
-        let c = CountConfig::new(Algorithm::PathSplitting).with_ranks(512);
+        let c = CountConfig::new(Algorithm::PathSplitting)
+            .with_ranks(512)
+            .with_kernel(KernelKind::Scalar);
         assert_eq!(c.algorithm, Algorithm::PathSplitting);
         assert_eq!(c.num_ranks, 512);
+        assert_eq!(c.kernel, KernelKind::Scalar);
     }
 
     #[test]

@@ -47,6 +47,10 @@ pub struct GraphPrep {
     /// neighbors below a given rank (the MINBUCKET-style pruning) instead of
     /// scanning the full list and rejecting.
     ranked_neighbors: Vec<VertexId>,
+    /// `ranked_ranks[i]` = the degree rank of `ranked_neighbors[i]`, so the
+    /// per-row binary search in [`Context::lower_neighbors`] scans one dense
+    /// sorted array instead of chasing a rank lookup per probe.
+    ranked_ranks: Vec<u32>,
     ranked_offsets: Vec<usize>,
 }
 
@@ -56,6 +60,7 @@ impl GraphPrep {
         PREP_BUILDS.with(|c| c.set(c.get() + 1));
         let order = DegreeOrder::new(graph);
         let mut ranked_neighbors = Vec::with_capacity(2 * graph.num_edges());
+        let mut ranked_ranks = Vec::with_capacity(2 * graph.num_edges());
         let mut ranked_offsets = Vec::with_capacity(graph.num_vertices() + 1);
         ranked_offsets.push(0);
         let mut scratch: Vec<VertexId> = Vec::new();
@@ -64,11 +69,13 @@ impl GraphPrep {
             scratch.extend_from_slice(graph.neighbors(v));
             scratch.sort_unstable_by_key(|&w| order.rank(w));
             ranked_neighbors.extend_from_slice(&scratch);
+            ranked_ranks.extend(scratch.iter().map(|&w| order.rank(w)));
             ranked_offsets.push(ranked_neighbors.len());
         }
         GraphPrep {
             order,
             ranked_neighbors,
+            ranked_ranks,
             ranked_offsets,
         }
     }
@@ -203,9 +210,12 @@ impl<'a> Context<'a> {
     /// extend to.
     #[inline]
     pub fn lower_neighbors(&self, v: VertexId, than: VertexId) -> &[VertexId] {
-        let list = self.neighbors_by_rank(v);
+        let v = v as usize;
+        let span = self.prep.ranked_offsets[v]..self.prep.ranked_offsets[v + 1];
+        let list = &self.prep.ranked_neighbors[span.clone()];
+        let ranks = &self.prep.ranked_ranks[span];
         let bound = self.prep.order.rank(than);
-        let cut = list.partition_point(|&w| self.prep.order.rank(w) < bound);
+        let cut = ranks.partition_point(|&r| r < bound);
         &list[..cut]
     }
 

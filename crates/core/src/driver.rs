@@ -15,7 +15,9 @@ use crate::config::{Algorithm, CountConfig};
 use crate::context::{Context, GraphPrep};
 use crate::engine::Engine;
 use crate::error::SgcError;
+use crate::kernel::{solve_block_columnar, ArenaPool, KernelKind};
 use crate::metrics::RunMetrics;
+use crate::paths::BlockJoinIndex;
 use sgc_engine::{Count, ProjectionTable};
 use sgc_graph::{Coloring, CsrGraph};
 use sgc_query::{DecompositionTree, QueryGraph};
@@ -37,6 +39,8 @@ pub(crate) fn count_with_context(
     ctx: &Context<'_>,
     tree: &DecompositionTree,
     algorithm: Algorithm,
+    kernel: KernelKind,
+    pool: &ArenaPool,
 ) -> CountResult {
     let started = Instant::now();
     let mut metrics = RunMetrics::new(ctx.partition.num_ranks());
@@ -46,9 +50,37 @@ pub(crate) fn count_with_context(
         None => ctx.graph.num_vertices() as Count,
         Some(root) => {
             let mut tables: Vec<Option<ProjectionTable>> = vec![None; tree.blocks.len()];
-            for block in &tree.blocks {
-                let table = solve_block(ctx, tree, block, &tables, algorithm, &mut metrics);
-                tables[block.id] = Some(table);
+            match kernel {
+                KernelKind::Scalar => {
+                    for block in &tree.blocks {
+                        let table = solve_block(ctx, tree, block, &tables, algorithm, &mut metrics);
+                        tables[block.id] = Some(table);
+                    }
+                }
+                KernelKind::Columnar => {
+                    let (mut arena, reused) = pool.checkout();
+                    let before = arena.capacity_bytes();
+                    for block in &tree.blocks {
+                        let index = BlockJoinIndex::build(block, &tables);
+                        let table = solve_block_columnar(
+                            ctx,
+                            tree,
+                            block,
+                            &index,
+                            algorithm,
+                            &mut arena,
+                            &mut metrics,
+                        );
+                        tables[block.id] = Some(table);
+                    }
+                    let after = arena.capacity_bytes();
+                    metrics.kernel.record_checkout(
+                        after as u64,
+                        reused,
+                        after.saturating_sub(before) as u64,
+                    );
+                    pool.give_back(arena);
+                }
             }
             tables[root]
                 .as_ref()
@@ -130,7 +162,15 @@ pub fn count_colorful_fresh_prep(
     }
     let prep = GraphPrep::new(graph);
     let ctx = Context::new(graph, &prep, coloring, config.num_ranks)?;
-    Ok(count_with_context(&ctx, tree, config.algorithm))
+    // A fresh pool per call: this path deliberately forgoes all amortization.
+    let pool = ArenaPool::new();
+    Ok(count_with_context(
+        &ctx,
+        tree,
+        config.algorithm,
+        config.kernel,
+        &pool,
+    ))
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@ use crate::driver::{count_with_context, CountResult};
 use crate::error::SgcError;
 use crate::estimator::{summarize_trials, Estimate, EstimateConfig, TrialAccumulator};
 use crate::explain::PlanReport;
+use crate::kernel::{ArenaPool, KernelKind};
 use crate::runtime::shard::count_sharded;
 use sgc_engine::parallel::parallel_indexed;
 use sgc_engine::Count;
@@ -74,6 +75,10 @@ pub struct Engine<'g> {
     prep: GraphPrep,
     plan_cache: Mutex<HashMap<CanonicalQueryKey, Arc<DecompositionTree>>>,
     default_config: CountConfig,
+    /// Reusable columnar-kernel arenas, shared by every request (and every
+    /// worker task) of this engine: trial `i + 1` solves into the buffers
+    /// trial `i` grew.
+    arena_pool: ArenaPool,
 }
 
 impl Engine<'static> {
@@ -114,7 +119,13 @@ impl<'g> Engine<'g> {
             prep,
             plan_cache: Mutex::new(HashMap::new()),
             default_config: config,
+            arena_pool: ArenaPool::new(),
         }
+    }
+
+    /// The engine's columnar-kernel arena pool.
+    pub(crate) fn arena_pool(&self) -> &ArenaPool {
+        &self.arena_pool
     }
 
     /// The bound data graph.
@@ -331,6 +342,7 @@ impl<'g> Engine<'g> {
             query,
             algorithm: self.default_config.algorithm,
             num_ranks: self.default_config.num_ranks,
+            kernel: self.default_config.kernel,
             coloring: None,
             plan: None,
             trials: estimate_defaults.trials,
@@ -369,6 +381,7 @@ pub struct CountRequest<'e, 'g, 'a> {
     pub(crate) query: Cow<'a, QueryGraph>,
     pub(crate) algorithm: Algorithm,
     pub(crate) num_ranks: usize,
+    pub(crate) kernel: KernelKind,
     pub(crate) coloring: Option<&'a Coloring>,
     pub(crate) plan: Option<&'a DecompositionTree>,
     pub(crate) trials: usize,
@@ -391,10 +404,19 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         self
     }
 
-    /// Applies a whole [`CountConfig`] (algorithm and ranks) at once.
+    /// Applies a whole [`CountConfig`] (algorithm, ranks and kernel) at once.
     pub fn config(mut self, config: CountConfig) -> Self {
         self.algorithm = config.algorithm;
         self.num_ranks = config.num_ranks;
+        self.kernel = config.kernel;
+        self
+    }
+
+    /// Selects the join kernel (default: the engine's, normally
+    /// [`KernelKind::Columnar`]). Counts are bit-identical across kernels;
+    /// the switch exists for differential testing and benchmarking.
+    pub fn kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -543,6 +565,8 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 self.algorithm,
                 self.num_ranks,
                 num_shards,
+                self.kernel,
+                self.engine.arena_pool(),
             ),
             None => {
                 let ctx = Context::new(
@@ -551,7 +575,13 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                     coloring,
                     self.num_ranks,
                 )?;
-                Ok(count_with_context(&ctx, &plan, self.algorithm))
+                Ok(count_with_context(
+                    &ctx,
+                    &plan,
+                    self.algorithm,
+                    self.kernel,
+                    self.engine.arena_pool(),
+                ))
             }
         }
     }
@@ -692,6 +722,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
             plan,
             algorithm: self.algorithm,
             num_ranks: self.num_ranks,
+            kernel: self.kernel,
             seed: self.seed,
             parallel: self.parallel,
             shards_per_trial,
@@ -718,6 +749,7 @@ pub struct TrialStream<'e, 'g, 'a> {
     plan: PlanRef<'a>,
     algorithm: Algorithm,
     num_ranks: usize,
+    kernel: KernelKind,
     seed: u64,
     parallel: bool,
     shards_per_trial: Option<usize>,
@@ -747,6 +779,8 @@ impl TrialStream<'_, '_, '_> {
             let seed = self.seed;
             let algorithm = self.algorithm;
             let num_ranks = self.num_ranks;
+            let kernel = self.kernel;
+            let pool = self.engine.arena_pool();
             let shards_per_trial = self.shards_per_trial;
             let run_trial = move |offset: usize| -> (Count, f64) {
                 let trial = start + offset;
@@ -754,13 +788,14 @@ impl TrialStream<'_, '_, '_> {
                     Coloring::random(graph.num_vertices(), k, seed.wrapping_add(trial as u64));
                 let result = match shards_per_trial {
                     Some(num_shards) => count_sharded(
-                        graph, prep, &coloring, plan, algorithm, num_ranks, num_shards,
+                        graph, prep, &coloring, plan, algorithm, num_ranks, num_shards, kernel,
+                        pool,
                     )
                     .expect("engine-drawn colorings always cover the graph"),
                     None => {
                         let ctx = Context::new(graph, prep, &coloring, num_ranks)
                             .expect("engine-drawn colorings always cover the graph");
-                        count_with_context(&ctx, plan, algorithm)
+                        count_with_context(&ctx, plan, algorithm, kernel, pool)
                     }
                 };
                 (

@@ -1,0 +1,829 @@
+//! The columnar DP kernel and its arena machinery.
+//!
+//! The scalar solver in [`crate::blocks`] / [`crate::paths`] stores every
+//! intermediate table in a fresh `FastMap` and throws it away at the end of
+//! each join. This module reimplements the same block solve — bit-identical
+//! counts, same join order, same pruning — over the structure-of-arrays
+//! tables of [`sgc_engine::columnar`]:
+//!
+//! * each table is four `u32` key columns, two `u64` color-set lanes and a
+//!   `u64` count column, so the join loops stream dense arrays instead of
+//!   chasing hash-map buckets,
+//! * color sets are processed word-at-a-time (`Signature` union /
+//!   intersection / popcount over two `u64` words) rather than per color,
+//! * every scratch table lives in a [`KernelArena`] checked out of the
+//!   engine's [`ArenaPool`]: trial `i + 1` resets row lengths but keeps all
+//!   capacity, so the steady-state trial path allocates nothing.
+//!
+//! Which kernel runs is selected by [`KernelKind`] (default: columnar); the
+//! equivalence of the two is locked down by `tests/kernel.rs` and asserted
+//! in-binary by `bench_pr7`.
+
+use crate::config::Algorithm;
+use crate::context::Context;
+use crate::metrics::RunMetrics;
+use crate::paths::{
+    combine_extras, BlockJoinIndex, EdgeRealization, Field, GroupedUnary, PathBuilder,
+};
+use sgc_engine::columnar::{path_key, AddPipeline, KEY_FIELDS};
+use sgc_engine::{
+    BinaryTable, ColumnarTable, Count, EndpointGroups, LoadStats, ProjectionTable, Signature,
+    UnaryTable,
+};
+use sgc_graph::vertex::{VertexId, NO_VERTEX};
+use sgc_query::{Block, BlockKind, DecompositionTree, QueryNode};
+use std::mem;
+use std::sync::Mutex;
+
+/// Which join-kernel implementation a count runs on.
+///
+/// Both kernels produce bit-identical colorful counts; the columnar kernel
+/// is the default because its dense tables and arena reuse make it the
+/// faster one on every workload we measure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// The original hash-map kernel: `FastMap`-backed tables, chunk-parallel
+    /// joins, fresh allocations per join.
+    Scalar,
+    /// Columnar structure-of-arrays tables with `u64` bitset signature lanes
+    /// and per-trial arena reuse.
+    #[default]
+    Columnar,
+}
+
+impl KernelKind {
+    /// A short lowercase name (`"scalar"` / `"columnar"`), used in logs and
+    /// bench output.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Columnar => "columnar",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Arena accounting surfaced through [`crate::RunMetrics`].
+///
+/// `arena_reuses` counts checkouts that were served from the pool instead
+/// of allocating a fresh arena; `arena_grown_bytes` sums capacity the solve
+/// had to allocate on top of what the checked-out arena already held — zero
+/// in steady state, which is exactly what the arena-reuse regression test
+/// asserts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelMetrics {
+    /// High-water mark of arena capacity in bytes across all checkouts.
+    pub arena_bytes: u64,
+    /// Checkouts that reused a pooled arena rather than allocating fresh.
+    pub arena_reuses: u64,
+    /// New capacity (bytes) allocated during checkouts; zero once warm.
+    pub arena_grown_bytes: u64,
+}
+
+impl KernelMetrics {
+    /// Records one arena checkout: the arena's final capacity, whether it
+    /// came from the pool, and how many bytes of capacity the solve added.
+    pub(crate) fn record_checkout(&mut self, final_bytes: u64, reused: bool, grown_bytes: u64) {
+        self.arena_bytes = self.arena_bytes.max(final_bytes);
+        self.arena_reuses += reused as u64;
+        self.arena_grown_bytes += grown_bytes;
+    }
+
+    /// Merges another run's kernel counters into this one.
+    pub(crate) fn absorb(&mut self, other: &KernelMetrics) {
+        self.arena_bytes = self.arena_bytes.max(other.arena_bytes);
+        self.arena_reuses += other.arena_reuses;
+        self.arena_grown_bytes += other.arena_grown_bytes;
+    }
+}
+
+/// All scratch storage one columnar solve needs, reusable across trials.
+///
+/// The two ping-pong path tables hold the current and next table of a
+/// path-build join chain; `plus` parks the finished clockwise path while the
+/// counter-clockwise one is built; `proj` accumulates the block projection
+/// (across all DB splits); `groups` is the endpoint-grouping scratch of the
+/// path merge.
+#[derive(Debug, Default)]
+pub struct KernelArena {
+    /// Ping-pong table A of the path build.
+    path_a: ColumnarTable,
+    /// Ping-pong table B of the path build.
+    path_b: ColumnarTable,
+    /// Parking slot for the finished `P+` table during the `P-` build.
+    plus: ColumnarTable,
+    /// The block projection accumulator (summed over DB splits).
+    proj: ColumnarTable,
+    /// Endpoint-grouping scratch for the path merge.
+    groups: EndpointGroups,
+}
+
+impl KernelArena {
+    /// Creates an empty arena (nothing allocated until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total allocated capacity across all tables and scratch buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        self.path_a.capacity_bytes()
+            + self.path_b.capacity_bytes()
+            + self.plus.capacity_bytes()
+            + self.proj.capacity_bytes()
+            + self.groups.capacity_bytes()
+    }
+}
+
+/// A free-list of [`KernelArena`]s owned by the engine.
+///
+/// Every columnar count checks an arena out for the duration of one
+/// coloring's solve and returns it afterwards, so repeated trials (and
+/// repeated requests against the same engine) hit warm buffers. The pool is
+/// a mutex'd stack: checkouts are coarse (one per trial), so contention is
+/// negligible even when the sharded runtime checks out one arena per worker
+/// task.
+#[derive(Debug, Default)]
+pub struct ArenaPool {
+    /// Returned arenas, most recently used last (LIFO keeps buffers warm).
+    free: Mutex<Vec<KernelArena>>,
+}
+
+impl ArenaPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an arena from the pool (or a fresh one if the pool is empty);
+    /// the flag reports whether a pooled arena was reused.
+    pub(crate) fn checkout(&self) -> (KernelArena, bool) {
+        match self.free.lock().unwrap().pop() {
+            Some(arena) => (arena, true),
+            None => (KernelArena::new(), false),
+        }
+    }
+
+    /// Returns an arena to the pool for the next checkout.
+    pub(crate) fn give_back(&self, arena: KernelArena) {
+        self.free.lock().unwrap().push(arena);
+    }
+}
+
+/// Solves `block` with the columnar kernel — the arena-backed counterpart
+/// of [`crate::blocks::solve_block_with_index`], producing bit-identical
+/// projection tables.
+pub(crate) fn solve_block_columnar(
+    ctx: &Context<'_>,
+    tree: &DecompositionTree,
+    block: &Block,
+    index: &BlockJoinIndex<'_>,
+    algorithm: Algorithm,
+    arena: &mut KernelArena,
+    metrics: &mut RunMetrics,
+) -> ProjectionTable {
+    match &block.kind {
+        BlockKind::LeafEdge { .. } => {
+            solve_leaf_edge_columnar(ctx, tree, block, index, arena, metrics)
+        }
+        BlockKind::Cycle { .. } => {
+            solve_cycle_columnar(ctx, tree, block, index, algorithm, arena, metrics)
+        }
+    }
+}
+
+/// Columnar leaf-edge solve: one edge chain, projected onto the boundary.
+fn solve_leaf_edge_columnar(
+    ctx: &Context<'_>,
+    tree: &DecompositionTree,
+    block: &Block,
+    index: &BlockJoinIndex<'_>,
+    arena: &mut KernelArena,
+    metrics: &mut RunMetrics,
+) -> ProjectionTable {
+    let (a, b) = match block.kind {
+        BlockKind::LeafEdge { boundary, leaf } => (boundary, leaf),
+        _ => unreachable!("solve_leaf_edge_columnar called on a cycle block"),
+    };
+    let builder = PathBuilder::new(ctx, tree, block, index, false);
+    let KernelArena { path_a, path_b, .. } = arena;
+    let in_a = build_path_columnar(&builder, &[0, 1], true, true, path_a, path_b, metrics);
+    let table = if in_a { &*path_a } else { &*path_b };
+    let result = match block.boundary.as_slice() {
+        [] => ProjectionTable::Scalar(table.total()),
+        [n] => {
+            let field = if *n == a {
+                Field::Start
+            } else {
+                debug_assert_eq!(*n, b, "boundary node must be a leaf-edge endpoint");
+                Field::End
+            };
+            let mut unary = UnaryTable::new();
+            for (key, sig, count) in table.rows() {
+                let v = match field {
+                    Field::Start => key[0],
+                    Field::End => key[1],
+                };
+                unary.add(v, sig, count);
+            }
+            ProjectionTable::Unary(unary)
+        }
+        other => unreachable!("leaf-edge block with {} boundary nodes", other.len()),
+    };
+    metrics.observe_table(result.len());
+    result
+}
+
+/// Columnar cycle solve: one split for PS, one per candidate highest node
+/// for DB, all accumulated into the arena's projection table and exported
+/// once.
+fn solve_cycle_columnar(
+    ctx: &Context<'_>,
+    tree: &DecompositionTree,
+    block: &Block,
+    index: &BlockJoinIndex<'_>,
+    algorithm: Algorithm,
+    arena: &mut KernelArena,
+    metrics: &mut RunMetrics,
+) -> ProjectionTable {
+    let nodes = match &block.kind {
+        BlockKind::Cycle { nodes } => nodes.clone(),
+        _ => unreachable!("solve_cycle_columnar called on a leaf-edge block"),
+    };
+    let l = nodes.len();
+    let KernelArena {
+        path_a,
+        path_b,
+        plus,
+        proj,
+        groups,
+    } = arena;
+    proj.reset();
+    match algorithm {
+        Algorithm::PathSplitting => {
+            let (s, t) = crate::blocks::ps_split_positions(block, &nodes);
+            solve_cycle_split_columnar(
+                ctx, tree, block, index, s, t, false, path_a, path_b, plus, groups, proj, metrics,
+            );
+        }
+        Algorithm::DegreeBased => {
+            for h in 0..l {
+                let d = (h + l / 2) % l;
+                solve_cycle_split_columnar(
+                    ctx, tree, block, index, h, d, true, path_a, path_b, plus, groups, proj,
+                    metrics,
+                );
+            }
+        }
+    }
+    export_projection(block, proj, metrics)
+}
+
+/// Solves one `(s, t)` split of a cycle into the projection accumulator.
+#[allow(clippy::too_many_arguments)]
+fn solve_cycle_split_columnar(
+    ctx: &Context<'_>,
+    tree: &DecompositionTree,
+    block: &Block,
+    index: &BlockJoinIndex<'_>,
+    s: usize,
+    t: usize,
+    high_start: bool,
+    path_a: &mut ColumnarTable,
+    path_b: &mut ColumnarTable,
+    plus_slot: &mut ColumnarTable,
+    groups: &mut EndpointGroups,
+    proj: &mut ColumnarTable,
+    metrics: &mut RunMetrics,
+) {
+    let l = block.kind.len();
+    debug_assert!(l >= 3 && s != t);
+    // Clockwise positions s, s+1, ..., t and counter-clockwise s, s-1, ..., t.
+    let mut plus = vec![s];
+    let mut p = s;
+    while p != t {
+        p = (p + 1) % l;
+        plus.push(p);
+    }
+    let mut minus = vec![s];
+    p = s;
+    while p != t {
+        p = (p + l - 1) % l;
+        minus.push(p);
+    }
+
+    let builder = PathBuilder::new(ctx, tree, block, index, high_start);
+    // Same annotation convention as the scalar solve: P+ folds in the end
+    // node's annotation, P- the start node's.
+    let in_a = build_path_columnar(&builder, &plus, false, true, path_a, path_b, metrics);
+    // Park the finished P+ table so the ping-pong pair is free for P-.
+    mem::swap(if in_a { &mut *path_a } else { &mut *path_b }, plus_slot);
+    let minus_in_a = build_path_columnar(&builder, &minus, true, false, path_a, path_b, metrics);
+    let minus_table = if minus_in_a { &*path_a } else { &*path_b };
+
+    let nodes = block.kind.nodes();
+    merge_paths_columnar(
+        ctx,
+        block,
+        plus_slot,
+        minus_table,
+        groups,
+        nodes[s],
+        nodes[t],
+        proj,
+        metrics,
+    );
+}
+
+/// Builds the table for the path visiting `positions`, ping-ponging between
+/// the two arena tables. Returns `true` when the finished table is in
+/// `path_a`, `false` when it is in `path_b`.
+fn build_path_columnar(
+    builder: &PathBuilder<'_, '_>,
+    positions: &[usize],
+    include_start_annotation: bool,
+    include_end_annotation: bool,
+    path_a: &mut ColumnarTable,
+    path_b: &mut ColumnarTable,
+    metrics: &mut RunMetrics,
+) -> bool {
+    assert!(positions.len() >= 2, "a path needs at least one edge");
+    let nodes = builder.cycle_nodes();
+    let first = nodes[positions[0]];
+    let second = nodes[positions[1]];
+    let mut src = path_a;
+    let mut dst = path_b;
+    let mut in_a = true;
+    initial_columnar(
+        builder,
+        builder.edge_index_between(positions[0], positions[1]),
+        first,
+        second,
+        src,
+        metrics,
+    );
+    if include_start_annotation {
+        if let Some(child) = builder.node_child(first) {
+            node_join_columnar(builder, src, dst, Field::Start, child, metrics);
+            mem::swap(&mut src, &mut dst);
+            in_a = !in_a;
+        }
+    }
+    for idx in 1..positions.len() {
+        let node = nodes[positions[idx]];
+        if idx > 1 {
+            let prev = nodes[positions[idx - 1]];
+            let edge_index = builder.edge_index_between(positions[idx - 1], positions[idx]);
+            edge_join_columnar(builder, src, dst, edge_index, prev, node, metrics);
+            mem::swap(&mut src, &mut dst);
+            in_a = !in_a;
+        }
+        let is_end = idx == positions.len() - 1;
+        if !is_end || include_end_annotation {
+            if let Some(child) = builder.node_child(node) {
+                node_join_columnar(builder, src, dst, Field::End, child, metrics);
+                mem::swap(&mut src, &mut dst);
+                in_a = !in_a;
+            }
+        }
+    }
+    in_a
+}
+
+/// Writes `vertex` into the extra slot tracking `node`, if any.
+#[inline]
+/// Seeds the initial table for the first path edge (columnar counterpart of
+/// `PathBuilder::initial_table`).
+fn initial_columnar(
+    builder: &PathBuilder<'_, '_>,
+    edge_index: usize,
+    from_node: QueryNode,
+    to_node: QueryNode,
+    out: &mut ColumnarTable,
+    metrics: &mut RunMetrics,
+) {
+    let ctx = builder.ctx;
+    out.reset();
+    let mut load = LoadStats::new(ctx.partition.num_ranks());
+    // Both tracked-extra slots are fixed for the whole join; resolve them
+    // once instead of per emitted row.
+    let from_slot = builder.slot_of(from_node);
+    let to_slot = builder.slot_of(to_node);
+    let mut pipe = AddPipeline::new();
+    match builder.edge_realization(edge_index, from_node, to_node) {
+        EdgeRealization::Graph => {
+            for u in ctx.start_vertices() {
+                let cu = ctx.color(u);
+                let neighbors = if builder.high_start {
+                    ctx.lower_neighbors(u, u)
+                } else {
+                    ctx.graph.neighbors(u)
+                };
+                load.record_vertex(&ctx.partition, u, neighbors.len() as u64);
+                for &w in neighbors {
+                    let cw = ctx.color(w);
+                    if cu == cw {
+                        continue;
+                    }
+                    let mut key = path_key(u, w);
+                    if let Some(slot) = from_slot {
+                        key[2 + slot] = u;
+                    }
+                    if let Some(slot) = to_slot {
+                        key[2 + slot] = w;
+                    }
+                    pipe.push(out, key, Signature::pair(cu, cw), 1);
+                }
+            }
+        }
+        EdgeRealization::Child(grouped) => {
+            let mut seed_group =
+                |out: &mut ColumnarTable,
+                 pipe: &mut AddPipeline,
+                 u: VertexId,
+                 list: &[(VertexId, Signature, Count)]| {
+                    load.record_vertex(&ctx.partition, u, list.len() as u64);
+                    for &(w, sig, count) in list {
+                        if builder.high_start && !ctx.order().higher(u, w) {
+                            continue;
+                        }
+                        let mut key = path_key(u, w);
+                        if let Some(slot) = from_slot {
+                            key[2 + slot] = u;
+                        }
+                        if let Some(slot) = to_slot {
+                            key[2 + slot] = w;
+                        }
+                        pipe.push(out, key, sig, count);
+                    }
+                };
+            if ctx.is_sharded() {
+                for u in ctx.start_vertices() {
+                    if let Some(list) = grouped.get(&u) {
+                        seed_group(out, &mut pipe, u, list);
+                    }
+                }
+            } else {
+                for (&u, list) in grouped {
+                    seed_group(out, &mut pipe, u, list);
+                }
+            }
+        }
+    }
+    pipe.flush(out);
+    metrics.absorb_load(&load);
+    metrics.observe_table(out.len());
+}
+
+/// Folds a child block's unary table into `src`, writing the result to
+/// `dst` (columnar counterpart of `PathBuilder::node_join`).
+fn node_join_columnar(
+    builder: &PathBuilder<'_, '_>,
+    src: &ColumnarTable,
+    dst: &mut ColumnarTable,
+    field: Field,
+    child: &GroupedUnary,
+    metrics: &mut RunMetrics,
+) {
+    let ctx = builder.ctx;
+    dst.reset();
+    let mut load = LoadStats::new(ctx.partition.num_ranks());
+    let mut pipe = AddPipeline::new();
+    for (key, sig, count) in src.rows() {
+        let x = match field {
+            Field::Start => key[0],
+            Field::End => key[1],
+        };
+        let Some(list) = child.get(&x) else { continue };
+        load.record_vertex(&ctx.partition, x, list.len() as u64);
+        let shared = ctx.color_sig(x);
+        for &(sig2, count2) in list {
+            if sig.intersection(sig2) != shared {
+                continue;
+            }
+            pipe.push(dst, key, sig.union(sig2), count * count2);
+        }
+    }
+    pipe.flush(dst);
+    metrics.absorb_load(&load);
+    metrics.observe_table(dst.len());
+}
+
+/// Extends every path in `src` by one block edge into `dst` (columnar
+/// counterpart of `PathBuilder::edge_join`).
+fn edge_join_columnar(
+    builder: &PathBuilder<'_, '_>,
+    src: &ColumnarTable,
+    dst: &mut ColumnarTable,
+    edge_index: usize,
+    from_node: QueryNode,
+    to_node: QueryNode,
+    metrics: &mut RunMetrics,
+) {
+    let ctx = builder.ctx;
+    dst.reset();
+    let realization = builder.edge_realization(edge_index, from_node, to_node);
+    let mut load = LoadStats::new(ctx.partition.num_ranks());
+    // The newly mapped node's extra slot is fixed for the whole join.
+    let to_slot = builder.slot_of(to_node);
+    let mut pipe = AddPipeline::new();
+    for (key, sig, count) in src.rows() {
+        let v = key[1];
+        let shared = ctx.color_sig(v);
+        match &realization {
+            EdgeRealization::Graph => {
+                let neighbors = if builder.high_start {
+                    ctx.lower_neighbors(v, key[0])
+                } else {
+                    ctx.graph.neighbors(v)
+                };
+                load.record_vertex(&ctx.partition, v, neighbors.len() as u64);
+                for &w in neighbors {
+                    let cw = ctx.color(w);
+                    if sig.contains(cw) {
+                        continue;
+                    }
+                    let mut new_key = key;
+                    new_key[1] = w;
+                    if let Some(slot) = to_slot {
+                        new_key[2 + slot] = w;
+                    }
+                    pipe.push(dst, new_key, sig.with(cw), count);
+                }
+            }
+            EdgeRealization::Child(grouped) => {
+                let Some(list) = grouped.get(&v) else {
+                    continue;
+                };
+                load.record_vertex(&ctx.partition, v, list.len() as u64);
+                for &(w, sig2, count2) in list {
+                    if builder.high_start && !ctx.order().higher(key[0], w) {
+                        continue;
+                    }
+                    if sig.intersection(sig2) != shared {
+                        continue;
+                    }
+                    let mut new_key = key;
+                    new_key[1] = w;
+                    if let Some(slot) = to_slot {
+                        new_key[2 + slot] = w;
+                    }
+                    pipe.push(dst, new_key, sig.union(sig2), count * count2);
+                }
+            }
+        }
+    }
+    pipe.flush(dst);
+    metrics.absorb_load(&load);
+    metrics.observe_table(dst.len());
+}
+
+/// How many outer rows ahead the path merge prefetches its group probes.
+const MERGE_LOOKAHEAD: usize = 16;
+
+/// Merges the two path tables of a split into the projection accumulator
+/// (columnar counterpart of `blocks::merge_paths`).
+#[allow(clippy::too_many_arguments)]
+fn merge_paths_columnar(
+    ctx: &Context<'_>,
+    block: &Block,
+    plus: &ColumnarTable,
+    minus: &ColumnarTable,
+    groups: &mut EndpointGroups,
+    start_node: QueryNode,
+    end_node: QueryNode,
+    proj: &mut ColumnarTable,
+    metrics: &mut RunMetrics,
+) {
+    // The merged pair set is symmetric in the two tables (pairs sharing
+    // endpoints, counts multiplied), and grouping costs more per row than
+    // streaming, so group the smaller table and stream the larger one over
+    // it. Load attribution is unaffected: every pair is attributed to the
+    // owner of the shared end vertex either way.
+    let (outer, inner) = if plus.len() <= minus.len() {
+        (minus, plus)
+    } else {
+        (plus, minus)
+    };
+    groups.build(inner);
+    let boundary = block.boundary.as_slice();
+    let start_slot = boundary.iter().position(|&b| b == start_node);
+    let end_slot = boundary.iter().position(|&b| b == end_node);
+    let mut load = LoadStats::new(ctx.partition.num_ranks());
+    match boundary.len() {
+        // A boundary-free root cycle only ever needs the grand total:
+        // accumulate it in a register (extras are never set in a
+        // boundary-free block, so the extras merge can never fail) and
+        // store one row at the end.
+        0 => {
+            let mut total: Count = 0;
+            for r in 0..outer.len() {
+                // The group probes are this loop's only random access;
+                // prefetching a few rows ahead overlaps their latency.
+                if r + MERGE_LOOKAHEAD < outer.len() {
+                    let (pu, pv) = outer.endpoints(r + MERGE_LOOKAHEAD);
+                    groups.prefetch_pair(pu, pv);
+                }
+                let (u, v) = outer.endpoints(r);
+                let (sigs, span) = groups.spans_for(u, v);
+                if span.is_empty() {
+                    continue;
+                }
+                let shared = Signature::pair(ctx.color(u), ctx.color(v));
+                let osig = outer.sig(r);
+                let ocount = outer.count(r);
+                // Scan the dense low-word lane first: almost every pair
+                // fails the signature filter, and the low word alone
+                // rejects it without loading the 32-byte payload.
+                let [o_lo, _] = osig.words();
+                let [shared_lo, _] = shared.words();
+                for (i, &i_lo) in sigs.iter().enumerate() {
+                    if i_lo & o_lo != shared_lo {
+                        continue;
+                    }
+                    let g = &span[i];
+                    if osig.intersection(g.sig()) != shared {
+                        continue;
+                    }
+                    total += ocount * g.count;
+                }
+                load.record_vertex(&ctx.partition, v, span.len() as u64);
+            }
+            proj.add([NO_VERTEX; KEY_FIELDS], Signature::empty(), total);
+        }
+        arity @ (1 | 2) => {
+            for r in 0..outer.len() {
+                if r + MERGE_LOOKAHEAD < outer.len() {
+                    let (pu, pv) = outer.endpoints(r + MERGE_LOOKAHEAD);
+                    groups.prefetch_pair(pu, pv);
+                }
+                let (u, v) = outer.endpoints(r);
+                let (sigs, span) = groups.spans_for(u, v);
+                if span.is_empty() {
+                    continue;
+                }
+                let shared = Signature::pair(ctx.color(u), ctx.color(v));
+                let osig = outer.sig(r);
+                let ocount = outer.count(r);
+                let oextras = outer.extras(r);
+                let [o_lo, _] = osig.words();
+                let [shared_lo, _] = shared.words();
+                for (i, &i_lo) in sigs.iter().enumerate() {
+                    // Low-word reject before touching the payload record.
+                    if i_lo & o_lo != shared_lo {
+                        continue;
+                    }
+                    let g = &span[i];
+                    let isig = g.sig();
+                    if osig.intersection(isig) != shared {
+                        continue;
+                    }
+                    let Some(mut extras) = combine_extras(oextras, g.extras()) else {
+                        continue;
+                    };
+                    // Endpoints double as boundary nodes in some
+                    // configurations; make sure their slots are filled from
+                    // the join fields.
+                    if let Some(slot) = start_slot {
+                        extras[slot] = u;
+                    }
+                    if let Some(slot) = end_slot {
+                        extras[slot] = v;
+                    }
+                    let sig = osig.union(isig);
+                    let count = ocount * g.count;
+                    debug_assert_ne!(extras[0], NO_VERTEX);
+                    if arity == 1 {
+                        proj.add([extras[0], NO_VERTEX, NO_VERTEX, NO_VERTEX], sig, count);
+                    } else {
+                        debug_assert_ne!(extras[1], NO_VERTEX);
+                        proj.add([extras[0], extras[1], NO_VERTEX, NO_VERTEX], sig, count);
+                    }
+                }
+                load.record_vertex(&ctx.partition, v, span.len() as u64);
+            }
+        }
+        _ => unreachable!(),
+    }
+    metrics.absorb_load(&load);
+    metrics.observe_table(proj.len());
+}
+
+/// Exports the accumulated columnar projection as the block's
+/// [`ProjectionTable`] (the interchange format the tree walk, the sharded
+/// exchange and the batch scheduler all consume).
+fn export_projection(
+    block: &Block,
+    proj: &ColumnarTable,
+    metrics: &mut RunMetrics,
+) -> ProjectionTable {
+    let result = match block.boundary.len() {
+        0 => ProjectionTable::Scalar(proj.total()),
+        1 => {
+            let mut unary = UnaryTable::new();
+            for (key, sig, count) in proj.rows() {
+                unary.add(key[0], sig, count);
+            }
+            ProjectionTable::Unary(unary)
+        }
+        2 => {
+            let mut binary = BinaryTable::new();
+            for (key, sig, count) in proj.rows() {
+                binary.add(key[0], key[1], sig, count);
+            }
+            ProjectionTable::Binary(binary)
+        }
+        _ => unreachable!("cycle blocks have at most two boundary nodes"),
+    };
+    metrics.observe_table(result.len());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::solve_block;
+    use crate::context::GraphPrep;
+    use sgc_graph::{Coloring, GraphBuilder};
+    use sgc_query::{decompose, QueryGraph};
+
+    /// The columnar kernel matches the scalar kernel on a rainbow triangle
+    /// for both algorithms (the module-level smoke test; the full
+    /// differential suite lives in `tests/kernel.rs`).
+    #[test]
+    fn columnar_matches_scalar_on_rainbow_triangle() {
+        let mut b = GraphBuilder::new(3);
+        b.extend_edges([(0, 1), (1, 2), (2, 0)]);
+        let g = b.build();
+        let coloring = Coloring::from_colors(vec![0, 1, 2], 3);
+        let query = QueryGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let tree = decompose(&query).unwrap();
+        let prep = GraphPrep::new(&g);
+        let ctx = Context::new(&g, &prep, &coloring, 4).unwrap();
+        let pool = ArenaPool::new();
+        for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+            let mut scalar_metrics = RunMetrics::new(4);
+            let expected = solve_block(
+                &ctx,
+                &tree,
+                &tree.blocks[0],
+                &[None],
+                algorithm,
+                &mut scalar_metrics,
+            );
+            let (mut arena, _) = pool.checkout();
+            let mut metrics = RunMetrics::new(4);
+            let index = BlockJoinIndex::build(&tree.blocks[0], &[None]);
+            let got = solve_block_columnar(
+                &ctx,
+                &tree,
+                &tree.blocks[0],
+                &index,
+                algorithm,
+                &mut arena,
+                &mut metrics,
+            );
+            pool.give_back(arena);
+            assert_eq!(got.total(), expected.total(), "{algorithm}");
+            assert_eq!(got.total(), 6, "{algorithm}");
+            assert!(metrics.total_ops > 0);
+        }
+    }
+
+    #[test]
+    fn pool_reuses_arenas_lifo() {
+        let pool = ArenaPool::new();
+        let (arena, reused) = pool.checkout();
+        assert!(!reused);
+        pool.give_back(arena);
+        let (_, reused) = pool.checkout();
+        assert!(reused);
+    }
+
+    #[test]
+    fn kernel_kind_defaults_to_columnar() {
+        assert_eq!(KernelKind::default(), KernelKind::Columnar);
+        assert_eq!(KernelKind::Columnar.to_string(), "columnar");
+        assert_eq!(KernelKind::Scalar.to_string(), "scalar");
+    }
+
+    #[test]
+    fn kernel_metrics_record_and_absorb() {
+        let mut m = KernelMetrics::default();
+        m.record_checkout(100, false, 100);
+        m.record_checkout(80, true, 0);
+        assert_eq!(m.arena_bytes, 100);
+        assert_eq!(m.arena_reuses, 1);
+        assert_eq!(m.arena_grown_bytes, 100);
+        let mut other = KernelMetrics::default();
+        other.record_checkout(200, true, 50);
+        m.absorb(&other);
+        assert_eq!(m.arena_bytes, 200);
+        assert_eq!(m.arena_reuses, 2);
+        assert_eq!(m.arena_grown_bytes, 150);
+    }
+}

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod error;
 pub mod estimator;
 pub mod explain;
+pub mod kernel;
 pub mod metrics;
 pub mod paths;
 pub mod prelude;
@@ -62,6 +63,7 @@ pub use engine::{CountRequest, Engine, TrialStream};
 pub use error::SgcError;
 pub use estimator::{Estimate, EstimateConfig, TrialAccumulator};
 pub use explain::{BlockReport, PlanCandidate, PlanReport, TreewidthVerdict};
+pub use kernel::{KernelKind, KernelMetrics};
 pub use metrics::{RunMetrics, ShardMetrics};
 pub use runtime::{ShardPlan, VertexShard};
 

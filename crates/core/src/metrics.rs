@@ -11,6 +11,7 @@
 //! contributed to each exchange round — the measured (not simulated)
 //! counterpart of the paper's Figure 11 load analysis.
 
+use crate::kernel::KernelMetrics;
 use sgc_engine::LoadStats;
 use std::time::Duration;
 
@@ -36,6 +37,9 @@ pub struct RunMetrics {
     pub elapsed: Duration,
     /// Per-shard execution metrics — `Some` only for sharded runs.
     pub shards: Option<ShardMetrics>,
+    /// Arena accounting of the columnar kernel (all-zero under the scalar
+    /// kernel, which allocates per join instead of from an arena).
+    pub kernel: KernelMetrics,
 }
 
 /// Per-shard execution metrics of one sharded run.
@@ -115,6 +119,7 @@ impl RunMetrics {
             entries_created: 0,
             elapsed: Duration::ZERO,
             shards: None,
+            kernel: KernelMetrics::default(),
         }
     }
 
@@ -127,6 +132,7 @@ impl RunMetrics {
         self.total_ops = self.load.total();
         self.peak_table_entries = self.peak_table_entries.max(shard.peak_table_entries);
         self.entries_created += shard.entries_created;
+        self.kernel.absorb(&shard.kernel);
     }
 
     /// Merges a partial load vector produced by one join into the totals.
@@ -182,6 +188,7 @@ mod tests {
         assert_eq!(m.peak_table_entries, 0);
         assert_eq!(m.elapsed, Duration::ZERO);
         assert!(m.shards.is_none());
+        assert_eq!(m.kernel, KernelMetrics::default());
     }
 
     #[test]

@@ -43,14 +43,14 @@ pub enum Field {
 
 /// A child binary table grouped by the image of a traversal's source node:
 /// source image → `(target image, signature, count)` entries.
-type GroupedBinary = FastMap<VertexId, Vec<(VertexId, Signature, Count)>>;
+pub(crate) type GroupedBinary = FastMap<VertexId, Vec<(VertexId, Signature, Count)>>;
 
 /// A child unary table grouped by vertex: vertex → `(signature, count)`
 /// entries.
-type GroupedUnary = FastMap<VertexId, Vec<(Signature, Count)>>;
+pub(crate) type GroupedUnary = FastMap<VertexId, Vec<(Signature, Count)>>;
 
 /// How the edge between two consecutive cycle nodes is realized.
-enum EdgeRealization<'b> {
+pub(crate) enum EdgeRealization<'b> {
     /// An original query edge, realized by the data graph.
     Graph,
     /// An annotated edge, realized by the child block's binary table grouped
@@ -186,7 +186,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
     }
 
     /// The extra-slot index tracking `node`, if it is a boundary node.
-    fn slot_of(&self, node: QueryNode) -> Option<usize> {
+    pub(crate) fn slot_of(&self, node: QueryNode) -> Option<usize> {
         self.slot_nodes.iter().position(|&s| s == Some(node))
     }
 
@@ -199,7 +199,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
 
     /// The unary table of the child block annotating `node`, if any,
     /// pre-grouped by vertex in the block index.
-    fn node_child(&self, node: QueryNode) -> Option<&'b GroupedUnary> {
+    pub(crate) fn node_child(&self, node: QueryNode) -> Option<&'b GroupedUnary> {
         self.index.node_groups.get(&node)
     }
 
@@ -207,7 +207,7 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
     /// `from_node` to `to_node`: the data graph for an original query edge,
     /// the pre-grouped child table (oriented so the group key is the image
     /// of `from_node`) for an annotated edge.
-    fn edge_realization(
+    pub(crate) fn edge_realization(
         &self,
         edge_index: usize,
         from_node: QueryNode,
@@ -280,13 +280,13 @@ impl<'a, 'b> PathBuilder<'a, 'b> {
     }
 
     /// Block nodes in cyclic order (for a leaf edge, the two endpoints).
-    fn cycle_nodes(&self) -> Vec<QueryNode> {
+    pub(crate) fn cycle_nodes(&self) -> Vec<QueryNode> {
         self.block.kind.nodes()
     }
 
     /// The block edge index connecting positions `i` and `j` (which must be
     /// adjacent on the cycle, or the single edge of a leaf block).
-    fn edge_index_between(&self, i: usize, j: usize) -> usize {
+    pub(crate) fn edge_index_between(&self, i: usize, j: usize) -> usize {
         let l = self.block.kind.len();
         if l == 2 {
             return 0;

@@ -12,6 +12,7 @@ pub use crate::engine::{CountRequest, Engine, TrialStream};
 pub use crate::error::SgcError;
 pub use crate::estimator::{Estimate, EstimateConfig, TrialAccumulator};
 pub use crate::explain::{BlockReport, PlanCandidate, PlanReport, TreewidthVerdict};
+pub use crate::kernel::{KernelKind, KernelMetrics};
 pub use crate::metrics::{RunMetrics, ShardMetrics};
 pub use crate::runtime::{ShardPlan, VertexShard};
 pub use sgc_engine::{Count, Signature};

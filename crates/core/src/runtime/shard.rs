@@ -16,6 +16,7 @@ use crate::config::Algorithm;
 use crate::context::{Context, GraphPrep};
 use crate::driver::CountResult;
 use crate::error::SgcError;
+use crate::kernel::{solve_block_columnar, ArenaPool, KernelKind};
 use crate::metrics::{RunMetrics, ShardMetrics};
 use crate::paths::BlockJoinIndex;
 use crate::runtime::exchange;
@@ -117,6 +118,7 @@ impl ShardPlan {
 /// for any `num_shards ≥ 1`; `metrics.shards` carries the per-shard load
 /// and exchange-volume accounting. Implemented as the one-job case of
 /// [`count_many_sharded`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn count_sharded(
     graph: &CsrGraph,
     prep: &GraphPrep,
@@ -125,14 +127,17 @@ pub(crate) fn count_sharded(
     algorithm: Algorithm,
     num_ranks: usize,
     num_shards: usize,
+    kernel: KernelKind,
+    pool: &ArenaPool,
 ) -> Result<CountResult, SgcError> {
     let job = ShardedBatchJob {
         coloring,
         plan: tree,
         algorithm,
         num_ranks,
+        kernel,
     };
-    let mut outcome = count_many_sharded(graph, prep, &[job], num_shards)?;
+    let mut outcome = count_many_sharded(graph, prep, &[job], num_shards, pool)?;
     Ok(outcome.results.pop().expect("one job in, one result out"))
 }
 
@@ -148,6 +153,8 @@ pub(crate) struct ShardedBatchJob<'a> {
     pub algorithm: Algorithm,
     /// Simulated rank count for load attribution.
     pub num_ranks: usize,
+    /// Which join kernel runs the member's per-shard solves.
+    pub kernel: KernelKind,
 }
 
 /// What [`count_many_sharded`] produced: one [`CountResult`] per job plus
@@ -178,6 +185,7 @@ pub(crate) fn count_many_sharded(
     prep: &GraphPrep,
     jobs: &[ShardedBatchJob<'_>],
     num_shards: usize,
+    pool: &ArenaPool,
 ) -> Result<ShardedBatchOutcome, SgcError> {
     let plan = ShardPlan::new(graph.num_vertices(), num_shards)?;
     for job in jobs {
@@ -249,14 +257,37 @@ pub(crate) fn count_many_sharded(
                             job.num_ranks,
                             plan.shard(s),
                         );
-                        solve_block_with_index(
-                            &ctx,
-                            job.plan,
-                            &job.plan.blocks[step],
-                            index,
-                            job.algorithm,
-                            &mut shard_run,
-                        )
+                        match job.kernel {
+                            KernelKind::Scalar => solve_block_with_index(
+                                &ctx,
+                                job.plan,
+                                &job.plan.blocks[step],
+                                index,
+                                job.algorithm,
+                                &mut shard_run,
+                            ),
+                            KernelKind::Columnar => {
+                                let (mut arena, reused) = pool.checkout();
+                                let before = arena.capacity_bytes();
+                                let table = solve_block_columnar(
+                                    &ctx,
+                                    job.plan,
+                                    &job.plan.blocks[step],
+                                    index,
+                                    job.algorithm,
+                                    &mut arena,
+                                    &mut shard_run,
+                                );
+                                let after = arena.capacity_bytes();
+                                shard_run.kernel.record_checkout(
+                                    after as u64,
+                                    reused,
+                                    after.saturating_sub(before) as u64,
+                                );
+                                pool.give_back(arena);
+                                table
+                            }
+                        }
                     }
                     // Single-node query: the shard's owned-vertex count is
                     // its scalar partial sum.

@@ -39,7 +39,13 @@ impl LoadStats {
     /// Records `ops` operations attributed to the owner of `vertex`.
     #[inline]
     pub fn record_vertex(&mut self, partition: &BlockPartition, vertex: VertexId, ops: u64) {
-        self.per_rank[partition.owner(vertex)] += ops;
+        // Serial runs track a single simulated rank; skip the owner division
+        // entirely on that (hot) path.
+        if self.per_rank.len() == 1 {
+            self.per_rank[0] += ops;
+        } else {
+            self.per_rank[partition.owner(vertex)] += ops;
+        }
     }
 
     /// Adds another load vector into this one (must have the same rank count).

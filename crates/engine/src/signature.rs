@@ -1,100 +1,170 @@
 //! Color signatures.
 //!
 //! A *signature* is the set of colors used by a colorful match of a subquery
-//! (Section 4.2). With at most 32 colors (queries of at most 32 nodes) a
-//! signature fits in a `u32` bitmask, and the compatibility checks performed
-//! inside joins — disjointness except for the colors of shared boundary
-//! vertices — become a couple of bitwise instructions, exactly as in the
-//! paper's implementation ("signatures are maintained as bitmaps").
+//! (Section 4.2). With at most [`MAX_SIGNATURE_COLORS`] colors a signature
+//! fits in [`SIGNATURE_WORDS`] `u64` bitset lanes, and the compatibility
+//! checks performed inside joins — disjointness except for the colors of
+//! shared boundary vertices — become a couple of bitwise instructions per
+//! word, exactly as in the paper's implementation ("signatures are
+//! maintained as bitmaps").
+//!
+//! The columnar kernel (`sgc-core::kernel`) stores the two lanes as
+//! separate `sig_lo`/`sig_hi` columns and processes them word-at-a-time;
+//! [`Signature::words`]/[`Signature::from_words`] are the bridge between
+//! the struct view and the lane view, and the word-level operations here
+//! (popcount via [`len`](Signature::len), subset enumeration via
+//! [`subsets`](Signature::subsets)) are the primitives that the unit tests
+//! in this module pin down at the 64-bit word boundary.
 
 /// A color in `0..k`.
 pub type Color = u8;
 
-/// A set of colors, stored as a bitmask.
+/// Number of `u64` words in a signature.
+pub const SIGNATURE_WORDS: usize = 2;
+
+/// Largest supported color count (`SIGNATURE_WORDS * 64`).
+pub const MAX_SIGNATURE_COLORS: usize = SIGNATURE_WORDS * 64;
+
+/// Splits a color into its `(word index, bit mask)` lane coordinates.
+#[inline]
+pub const fn word_bit(color: Color) -> (usize, u64) {
+    ((color >> 6) as usize, 1u64 << (color & 63))
+}
+
+/// A set of colors, stored as two `u64` bitset words (low word first).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Signature(pub u32);
+pub struct Signature(pub [u64; SIGNATURE_WORDS]);
 
 impl Signature {
     /// The empty signature.
     #[inline]
     pub const fn empty() -> Self {
-        Signature(0)
+        Signature([0; SIGNATURE_WORDS])
     }
 
     /// The signature containing a single color.
     #[inline]
     pub const fn singleton(color: Color) -> Self {
-        Signature(1 << color)
+        Signature::empty().with(color)
     }
 
     /// The signature containing two colors (not necessarily distinct).
     #[inline]
     pub const fn pair(a: Color, b: Color) -> Self {
-        Signature((1 << a) | (1 << b))
+        Signature::empty().with(a).with(b)
     }
 
     /// The full signature of `k` colors `{0, ..., k-1}`.
     #[inline]
-    pub fn full(k: usize) -> Self {
-        debug_assert!(k <= 32);
-        if k == 32 {
-            Signature(u32::MAX)
-        } else {
-            Signature((1u32 << k) - 1)
+    pub const fn full(k: usize) -> Self {
+        debug_assert!(k <= MAX_SIGNATURE_COLORS);
+        let mut words = [0u64; SIGNATURE_WORDS];
+        let mut w = 0;
+        while w < SIGNATURE_WORDS {
+            let low = w * 64;
+            if k >= low + 64 {
+                words[w] = u64::MAX;
+            } else if k > low {
+                words[w] = (1u64 << (k - low)) - 1;
+            }
+            w += 1;
         }
+        Signature(words)
+    }
+
+    /// Builds a signature directly from its `u64` words (low word first).
+    #[inline]
+    pub const fn from_words(words: [u64; SIGNATURE_WORDS]) -> Self {
+        Signature(words)
+    }
+
+    /// The signature's `u64` words (low word first) — the columnar lane view.
+    #[inline]
+    pub const fn words(self) -> [u64; SIGNATURE_WORDS] {
+        self.0
     }
 
     /// Whether the signature contains `color`.
     #[inline]
     pub const fn contains(self, color: Color) -> bool {
-        (self.0 >> color) & 1 == 1
+        let (w, bit) = word_bit(color);
+        self.0[w] & bit != 0
     }
 
     /// Inserts a color, returning the new signature.
     #[inline]
     pub const fn with(self, color: Color) -> Self {
-        Signature(self.0 | (1 << color))
+        let (w, bit) = word_bit(color);
+        let mut words = self.0;
+        words[w] |= bit;
+        Signature(words)
     }
 
     /// Set union.
     #[inline]
     pub const fn union(self, other: Self) -> Self {
-        Signature(self.0 | other.0)
+        Signature([self.0[0] | other.0[0], self.0[1] | other.0[1]])
     }
 
     /// Set intersection.
     #[inline]
     pub const fn intersection(self, other: Self) -> Self {
-        Signature(self.0 & other.0)
+        Signature([self.0[0] & other.0[0], self.0[1] & other.0[1]])
     }
 
     /// Whether the two signatures share no color.
     #[inline]
     pub const fn is_disjoint(self, other: Self) -> bool {
-        self.0 & other.0 == 0
+        (self.0[0] & other.0[0]) | (self.0[1] & other.0[1]) == 0
     }
 
     /// Whether `self` is a subset of `other`.
     #[inline]
     pub const fn is_subset_of(self, other: Self) -> bool {
-        self.0 & !other.0 == 0
+        (self.0[0] & !other.0[0]) | (self.0[1] & !other.0[1]) == 0
     }
 
-    /// Number of colors in the signature.
+    /// Number of colors in the signature (word-at-a-time popcount).
     #[inline]
     pub const fn len(self) -> u32 {
-        self.0.count_ones()
+        self.0[0].count_ones() + self.0[1].count_ones()
     }
 
     /// Whether the signature is empty.
     #[inline]
     pub const fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0[0] | self.0[1] == 0
     }
 
     /// The colors in increasing order.
     pub fn colors(self) -> impl Iterator<Item = Color> {
-        (0..32u8).filter(move |&c| self.contains(c))
+        self.0.into_iter().enumerate().flat_map(|(w, mut word)| {
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                Some((w * 64) as Color + bit as Color)
+            })
+        })
+    }
+
+    /// Enumerates every subset of this signature, the empty set first and
+    /// `self` last, via the carry-propagating `(sub - 1) & mask` walk run
+    /// over both words as one 128-bit lane.
+    pub fn subsets(self) -> impl Iterator<Item = Signature> {
+        let mask = (self.0[0] as u128) | ((self.0[1] as u128) << 64);
+        let mut next = Some(0u128);
+        std::iter::from_fn(move || {
+            let sub = next?;
+            next = if sub == mask {
+                None
+            } else {
+                Some(sub.wrapping_sub(mask) & mask)
+            };
+            Some(Signature([sub as u64, (sub >> 64) as u64]))
+        })
     }
 }
 
@@ -144,6 +214,33 @@ mod tests {
         assert_eq!(Signature::full(1), Signature::singleton(0));
         assert_eq!(Signature::full(32).len(), 32);
         assert!(Signature::full(0).is_empty());
+        // The word boundary and both extremes of the second lane.
+        assert_eq!(Signature::full(64).words(), [u64::MAX, 0]);
+        assert_eq!(Signature::full(65).words(), [u64::MAX, 1]);
+        assert_eq!(Signature::full(128).words(), [u64::MAX, u64::MAX]);
+        assert_eq!(Signature::full(128).len(), 128);
+    }
+
+    #[test]
+    fn membership_crosses_the_word_boundary() {
+        let s = Signature::empty().with(63).with(64).with(127);
+        assert_eq!(s.words(), [1 << 63, (1 << 63) | 1]);
+        assert!(s.contains(63) && s.contains(64) && s.contains(127));
+        assert!(!s.contains(62) && !s.contains(65));
+        assert_eq!(s.len(), 3);
+        assert_eq!(Signature::pair(63, 64).words(), [1 << 63, 1]);
+    }
+
+    #[test]
+    fn high_lane_set_operations() {
+        let a = Signature::pair(10, 70);
+        let b = Signature::pair(70, 100);
+        assert_eq!(a.intersection(b), Signature::singleton(70));
+        assert_eq!(a.union(b).len(), 3);
+        assert!(a.is_disjoint(Signature::pair(11, 71)));
+        assert!(!a.is_disjoint(Signature::singleton(70)));
+        assert!(Signature::singleton(70).is_subset_of(a));
+        assert!(!a.is_subset_of(Signature::singleton(70)));
     }
 
     #[test]
@@ -153,11 +250,64 @@ mod tests {
         assert_eq!(cs, vec![1, 4, 31]);
         let rebuilt = cs.iter().fold(Signature::empty(), |acc, &c| acc.with(c));
         assert_eq!(rebuilt, s);
+        let wide = Signature::empty().with(0).with(63).with(64).with(127);
+        assert_eq!(wide.colors().collect::<Vec<_>>(), vec![0, 63, 64, 127]);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let s = Signature::empty().with(5).with(64).with(100);
+        assert_eq!(Signature::from_words(s.words()), s);
+    }
+
+    #[test]
+    fn subsets_of_empty_is_just_empty() {
+        let subs: Vec<_> = Signature::empty().subsets().collect();
+        assert_eq!(subs, vec![Signature::empty()]);
+    }
+
+    #[test]
+    fn subsets_enumerate_exactly_the_power_set() {
+        let s = Signature::empty().with(2).with(5).with(9);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert_eq!(subs[0], Signature::empty());
+        assert_eq!(*subs.last().unwrap(), s);
+        for sub in &subs {
+            assert!(sub.is_subset_of(s));
+        }
+        let unique: std::collections::HashSet<_> = subs.iter().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn subsets_carry_across_the_word_boundary() {
+        // Bits straddling the lane boundary force the `(sub - 1) & mask`
+        // walk to borrow from the high word — the classic hand-rolled bug.
+        let s = Signature::empty().with(63).with(64).with(65);
+        let subs: Vec<_> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert_eq!(*subs.last().unwrap(), s);
+        let unique: std::collections::HashSet<_> = subs.iter().collect();
+        assert_eq!(unique.len(), 8);
+        assert!(subs.contains(&Signature::pair(63, 65)));
+    }
+
+    #[test]
+    fn full_word_subsets_terminate() {
+        // A full low word: 2^4 sampled check would be huge, so use the
+        // closed form on a small full() plus the boundary full(64) head.
+        let s = Signature::full(4);
+        assert_eq!(s.subsets().count(), 16);
+        let mut head = Signature::full(64).subsets();
+        assert_eq!(head.next(), Some(Signature::empty()));
+        assert_eq!(head.next(), Some(Signature::singleton(0)));
     }
 
     #[test]
     fn display_formats_as_set() {
         assert_eq!(Signature::pair(0, 2).to_string(), "{0,2}");
         assert_eq!(Signature::empty().to_string(), "{}");
+        assert_eq!(Signature::pair(63, 64).to_string(), "{63,64}");
     }
 }

@@ -11,10 +11,11 @@ use rand::distributions::{Distribution, Uniform};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Maximum supported number of colors. Signatures are stored as `u32`
-/// bitmasks, and queries in the paper have at most ~10 nodes, so 32 colors is
-/// a comfortable bound.
-pub const MAX_COLORS: usize = 32;
+/// Maximum supported number of colors. Signatures are stored as two `u64`
+/// bitset words, and queries in the paper have at most ~10 nodes, so 128
+/// colors is a comfortable bound (and lets tests straddle the 64-color
+/// word boundary).
+pub const MAX_COLORS: usize = 128;
 
 /// A fixed assignment of one of `k` colors to every data vertex.
 #[derive(Clone, Debug, PartialEq, Eq)]

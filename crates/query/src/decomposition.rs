@@ -49,15 +49,15 @@ impl DecompositionTree {
     /// Nodes of the subquery `SQ(B)` represented by `block`: the block's own
     /// nodes plus all nodes of its descendant blocks.
     pub fn subquery_nodes(&self, block: BlockId) -> Vec<QueryNode> {
-        let mut mask = 0u32;
+        let mut mask = 0u128;
         let mut stack = vec![block];
         while let Some(b) = stack.pop() {
             for node in self.blocks[b].kind.nodes() {
-                mask |= 1 << node;
+                mask |= 1u128 << node;
             }
             stack.extend(self.blocks[b].children());
         }
-        (0..32u8).filter(|&n| (mask >> n) & 1 == 1).collect()
+        (0..128u8).filter(|&n| (mask >> n) & 1 == 1).collect()
     }
 
     /// Longest cycle length over all blocks (0 if the query is a tree).
@@ -192,9 +192,9 @@ impl DecompositionTree {
         // Boundary consistency with the subqueries.
         for b in &self.blocks {
             let sq = self.subquery_nodes(b.id);
-            let mut sq_mask = 0u32;
+            let mut sq_mask = 0u128;
             for &n in &sq {
-                sq_mask |= 1 << n;
+                sq_mask |= 1u128 << n;
             }
             let mut expected: Vec<QueryNode> = sq
                 .iter()
@@ -222,9 +222,9 @@ impl DecompositionTree {
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub(crate) struct Contracted {
     num_nodes: usize,
-    alive: u32,
+    alive: u128,
     /// Current adjacency, including virtual edges added by Case 2.
-    adj: Vec<u32>,
+    adj: Vec<u128>,
     node_ann: Vec<Option<BlockId>>,
     edge_ann: BTreeMap<(QueryNode, QueryNode), BlockId>,
 }
@@ -234,7 +234,13 @@ impl Contracted {
         let n = query.num_nodes();
         Contracted {
             num_nodes: n,
-            alive: if n == 0 { 0 } else { (1u32 << n) - 1 },
+            alive: if n == 0 {
+                0
+            } else if n == 128 {
+                u128::MAX
+            } else {
+                (1u128 << n) - 1
+            },
             adj: (0..n as QueryNode)
                 .map(|a| query.neighbor_mask(a))
                 .collect(),
@@ -357,9 +363,9 @@ impl Contracted {
 
     /// Boundary nodes of a cycle: cycle nodes adjacent to a node outside the cycle.
     fn cycle_boundary(&self, cycle: &[QueryNode]) -> Vec<QueryNode> {
-        let mut cycle_mask = 0u32;
+        let mut cycle_mask = 0u128;
         for &n in cycle {
-            cycle_mask |= 1 << n;
+            cycle_mask |= 1u128 << n;
         }
         cycle
             .iter()
@@ -447,20 +453,20 @@ impl Contracted {
     }
 
     fn remove_edge(&mut self, a: QueryNode, b: QueryNode) {
-        self.adj[a as usize] &= !(1 << b);
-        self.adj[b as usize] &= !(1 << a);
+        self.adj[a as usize] &= !(1u128 << b);
+        self.adj[b as usize] &= !(1u128 << a);
         let key = if a < b { (a, b) } else { (b, a) };
         self.edge_ann.remove(&key);
     }
 
     fn add_edge(&mut self, a: QueryNode, b: QueryNode) {
-        self.adj[a as usize] |= 1 << b;
-        self.adj[b as usize] |= 1 << a;
+        self.adj[a as usize] |= 1u128 << b;
+        self.adj[b as usize] |= 1u128 << a;
     }
 
     fn remove_node(&mut self, a: QueryNode) {
         debug_assert_eq!(self.adj[a as usize], 0, "removing node {a} with live edges");
-        self.alive &= !(1 << a);
+        self.alive &= !(1u128 << a);
         self.node_ann[a as usize] = None;
     }
 
@@ -491,9 +497,9 @@ impl Contracted {
         tree_sig: &dyn Fn(BlockId) -> String,
     ) -> String {
         let _ = blocks;
-        let mut parts = vec![format!("alive:{:08x}", self.alive)];
+        let mut parts = vec![format!("alive:{:032x}", self.alive)];
         for a in self.alive_nodes() {
-            parts.push(format!("adj{}:{:08x}", a, self.adj[a as usize]));
+            parts.push(format!("adj{}:{:032x}", a, self.adj[a as usize]));
             if let Some(b) = self.node_ann[a as usize] {
                 parts.push(format!("na{}:{}", a, tree_sig(b)));
             }

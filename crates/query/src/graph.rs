@@ -1,24 +1,26 @@
 //! Small undirected query graphs.
 //!
 //! Query graphs in the paper have at most ~10 nodes ("queries of size up to
-//! 10 nodes", Section 1); this representation supports up to 32 nodes so that
-//! adjacency can be stored as per-node bitmasks, giving O(1) edge tests and
-//! cheap set operations during decomposition and automorphism counting.
+//! 10 nodes", Section 1); this representation supports up to 128 nodes so
+//! that adjacency can be stored as per-node `u128` bitmasks, giving O(1)
+//! edge tests and cheap set operations during decomposition and
+//! automorphism counting — and so that the k > 64 queries exercising the
+//! multi-word color-signature lanes stay expressible.
 
 use crate::error::QueryError;
 
-/// Index of a query node (`0..k`, `k ≤ 32`).
+/// Index of a query node (`0..k`, `k ≤ 128`).
 pub type QueryNode = u8;
 
-/// Maximum number of query nodes (limited by the `u32` adjacency bitmasks and
-/// the color-signature width used throughout the stack).
-pub const MAX_QUERY_NODES: usize = 32;
+/// Maximum number of query nodes (limited by the `u128` adjacency bitmasks
+/// and the two-word color-signature width used throughout the stack).
+pub const MAX_QUERY_NODES: usize = 128;
 
 /// An undirected query graph on at most [`MAX_QUERY_NODES`] nodes.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct QueryGraph {
     /// `adjacency[a]` has bit `b` set iff edge `(a, b)` exists.
-    adjacency: Vec<u32>,
+    adjacency: Vec<u128>,
 }
 
 impl QueryGraph {
@@ -77,8 +79,8 @@ impl QueryGraph {
                 b: a.max(b),
             });
         }
-        self.adjacency[a as usize] |= 1 << b;
-        self.adjacency[b as usize] |= 1 << a;
+        self.adjacency[a as usize] |= 1u128 << b;
+        self.adjacency[b as usize] |= 1u128 << a;
         Ok(())
     }
 
@@ -111,7 +113,7 @@ impl QueryGraph {
 
     /// Adjacency bitmask of node `a`.
     #[inline]
-    pub fn neighbor_mask(&self, a: QueryNode) -> u32 {
+    pub fn neighbor_mask(&self, a: QueryNode) -> u128 {
         self.adjacency[a as usize]
     }
 
@@ -145,7 +147,7 @@ impl QueryGraph {
         if n == 0 {
             return false;
         }
-        let mut visited = 1u32;
+        let mut visited = 1u128;
         let mut stack = vec![0 as QueryNode];
         while let Some(a) = stack.pop() {
             let fresh = self.adjacency[a as usize] & !visited;

@@ -820,7 +820,7 @@ mod tests {
             ("spiral(4)", 0..6),               // unknown generator
             ("glet9", 0..5),                   // unknown name
             ("a-1", 2..3),                     // mixed styles
-            ("0-32", 2..4),                    // index too large
+            ("0-128", 2..5),                   // index too large
             ("a-a", 0..3),                     // self loop
             ("a-b, b-a", 5..8),                // duplicate edge
             ("7-7", 0..3),                     // numeric self loop
@@ -851,8 +851,8 @@ mod tests {
             PatternErrorKind::MixedNodeStyles
         ));
         assert!(matches!(
-            Pattern::parse("0-40").unwrap_err().kind(),
-            PatternErrorKind::NodeIndexTooLarge { index, max: 31 } if index == "40"
+            Pattern::parse("0-200").unwrap_err().kind(),
+            PatternErrorKind::NodeIndexTooLarge { index, max: 127 } if index == "200"
         ));
         match Pattern::parse("glet9").unwrap_err().kind() {
             PatternErrorKind::UnknownName { known, .. } => {

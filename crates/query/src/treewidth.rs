@@ -20,10 +20,14 @@ pub fn treewidth_at_most_two(query: &QueryGraph) -> bool {
         return true;
     }
     // Mutable adjacency copy as bitmasks.
-    let mut adj: Vec<u32> = (0..n as QueryNode)
+    let mut adj: Vec<u128> = (0..n as QueryNode)
         .map(|a| query.neighbor_mask(a))
         .collect();
-    let mut alive: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut alive: u128 = if n == 128 {
+        u128::MAX
+    } else {
+        (1u128 << n) - 1
+    };
 
     loop {
         let mut progressed = false;
@@ -40,11 +44,11 @@ pub fn treewidth_at_most_two(query: &QueryGraph) -> bool {
                 2 => {
                     let mask = adj[a];
                     let u = mask.trailing_zeros() as usize;
-                    let v = (31 - mask.leading_zeros()) as usize;
+                    let v = (127 - mask.leading_zeros()) as usize;
                     remove_vertex(&mut adj, &mut alive, a);
                     // Connect the two neighbors (series reduction).
-                    adj[u] |= 1 << v;
-                    adj[v] |= 1 << u;
+                    adj[u] |= 1u128 << v;
+                    adj[v] |= 1u128 << u;
                     progressed = true;
                 }
                 _ => {}
@@ -59,15 +63,15 @@ pub fn treewidth_at_most_two(query: &QueryGraph) -> bool {
     }
 }
 
-fn remove_vertex(adj: &mut [u32], alive: &mut u32, a: usize) {
+fn remove_vertex(adj: &mut [u128], alive: &mut u128, a: usize) {
     let mask = adj[a];
     for (b, nbrs) in adj.iter_mut().enumerate() {
         if (mask >> b) & 1 == 1 {
-            *nbrs &= !(1 << a);
+            *nbrs &= !(1u128 << a);
         }
     }
     adj[a] = 0;
-    *alive &= !(1 << a);
+    *alive &= !(1u128 << a);
 }
 
 /// Returns `true` iff the query is a tree (connected and `m = n - 1`).
@@ -81,15 +85,15 @@ pub fn is_forest(query: &QueryGraph) -> bool {
     // for the whole graph means m = n - #components. Use the reduction: a
     // forest reduces to empty by repeatedly deleting degree-≤1 vertices.
     let n = query.num_nodes();
-    let mut adj: Vec<u32> = (0..n as QueryNode)
+    let mut adj: Vec<u128> = (0..n as QueryNode)
         .map(|a| query.neighbor_mask(a))
         .collect();
-    let mut alive: u32 = if n == 0 {
+    let mut alive: u128 = if n == 0 {
         0
-    } else if n == 32 {
-        u32::MAX
+    } else if n == 128 {
+        u128::MAX
     } else {
-        (1u32 << n) - 1
+        (1u128 << n) - 1
     };
     loop {
         let mut progressed = false;

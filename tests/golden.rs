@@ -14,9 +14,9 @@
 //! `cargo test --test golden regenerate_golden_fixtures -- --ignored --nocapture`
 //! and replace the fixture file with the printed table.
 
-use subgraph_counting::core::{Algorithm, Engine};
+use subgraph_counting::core::{Algorithm, Engine, KernelKind};
 use subgraph_counting::gen::{chung_lu, gnm, power_law_degrees, rmat, RmatParams};
-use subgraph_counting::graph::{Coloring, CsrGraph};
+use subgraph_counting::graph::{Coloring, CsrGraph, GraphBuilder};
 use subgraph_counting::query::{catalog, QueryGraph};
 
 const FIXTURES: &str = include_str!("fixtures/golden_counts.tsv");
@@ -31,6 +31,24 @@ const GENERATORS: &[&str] = &["gnm:24:48:7", "gnm:30:70:21", "chung_lu:28:11", "
 const QUERIES: &[&str] = &["triangle", "c4", "path4", "glet1", "dros", "satellite"];
 
 const COLORING_SEEDS: &[u64] = &[5, 9];
+
+/// Wide-lane rows: `(generator, query)` pairs whose color count exceeds 64,
+/// forcing every signature through the second u64 word of the two-word
+/// bitset representation. These run under a *rainbow* coloring (vertex `i`
+/// gets color `i mod k`) so the counts are analytic — a C66 query on a
+/// rainbow 66-cycle has exactly `2 * 66` colorful matches (rotations times
+/// reflections), a P70 query on a rainbow 70-path exactly 2 (the two
+/// directions) — instead of the near-certain zero a random coloring with
+/// more than 64 colors would produce.
+const WIDE_ROWS: &[(&str, &str)] = &[("cycle:66", "c66"), ("path:70", "path70")];
+
+/// Seed column value used for wide rows (the rainbow coloring ignores it).
+const RAINBOW_SEED: u64 = 0;
+
+/// Whether a generator spec belongs to the rainbow-colored wide-lane rows.
+fn is_wide_spec(spec: &str) -> bool {
+    spec.starts_with("cycle:") || spec.starts_with("path:")
+}
 
 /// Builds the graph a generator spec describes. Specs are versioned by
 /// their exact text: changing a generator's behaviour must come with a
@@ -52,6 +70,22 @@ fn generate(spec: &str) -> CsrGraph {
             };
             rmat(int(1) as u32, params, int(2))
         }
+        "cycle" => {
+            let n = int(1) as usize;
+            let mut b = GraphBuilder::new(n);
+            for i in 0..n {
+                b.add_edge(i as u32, ((i + 1) % n) as u32);
+            }
+            b.build()
+        }
+        "path" => {
+            let n = int(1) as usize;
+            let mut b = GraphBuilder::new(n);
+            for i in 0..n - 1 {
+                b.add_edge(i as u32, (i + 1) as u32);
+            }
+            b.build()
+        }
         other => panic!("unknown generator family `{other}` in spec `{spec}`"),
     }
 }
@@ -61,6 +95,8 @@ fn query_by_name(name: &str) -> QueryGraph {
         "triangle" => catalog::triangle(),
         "c4" => catalog::cycle(4),
         "path4" => catalog::path(4),
+        "c66" => catalog::cycle(66),
+        "path70" => catalog::path(70),
         other => catalog::query_by_name(other)
             .unwrap_or_else(|| panic!("unknown fixture query `{other}`")),
     }
@@ -70,7 +106,18 @@ fn query_by_name(name: &str) -> QueryGraph {
 fn recount(spec: &str, query_name: &str, coloring_seed: u64) -> (usize, u64) {
     let graph = generate(spec);
     let query = query_by_name(query_name);
-    let coloring = Coloring::random(graph.num_vertices(), query.num_nodes(), coloring_seed);
+    let k = query.num_nodes();
+    // Wide-lane rows (k > 64) use the rainbow coloring their analytic
+    // counts are stated for; everything else draws the seeded random
+    // coloring the fixture was committed with.
+    let coloring = if is_wide_spec(spec) {
+        Coloring::from_colors(
+            (0..graph.num_vertices()).map(|i| (i % k) as u8).collect(),
+            k,
+        )
+    } else {
+        Coloring::random(graph.num_vertices(), k, coloring_seed)
+    };
     let engine = Engine::new(&graph);
     let db = engine
         .count(&query)
@@ -79,8 +126,9 @@ fn recount(spec: &str, query_name: &str, coloring_seed: u64) -> (usize, u64) {
         .run()
         .unwrap()
         .colorful_matches;
-    // Both algorithms and the sharded runtime must reproduce the committed
-    // count — one fixture row cross-checks three execution paths.
+    // Both algorithms, both kernels and the sharded runtime must reproduce
+    // the committed count — one fixture row cross-checks four execution
+    // paths (the unmarked runs use the default columnar kernel).
     let ps = engine
         .count(&query)
         .algorithm(Algorithm::PathSplitting)
@@ -89,6 +137,17 @@ fn recount(spec: &str, query_name: &str, coloring_seed: u64) -> (usize, u64) {
         .unwrap()
         .colorful_matches;
     assert_eq!(ps, db, "PS and DB disagree on {spec} / {query_name}");
+    let scalar = engine
+        .count(&query)
+        .kernel(KernelKind::Scalar)
+        .coloring(&coloring)
+        .run()
+        .unwrap()
+        .colorful_matches;
+    assert_eq!(
+        scalar, db,
+        "scalar and columnar kernels disagree on {spec} / {query_name}"
+    );
     let sharded = engine
         .count(&query)
         .coloring(&coloring)
@@ -132,9 +191,19 @@ fn committed_golden_counts_reproduce() {
     // fixture file should fail, not silently pass on fewer rows.
     assert_eq!(
         rows,
-        GENERATORS.len() * QUERIES.len() * COLORING_SEEDS.len(),
+        GENERATORS.len() * QUERIES.len() * COLORING_SEEDS.len() + WIDE_ROWS.len(),
         "fixture table does not cover the full generator x query x seed matrix"
     );
+}
+
+/// The wide-lane fixture rows are not just committed numbers: their counts
+/// are analytic. A rainbow n-cycle contains exactly `2n` colorful matches
+/// of the n-cycle query and a rainbow n-path exactly 2 of the n-path query,
+/// independent of any generator or DP detail.
+#[test]
+fn wide_lane_sentinels_are_analytic() {
+    assert_eq!(recount("cycle:66", "c66", RAINBOW_SEED), (66, 2 * 66));
+    assert_eq!(recount("path:70", "path70", RAINBOW_SEED), (69, 2));
 }
 
 /// Prints a fresh fixture table. Run with
@@ -152,5 +221,9 @@ fn regenerate_golden_fixtures() {
                 println!("{spec}\t{query}\t{seed}\t{edges}\t{count}");
             }
         }
+    }
+    for (spec, query) in WIDE_ROWS {
+        let (edges, count) = recount(spec, query, RAINBOW_SEED);
+        println!("{spec}\t{query}\t{RAINBOW_SEED}\t{edges}\t{count}");
     }
 }

@@ -214,11 +214,13 @@ proptest! {
         prop_assert!(colorful <= all);
     }
 
-    /// Signature algebra behaves like finite sets.
+    /// Signature algebra behaves like finite sets. The sampled bits are
+    /// placed straddling the u64 word boundary so every law is checked
+    /// across both lanes of the two-word representation.
     #[test]
-    fn signature_set_laws(a in 0u32..1 << 16, b in 0u32..1 << 16, c in 0u8..16) {
-        let sa = Signature(a);
-        let sb = Signature(b);
+    fn signature_set_laws(a in 0u32..1 << 16, b in 0u32..1 << 16, c in 0u8..128) {
+        let sa = Signature::from_words([(a as u64) << 56, (a as u64) >> 8]);
+        let sb = Signature::from_words([(b as u64) << 56, (b as u64) >> 8]);
         prop_assert_eq!(sa.union(sb), sb.union(sa));
         prop_assert_eq!(sa.intersection(sb), sb.intersection(sa));
         prop_assert_eq!(sa.union(sa), sa);
