@@ -271,13 +271,13 @@ fn main() {
     }
     json.push("    ],\n");
 
-    // End-of-run service state, in the stable `name value` text contract
-    // (the same rendering the `stats` verb and `service_throughput` use).
+    // End-of-run state as the unified registry exposition (the same sorted
+    // `name value` lines the `metrics` wire verb emits); the JSON below
+    // keeps parsing the fixed-order `Display` contracts.
     let metrics: ServiceMetrics = server.service().metrics();
     let stats = server.stats();
     println!();
-    println!("--- service metrics ---\n{metrics}");
-    println!("--- server stats ---\n{stats}");
+    println!("--- metrics exposition ---\n{}", server.exposition());
     json.push("    \"service_metrics\": {");
     for (i, line) in metrics.to_string().lines().enumerate() {
         let mut parts = line.split_whitespace();

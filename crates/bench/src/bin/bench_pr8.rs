@@ -1,0 +1,401 @@
+//! PR 8 perf snapshot: observability overhead of `sgc-obs` on the fig08
+//! registry sweep, plus the loopback sweep exercising the new `metrics`
+//! and `trace` wire verbs, written to `BENCH_PR8.json`.
+//!
+//! Three layers:
+//!
+//! 1. **Bit identity** — before anything is timed, every registry query is
+//!    counted with observability enabled and disabled, under both
+//!    algorithms, solo and sharded, and the per-trial counts are asserted
+//!    bit-identical. Spans and counters read the DP; they must never
+//!    branch it.
+//! 2. **Engine** — the fig08 registry sweep timed with spans/counters off
+//!    and on (several alternating repetitions, best-of to shed scheduler
+//!    noise), reporting the relative overhead. The budget is <= 3%.
+//! 3. **Wire** — the PR 6/7 loopback client sweep against a real `sgc-net`
+//!    server with observability on, fetching the `metrics` exposition and
+//!    the `trace` log at the end and asserting both are well-formed.
+//!
+//! Environment knobs (all optional): `SGC_SCALE` (graph scale, default
+//! 0.02), `SGC_TRIALS` (engine sweep trials, default 32), `SGC_REPS`
+//! (alternating sweep repetitions, default 3), `SGC_NET_CLIENTS` (comma
+//! list, default `1,2,4`), `SGC_NET_JOBS` (jobs per client, default 8),
+//! `SGC_BENCH_OUT` (output path, default `BENCH_PR8.json`).
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgc_bench::*;
+use subgraph_counting::core::{Algorithm, Engine};
+use subgraph_counting::net::{Client, Server, ServerConfig};
+use subgraph_counting::obs;
+use subgraph_counting::query::Registry;
+
+/// Minimal JSON emitter: the repo deliberately has no serde, and the file
+/// format is flat enough that assembling it by hand stays readable.
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::new())
+    }
+    fn push(&mut self, s: &str) {
+        self.0.push_str(s);
+    }
+    fn str_field(&mut self, key: &str, value: &str) {
+        self.push(&format!("\"{key}\": \"{value}\""));
+    }
+    fn num_field(&mut self, key: &str, value: f64) {
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.push(&format!("\"{key}\": {value:.0}"));
+        } else {
+            self.push(&format!("\"{key}\": {value}"));
+        }
+    }
+}
+
+/// Asserts obs-on ≡ obs-off per-trial counts for every registry query,
+/// both algorithms, solo and sharded {1, 4}. Returns the number of
+/// configurations checked.
+fn assert_bit_identity(engine: &Engine<'_>, registry: &Registry, trials: usize, seed: u64) -> u64 {
+    let mut checked = 0u64;
+    for name in registry.names() {
+        let query = registry.build(name).expect("registry name");
+        for alg in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+            for shards in [None, Some(1usize), Some(4)] {
+                let run = |obs_on: bool| {
+                    let mut request = engine
+                        .count(&query)
+                        .algorithm(alg)
+                        .trials(trials)
+                        .seed(seed)
+                        .obs(obs_on);
+                    if let Some(shards) = shards {
+                        request = request.parallel(false).sharded(shards);
+                    }
+                    request.estimate().expect("registry queries are plannable")
+                };
+                let on = run(true);
+                let off = run(false);
+                assert_eq!(
+                    on.per_trial, off.per_trial,
+                    "observability perturbed the DP on {name} with {alg}, shards {shards:?}"
+                );
+                assert_eq!(
+                    on.estimated_matches.to_bits(),
+                    off.estimated_matches.to_bits(),
+                    "observability perturbed the estimate on {name} with {alg}"
+                );
+                checked += 1;
+            }
+        }
+    }
+    checked
+}
+
+/// One fig08 registry sweep; returns (total seconds, trials executed).
+fn registry_sweep(engine: &Engine<'_>, registry: &Registry, trials: usize) -> (f64, u64) {
+    let names = registry.names();
+    let started = Instant::now();
+    for name in &names {
+        let query = registry.build(name).expect("registry name");
+        let estimate = engine
+            .count(&query)
+            .trials(trials)
+            .seed(0xF1608)
+            .estimate()
+            .expect("registry queries are plannable");
+        assert!(estimate.estimated_subgraphs.is_finite());
+    }
+    (
+        started.elapsed().as_secs_f64(),
+        (names.len() * trials) as u64,
+    )
+}
+
+/// One timed loopback round, as in bench_pr6/bench_pr7.
+fn count_round(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    jobs_per_client: usize,
+    names: &[&str],
+    budget: u64,
+    seed_base: u64,
+    shared_seeds: bool,
+) -> (f64, usize) {
+    let started = Instant::now();
+    let trials: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("loopback connect");
+                    let mut trials = 0usize;
+                    for j in 0..jobs_per_client {
+                        let name = names[j % names.len()];
+                        let offset = if shared_seeds {
+                            j
+                        } else {
+                            c * jobs_per_client + j
+                        };
+                        let output = client
+                            .count(name)
+                            .seed(seed_base + offset as u64)
+                            .budget(budget)
+                            .run()
+                            .expect("registry queries count");
+                        trials += output.trials_run as usize;
+                    }
+                    client.bye().expect("clean goodbye");
+                    trials
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    (started.elapsed().as_secs_f64(), trials)
+}
+
+/// Asserts the exposition contract: every line is `name value` with a
+/// parseable u64 value, names strictly sorted (hence unique).
+fn assert_exposition_well_formed(exposition: &str) -> usize {
+    let mut previous: Option<&str> = None;
+    let mut lines = 0usize;
+    for line in exposition.lines() {
+        let mut parts = line.split(' ');
+        let name = parts.next().expect("name field");
+        let value = parts
+            .next()
+            .unwrap_or_else(|| panic!("no value in {line:?}"));
+        assert!(parts.next().is_none(), "extra fields in {line:?}");
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        if let Some(previous) = previous {
+            assert!(previous < name, "names out of order: {previous} >= {name}");
+        }
+        previous = Some(name);
+        lines += 1;
+    }
+    lines
+}
+
+fn main() {
+    print_header("PR 8 perf snapshot: observability overhead + metrics/trace verbs");
+    let scale = experiment_scale();
+    let trials = env_usize("SGC_TRIALS", 32);
+    let reps = env_usize("SGC_REPS", 3).max(1);
+    let clients_sweep: Vec<usize> = std::env::var("SGC_NET_CLIENTS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let jobs_per_client = env_usize("SGC_NET_JOBS", 8);
+    let out_path = std::env::var("SGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+
+    let graphs = benchmark_graphs(scale, &["condMat"]);
+    let bench_graph = graphs.into_iter().next().expect("condMat analog");
+    let graph = Arc::new(bench_graph.graph);
+    println!(
+        "graph: condMat analog at scale {scale} ({} vertices, {} edges)",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let mut json = Json::new();
+    json.push("{\n");
+    json.push("  \"benchmark\": \"pr8\",\n");
+    json.push("  \"graph\": {");
+    json.str_field("name", "condMat");
+    json.push(", ");
+    json.num_field("scale", scale);
+    json.push(", ");
+    json.num_field("vertices", graph.num_vertices() as f64);
+    json.push(", ");
+    json.num_field("edges", graph.num_edges() as f64);
+    json.push("},\n");
+
+    let engine = Engine::from_shared(Arc::clone(&graph));
+    let registry = Registry::builtin();
+
+    // -- Part 0: obs-on ≡ obs-off bit identity, asserted -----------------
+    println!();
+    println!("bit identity: full registry x {{PS, DB}} x {{solo, sharded 1/4}}, obs on vs off");
+    let identity_started = Instant::now();
+    let configs = assert_bit_identity(&engine, registry, 2, 0xB17);
+    println!(
+        "  {} configurations bit-identical ({:.2}s)",
+        configs,
+        identity_started.elapsed().as_secs_f64()
+    );
+    json.push("  \"bit_identity\": {");
+    json.num_field("configurations", configs as f64);
+    json.push(", ");
+    json.str_field("verdict", "bit-identical");
+    json.push("},\n");
+
+    // -- Part 1: registry sweep overhead, obs off vs on -------------------
+    // One untimed warmup sweep settles plan caches and arenas; then
+    // alternating off/on repetitions, best-of each, so a one-off scheduler
+    // hiccup cannot masquerade as observability overhead.
+    println!();
+    println!("registry sweep overhead: {trials} trials per query, best of {reps} reps");
+    let _ = registry_sweep(&engine, registry, trials);
+    let mut best = [f64::INFINITY; 2]; // [off, on]
+    let mut trials_executed = 0u64;
+    for _ in 0..reps {
+        for (which, enabled) in [(0usize, false), (1usize, true)] {
+            obs::set_enabled(enabled);
+            let (seconds, executed) = registry_sweep(&engine, registry, trials);
+            obs::set_enabled(true);
+            best[which] = best[which].min(seconds);
+            trials_executed = executed;
+        }
+    }
+    let overhead_pct = 100.0 * (best[1] - best[0]) / best[0].max(1e-12);
+    println!("{:>10} {:>9} {:>12}", "obs", "seconds", "trials/s");
+    for (label, seconds) in [("off", best[0]), ("on", best[1])] {
+        println!(
+            "{label:>10} {seconds:>9.4} {:>12.1}",
+            trials_executed as f64 / seconds.max(1e-12)
+        );
+    }
+    println!("  overhead: {overhead_pct:+.2}% (budget <= 3%)");
+    json.push("  \"registry_sweep_overhead\": {\n");
+    json.push(&format!(
+        "    \"trials\": {trials},\n    \"reps\": {reps},\n"
+    ));
+    json.push("    ");
+    json.num_field("obs_off_seconds", best[0]);
+    json.push(",\n    ");
+    json.num_field("obs_on_seconds", best[1]);
+    json.push(",\n    ");
+    json.num_field(
+        "obs_off_trials_per_sec",
+        trials_executed as f64 / best[0].max(1e-12),
+    );
+    json.push(",\n    ");
+    json.num_field(
+        "obs_on_trials_per_sec",
+        trials_executed as f64 / best[1].max(1e-12),
+    );
+    json.push(",\n    ");
+    json.num_field("overhead_pct", (overhead_pct * 100.0).round() / 100.0);
+    json.push("\n  },\n");
+
+    // -- Part 2: loopback sweep with metrics/trace verbs ------------------
+    println!();
+    println!("loopback sweep (obs on): {jobs_per_client} jobs/client, budget {trials} trials");
+    println!(
+        "{:>8} {:>6} {:>9} {:>9} {:>12}",
+        "clients", "round", "seconds", "jobs/s", "trials/s"
+    );
+    let mut server = Server::bind("127.0.0.1:0", Arc::clone(&graph), ServerConfig::default())
+        .expect("loopback bind");
+    let addr = server.local_addr();
+    let names = registry.names();
+    json.push("  \"server_loopback\": {\n");
+    json.push(&format!(
+        "    \"jobs_per_client\": {jobs_per_client},\n    \"budget\": {trials},\n"
+    ));
+    json.push("    \"rounds\": [\n");
+    let _ = count_round(
+        addr,
+        1,
+        jobs_per_client,
+        &names,
+        trials as u64,
+        0xCAC4E,
+        true,
+    );
+    for (i, &clients) in clients_sweep.iter().enumerate() {
+        let total_jobs = (clients * jobs_per_client) as f64;
+        let (cold_seconds, cold_trials) = count_round(
+            addr,
+            clients,
+            jobs_per_client,
+            &names,
+            trials as u64,
+            0x10_000 * (i as u64 + 1),
+            false,
+        );
+        let (hot_seconds, _) = count_round(
+            addr,
+            clients,
+            jobs_per_client,
+            &names,
+            trials as u64,
+            0xCAC4E,
+            true,
+        );
+        for (round, seconds, executed) in [
+            ("cold", cold_seconds, cold_trials as f64),
+            ("hot", hot_seconds, 0.0),
+        ] {
+            println!(
+                "{:>8} {:>6} {:>9.4} {:>9.1} {:>12.1}",
+                clients,
+                round,
+                seconds,
+                total_jobs / seconds.max(1e-12),
+                executed / seconds.max(1e-12),
+            );
+            json.push("      {");
+            json.num_field("clients", clients as f64);
+            json.push(", ");
+            json.str_field("round", round);
+            json.push(", ");
+            json.num_field("seconds", seconds);
+            json.push(", ");
+            json.num_field("jobs_per_sec", total_jobs / seconds.max(1e-12));
+            json.push(", ");
+            json.num_field("trials_per_sec", executed / seconds.max(1e-12));
+            json.push("}");
+            json.push(if i + 1 < clients_sweep.len() || round == "cold" {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+    }
+    json.push("    ],\n");
+
+    // The new verbs, exercised over the wire and validated client-side.
+    let mut client = Client::connect(addr).expect("loopback connect");
+    let exposition = client.metrics().expect("metrics verb");
+    let exposition_lines = assert_exposition_well_formed(&exposition);
+    let trace = client.trace_log().expect("trace verb");
+    let trace_jobs = trace
+        .lines()
+        .filter(|line| line.starts_with("trace_id="))
+        .count();
+    assert!(trace_jobs > 0, "loopback jobs left no traces");
+    client.bye().expect("clean goodbye");
+    println!();
+    println!(
+        "metrics verb: {exposition_lines} well-formed exposition lines; \
+         trace verb: {trace_jobs} traced jobs"
+    );
+    json.push("    ");
+    json.num_field("metrics_exposition_lines", exposition_lines as f64);
+    json.push(",\n    ");
+    json.num_field("trace_log_jobs", trace_jobs as f64);
+    json.push("\n  }\n");
+    json.push("}\n");
+
+    println!();
+    println!("--- metrics exposition ---\n{}", server.exposition());
+    println!();
+    println!("--- trace log ---\n{}", server.trace_report());
+    server.shutdown();
+
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.0.as_bytes()).expect("write json");
+    println!();
+    println!("wrote {out_path}");
+}

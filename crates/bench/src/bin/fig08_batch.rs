@@ -181,4 +181,11 @@ fn main() {
         println!("  {clients}-client speedup: {speedup:.2}x (target >= 1.5x)");
         println!();
     }
+    // End-of-run engine/kernel counters as the unified registry exposition
+    // — the same sorted `name value` lines the `metrics` wire verb and the
+    // service bench bins emit.
+    println!(
+        "--- metrics exposition ---\n{}",
+        subgraph_counting::obs::global().render()
+    );
 }

@@ -70,7 +70,7 @@ fn main() {
         "early%"
     );
 
-    let mut last_metrics = None;
+    let mut last_service = None;
     for &clients in &client_counts {
         for precision in [None, Some(0.3), Some(0.1)] {
             let service = Service::with_config(
@@ -82,6 +82,7 @@ fn main() {
                     queue_capacity: (clients * jobs_per_client).max(8),
                     chunk_trials: 8,
                     trial_parallelism: false,
+                    obs: true,
                 },
             );
             let started = Instant::now();
@@ -145,7 +146,7 @@ fn main() {
                 metrics.trials_saved,
                 100.0 * early_stops as f64 / total_jobs,
             );
-            last_metrics = Some(metrics);
+            last_service = Some(service);
         }
     }
     println!();
@@ -154,11 +155,14 @@ fn main() {
          estimate; 'saved' = budgeted trials adaptive stopping never ran; \
          'computed' = jobs that missed the result cache"
     );
-    // End-of-run service state of the final sweep cell, in the stable
-    // `name value` text contract shared with the `stats` wire verb — so
-    // scrapers parse one format across the bench bins and the server.
-    if let Some(metrics) = last_metrics {
+    // End-of-run state of the final sweep cell as the unified registry
+    // exposition — the same sorted `name value` lines the `metrics` wire
+    // verb and the other bench bins emit, so scrapers parse one format.
+    if let Some(service) = last_service {
         println!();
-        println!("--- service metrics (final cell) ---\n{metrics}");
+        println!(
+            "--- metrics exposition (final cell) ---\n{}",
+            service.exposition()
+        );
     }
 }

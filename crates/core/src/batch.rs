@@ -107,6 +107,9 @@ struct Member<'a> {
     seed: u64,
     trials: usize,
     num_ranks: usize,
+    /// Whether this member's cells record observability spans and publish
+    /// run counters.
+    obs: bool,
     /// Node count of the query — the color count of its trials.
     k: usize,
     /// Index of this member's first structural twin in the batch (its own
@@ -158,6 +161,7 @@ pub(crate) fn execute<'g, 'a>(
             seed: request.seed,
             trials: request.trials,
             num_ranks: request.num_ranks,
+            obs: request.obs,
             k: request.query.num_nodes(),
             group,
         });
@@ -205,6 +209,7 @@ pub(crate) fn execute<'g, 'a>(
             let coloring = match coloring_of.entry((member.k, eff_seed)) {
                 Entry::Occupied(e) => *e.get(),
                 Entry::Vacant(e) => {
+                    let _span = member.obs.then(|| sgc_obs::span(sgc_obs::Stage::Coloring));
                     colorings.push(Coloring::random(n, member.k, eff_seed));
                     *e.insert(colorings.len() - 1)
                 }
@@ -238,6 +243,7 @@ pub(crate) fn execute<'g, 'a>(
                         algorithm: members[job.member].algorithm,
                         num_ranks: members[job.member].num_ranks,
                         kernel: members[job.member].kernel,
+                        obs: members[job.member].obs,
                     })
                     .collect();
                 let outcome = count_many_sharded(
@@ -248,6 +254,11 @@ pub(crate) fn execute<'g, 'a>(
                     engine.arena_pool(),
                 )?;
                 metrics.exchange_rounds += outcome.shared_rounds;
+                for (job, result) in step_jobs.iter().zip(&outcome.results) {
+                    if members[job.member].obs && sgc_obs::enabled() {
+                        result.metrics.publish();
+                    }
+                }
                 outcome
                     .results
                     .into_iter()
@@ -258,6 +269,9 @@ pub(crate) fn execute<'g, 'a>(
                 let run = |j: usize| -> (Count, f64) {
                     let job = &step_jobs[j];
                     let member = &members[job.member];
+                    // Cells may run on worker threads that don't inherit the
+                    // submitter's obs state, so obs-off members re-suspend.
+                    let _pause = (!member.obs).then(sgc_obs::suspend);
                     let ctx = Context::new(
                         engine.graph(),
                         engine.prep(),
@@ -272,6 +286,9 @@ pub(crate) fn execute<'g, 'a>(
                         member.kernel,
                         engine.arena_pool(),
                     );
+                    if member.obs && sgc_obs::enabled() {
+                        result.metrics.publish();
+                    }
                     (
                         result.colorful_matches,
                         result.metrics.elapsed.as_secs_f64(),

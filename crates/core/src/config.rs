@@ -44,6 +44,11 @@ pub struct CountConfig {
     /// Both kernels are bit-identical; this switch exists for differential
     /// testing and benchmarking.
     pub kernel: KernelKind,
+    /// Whether runs record observability spans and publish run counters
+    /// into the `sgc-obs` registry (default: on). Observability reads,
+    /// never branches, the DP: counts are bit-identical either way, which
+    /// `tests/obs.rs` pins differentially.
+    pub obs: bool,
 }
 
 impl CountConfig {
@@ -54,6 +59,7 @@ impl CountConfig {
             algorithm,
             num_ranks: 64,
             kernel: KernelKind::default(),
+            obs: true,
         }
     }
 
@@ -68,6 +74,13 @@ impl CountConfig {
     /// Selects the join kernel (scalar or columnar).
     pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Enables or disables per-run observability (spans + registry
+    /// publication). Counts are unaffected.
+    pub fn with_obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -88,16 +101,19 @@ mod tests {
         assert_eq!(c.algorithm, Algorithm::DegreeBased);
         assert_eq!(c.num_ranks, 64);
         assert_eq!(c.kernel, KernelKind::Columnar);
+        assert!(c.obs, "observability defaults to on");
     }
 
     #[test]
     fn builder_methods() {
         let c = CountConfig::new(Algorithm::PathSplitting)
             .with_ranks(512)
-            .with_kernel(KernelKind::Scalar);
+            .with_kernel(KernelKind::Scalar)
+            .with_obs(false);
         assert_eq!(c.algorithm, Algorithm::PathSplitting);
         assert_eq!(c.num_ranks, 512);
         assert_eq!(c.kernel, KernelKind::Scalar);
+        assert!(!c.obs);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub(crate) fn count_with_context(
             match kernel {
                 KernelKind::Scalar => {
                     for block in &tree.blocks {
+                        let _span = sgc_obs::span(sgc_obs::Stage::DpBlockScalar);
                         let table = solve_block(ctx, tree, block, &tables, algorithm, &mut metrics);
                         tables[block.id] = Some(table);
                     }
@@ -61,6 +62,7 @@ pub(crate) fn count_with_context(
                     let (mut arena, reused) = pool.checkout();
                     let before = arena.capacity_bytes();
                     for block in &tree.blocks {
+                        let _span = sgc_obs::span(sgc_obs::Stage::DpBlockColumnar);
                         let index = BlockJoinIndex::build(block, &tables);
                         let table = solve_block_columnar(
                             ctx,

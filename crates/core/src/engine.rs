@@ -113,6 +113,7 @@ impl<'g> Engine<'g> {
     }
 
     fn build(graph: GraphRef<'g>, config: CountConfig) -> Self {
+        let _span = config.obs.then(|| sgc_obs::span(sgc_obs::Stage::Bind));
         let prep = GraphPrep::new(&graph);
         Engine {
             graph,
@@ -152,7 +153,10 @@ impl<'g> Engine<'g> {
         // queries don't serialize, and a panicking planner can't poison the
         // cache for the rest of the engine's life. Racing threads may both
         // plan the same query; the first insert wins and both get that plan.
-        let plan = Arc::new(heuristic_plan(query)?);
+        let plan = {
+            let _span = sgc_obs::span(sgc_obs::Stage::Plan);
+            Arc::new(heuristic_plan(query)?)
+        };
         Ok(Arc::clone(self.lock_cache().entry(key).or_insert(plan)))
     }
 
@@ -349,6 +353,7 @@ impl<'g> Engine<'g> {
             seed: estimate_defaults.seed,
             parallel: true,
             shards: None,
+            obs: self.default_config.obs,
         }
     }
 }
@@ -388,6 +393,7 @@ pub struct CountRequest<'e, 'g, 'a> {
     pub(crate) seed: u64,
     pub(crate) parallel: bool,
     pub(crate) shards: Option<usize>,
+    pub(crate) obs: bool,
 }
 
 impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
@@ -404,11 +410,23 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
         self
     }
 
-    /// Applies a whole [`CountConfig`] (algorithm, ranks and kernel) at once.
+    /// Applies a whole [`CountConfig`] (algorithm, ranks, kernel and
+    /// observability toggle) at once.
     pub fn config(mut self, config: CountConfig) -> Self {
         self.algorithm = config.algorithm;
         self.num_ranks = config.num_ranks;
         self.kernel = config.kernel;
+        self.obs = config.obs;
+        self
+    }
+
+    /// Enables or disables observability for this request (default: the
+    /// engine's, normally on): stage spans on the threads that execute the
+    /// run and publication of run counters into the `sgc-obs` registry.
+    /// Counts are bit-identical either way — observability reads, never
+    /// branches, the DP.
+    pub fn obs(mut self, obs: bool) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -538,6 +556,9 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
     /// count, and [`SgcError::ZeroShards`] for a sharded request with zero
     /// shards.
     pub fn run(self) -> Result<CountResult, SgcError> {
+        // A disabled request suspends span recording on this thread for the
+        // whole run (the sharded fan-out re-suspends on its workers).
+        let _pause = (!self.obs).then(sgc_obs::suspend);
         let plan = self.resolve_plan()?;
         let k = self.query.num_nodes();
         let fresh;
@@ -552,11 +573,12 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 coloring
             }
             None => {
+                let _span = sgc_obs::span(sgc_obs::Stage::Coloring);
                 fresh = Coloring::random(self.engine.graph().num_vertices(), k, self.seed);
                 &fresh
             }
         };
-        match self.shards {
+        let result = match self.shards {
             Some(num_shards) => count_sharded(
                 self.engine.graph(),
                 &self.engine.prep,
@@ -567,7 +589,8 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                 num_shards,
                 self.kernel,
                 self.engine.arena_pool(),
-            ),
+                self.obs,
+            )?,
             None => {
                 let ctx = Context::new(
                     self.engine.graph(),
@@ -575,15 +598,19 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
                     coloring,
                     self.num_ranks,
                 )?;
-                Ok(count_with_context(
+                count_with_context(
                     &ctx,
                     &plan,
                     self.algorithm,
                     self.kernel,
                     self.engine.arena_pool(),
-                ))
+                )
             }
+        };
+        if self.obs {
+            result.metrics.publish();
         }
+        Ok(result)
     }
 
     /// Runs `trials` independent colorful counts (trial `i` colored with
@@ -726,6 +753,7 @@ impl<'e, 'g, 'a> CountRequest<'e, 'g, 'a> {
             seed: self.seed,
             parallel: self.parallel,
             shards_per_trial,
+            obs: self.obs,
             per_trial: Vec::new(),
             acc: TrialAccumulator::new(),
             total_seconds: 0.0,
@@ -753,6 +781,7 @@ pub struct TrialStream<'e, 'g, 'a> {
     seed: u64,
     parallel: bool,
     shards_per_trial: Option<usize>,
+    obs: bool,
     per_trial: Vec<Count>,
     acc: TrialAccumulator,
     total_seconds: f64,
@@ -770,6 +799,10 @@ impl TrialStream<'_, '_, '_> {
         if trials == 0 {
             return &self.acc;
         }
+        // Chunk-level instrumentation: suspended on this thread for obs-off
+        // requests; per-trial workers re-apply the toggle themselves.
+        let _pause = (!self.obs).then(sgc_obs::suspend);
+        let _chunk_span = sgc_obs::span(sgc_obs::Stage::EstimatorChunk);
         let start = self.per_trial.len();
         let outcomes: Vec<(Count, f64)> = {
             let graph = self.engine.graph();
@@ -782,14 +815,18 @@ impl TrialStream<'_, '_, '_> {
             let kernel = self.kernel;
             let pool = self.engine.arena_pool();
             let shards_per_trial = self.shards_per_trial;
+            let obs = self.obs;
             let run_trial = move |offset: usize| -> (Count, f64) {
+                let _pause = (!obs).then(sgc_obs::suspend);
                 let trial = start + offset;
-                let coloring =
-                    Coloring::random(graph.num_vertices(), k, seed.wrapping_add(trial as u64));
+                let coloring = {
+                    let _span = sgc_obs::span(sgc_obs::Stage::Coloring);
+                    Coloring::random(graph.num_vertices(), k, seed.wrapping_add(trial as u64))
+                };
                 let result = match shards_per_trial {
                     Some(num_shards) => count_sharded(
                         graph, prep, &coloring, plan, algorithm, num_ranks, num_shards, kernel,
-                        pool,
+                        pool, obs,
                     )
                     .expect("engine-drawn colorings always cover the graph"),
                     None => {
@@ -798,6 +835,9 @@ impl TrialStream<'_, '_, '_> {
                         count_with_context(&ctx, plan, algorithm, kernel, pool)
                     }
                 };
+                if obs && sgc_obs::enabled() {
+                    result.metrics.publish();
+                }
                 (
                     result.colorful_matches,
                     result.metrics.elapsed.as_secs_f64(),

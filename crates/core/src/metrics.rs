@@ -156,6 +156,26 @@ impl RunMetrics {
     pub fn avg_load(&self) -> f64 {
         self.load.average()
     }
+
+    /// Publishes this run's counters into the process-wide `sgc-obs`
+    /// registry: run/kernel counters always, shard counters when the run
+    /// was sharded. Called at run granularity by the engine (never inside
+    /// the DP), and only when observability is enabled for the run.
+    pub fn publish(&self) {
+        let registry = sgc_obs::global();
+        registry.counter_add("engine_runs", 1);
+        registry.counter_add("engine_total_ops", self.total_ops);
+        registry.counter_add("engine_entries_created", self.entries_created);
+        registry.gauge_max("engine_peak_table_entries", self.peak_table_entries as u64);
+        registry.counter_add("kernel_arena_reuses", self.kernel.arena_reuses);
+        registry.counter_add("kernel_arena_grown_bytes", self.kernel.arena_grown_bytes);
+        registry.gauge_max("kernel_arena_bytes", self.kernel.arena_bytes);
+        if let Some(shards) = &self.shards {
+            registry.counter_add("shard_exchange_rounds", shards.exchange_rounds);
+            registry.counter_add("shard_entries_exchanged", shards.total_entries_exchanged());
+            registry.gauge_max("shard_max_ops", shards.max_ops());
+        }
+    }
 }
 
 #[cfg(test)]

@@ -129,6 +129,7 @@ pub(crate) fn count_sharded(
     num_shards: usize,
     kernel: KernelKind,
     pool: &ArenaPool,
+    obs: bool,
 ) -> Result<CountResult, SgcError> {
     let job = ShardedBatchJob {
         coloring,
@@ -136,6 +137,7 @@ pub(crate) fn count_sharded(
         algorithm,
         num_ranks,
         kernel,
+        obs,
     };
     let mut outcome = count_many_sharded(graph, prep, &[job], num_shards, pool)?;
     Ok(outcome.results.pop().expect("one job in, one result out"))
@@ -155,6 +157,10 @@ pub(crate) struct ShardedBatchJob<'a> {
     pub num_ranks: usize,
     /// Which join kernel runs the member's per-shard solves.
     pub kernel: KernelKind,
+    /// Whether this member's shard workers record observability spans.
+    /// Worker threads inherit nothing from the submitting thread, so the
+    /// per-request toggle rides along with the job.
+    pub obs: bool,
 }
 
 /// What [`count_many_sharded`] produced: one [`CountResult`] per job plus
@@ -246,6 +252,9 @@ pub(crate) fn count_many_sharded(
                 let (a, s) = (idx / num_shards, idx % num_shards);
                 let j = active[a];
                 let job = &jobs[j];
+                // Worker threads don't inherit the submitter's obs state, so
+                // obs-off jobs re-suspend here for the span guards below.
+                let _pause = (!job.obs).then(sgc_obs::suspend);
                 let mut shard_run = RunMetrics::new(job.num_ranks);
                 let solve_started = Instant::now();
                 let table = match &indexes[a] {
@@ -258,15 +267,19 @@ pub(crate) fn count_many_sharded(
                             plan.shard(s),
                         );
                         match job.kernel {
-                            KernelKind::Scalar => solve_block_with_index(
-                                &ctx,
-                                job.plan,
-                                &job.plan.blocks[step],
-                                index,
-                                job.algorithm,
-                                &mut shard_run,
-                            ),
+                            KernelKind::Scalar => {
+                                let _span = sgc_obs::span(sgc_obs::Stage::DpBlockScalar);
+                                solve_block_with_index(
+                                    &ctx,
+                                    job.plan,
+                                    &job.plan.blocks[step],
+                                    index,
+                                    job.algorithm,
+                                    &mut shard_run,
+                                )
+                            }
                             KernelKind::Columnar => {
+                                let _span = sgc_obs::span(sgc_obs::Stage::DpBlockColumnar);
                                 let (mut arena, reused) = pool.checkout();
                                 let before = arena.capacity_bytes();
                                 let table = solve_block_columnar(
@@ -324,7 +337,15 @@ pub(crate) fn count_many_sharded(
             .iter()
             .map(|&j| std::mem::take(&mut shard_metrics[j]))
             .collect();
-        let combined = exchange::combine_round(round_partials, &mut round_metrics);
+        let combined = {
+            // The exchange round is shared; record it if any active job has
+            // observability on (the caller thread may itself be suspended).
+            let _span = active
+                .iter()
+                .any(|&j| jobs[j].obs)
+                .then(|| sgc_obs::span(sgc_obs::Stage::Exchange));
+            exchange::combine_round(round_partials, &mut round_metrics)
+        };
         shared_rounds += 1;
         // The shared round's cost is split evenly across the jobs it served.
         let exchange_share = exchange_started.elapsed() / active.len() as u32;

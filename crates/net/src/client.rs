@@ -172,6 +172,7 @@ impl Client {
             seed: 0x5eed,
             budget: 64,
             precision: None,
+            trace: None,
         }
     }
 
@@ -199,6 +200,7 @@ impl Client {
                     seed: request.seed,
                     budget: request.budget,
                     precision: request.precision,
+                    trace: request.trace,
                 }
             })
             .collect();
@@ -262,6 +264,41 @@ impl Client {
         }
     }
 
+    /// Fetches the server's full metrics exposition: sorted `name value`
+    /// lines covering stage histograms, engine/kernel/shard counters,
+    /// service gauges, and the network layer's own counters.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Remote`] error frames.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Metrics)?;
+        match self.read_response()? {
+            Response::MetricsOk { exposition } => Ok(exposition),
+            Response::Error(frame) => Err(ClientError::Remote(frame)),
+            other => Err(ClientError::Unexpected(format!(
+                "expected metrics-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
+    /// Fetches the server's slow-query trace log, rendered slowest job
+    /// first.
+    ///
+    /// # Errors
+    /// Transport failures, or [`ClientError::Remote`] error frames.
+    pub fn trace_log(&mut self) -> Result<String, ClientError> {
+        self.send(&Request::Trace)?;
+        match self.read_response()? {
+            Response::TraceOk { report } => Ok(report),
+            Response::Error(frame) => Err(ClientError::Remote(frame)),
+            other => Err(ClientError::Unexpected(format!(
+                "expected trace-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
     /// Clean goodbye: the server acknowledges and closes the connection.
     /// The client is consumed — the socket is useless afterwards.
     ///
@@ -293,6 +330,9 @@ pub struct BatchRequest {
     pub budget: u64,
     /// Optional early-stop target.
     pub precision: Option<Precision>,
+    /// Optional trace ID to stamp the job with in the server's slow-query
+    /// log; the server mints one when absent.
+    pub trace: Option<u64>,
 }
 
 impl BatchRequest {
@@ -304,6 +344,7 @@ impl BatchRequest {
             seed: 0x5eed,
             budget: 64,
             precision: None,
+            trace: None,
         }
     }
 
@@ -330,6 +371,12 @@ impl BatchRequest {
         self.algorithm = algorithm;
         self
     }
+
+    /// Stamps the job with a caller-chosen trace ID.
+    pub fn trace(mut self, trace_id: u64) -> Self {
+        self.trace = Some(trace_id);
+        self
+    }
 }
 
 /// A count request under construction; defaults mirror
@@ -341,6 +388,7 @@ pub struct CountBuilder<'a> {
     seed: u64,
     budget: u64,
     precision: Option<Precision>,
+    trace: Option<u64>,
 }
 
 impl<'a> CountBuilder<'a> {
@@ -368,6 +416,13 @@ impl<'a> CountBuilder<'a> {
         self
     }
 
+    /// Stamps the job with a caller-chosen trace ID for the server's
+    /// slow-query log; the server mints one when not set.
+    pub fn trace(mut self, trace_id: u64) -> Self {
+        self.trace = Some(trace_id);
+        self
+    }
+
     /// Sends the request and returns the estimate stream.
     ///
     /// # Errors
@@ -383,6 +438,7 @@ impl<'a> CountBuilder<'a> {
             seed: self.seed,
             budget: self.budget,
             precision: self.precision,
+            trace: self.trace,
         };
         self.client.send(&Request::Count(spec))?;
         Ok(CountStream {

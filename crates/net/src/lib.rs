@@ -16,7 +16,8 @@
 //!   primitive encode/decode; malformed input is a typed error, never a
 //!   panic or a hang,
 //! * [`proto`] — the verb vocabulary: `hello`, `count` (streams), `batch`,
-//!   `cancel`, `explain`, `stats`, `bye`, and the response/error taxonomy
+//!   `cancel`, `explain`, `stats`, `metrics`, `trace`, `bye`, and the
+//!   response/error taxonomy
 //!   ([`ErrorKind::QueueFull`] is the one *retryable* error — admission
 //!   control on the wire),
 //! * [`server`] — [`Server`]: thread-per-connection accept loop, chunk

@@ -12,6 +12,8 @@
 //! | `0x05` | Explain    | pattern text (`str`)                            |
 //! | `0x06` | Stats      | —                                               |
 //! | `0x07` | Bye        | —                                               |
+//! | `0x08` | Metrics    | —                                               |
+//! | `0x09` | Trace      | —                                               |
 //! | `0x81` | HelloOk    | server protocol version (`u32`)                 |
 //! | `0x82` | Chunk      | [`ChunkFrame`]                                  |
 //! | `0x83` | Final      | job id, [`WireOutput`]                          |
@@ -20,6 +22,8 @@
 //! | `0x86` | StatsOk    | [`StatsFrame`]                                  |
 //! | `0x87` | CancelOk   | job id, `was_active` (`bool`)                   |
 //! | `0x88` | ByeOk      | —                                               |
+//! | `0x89` | MetricsOk  | registry exposition (`str`)                     |
+//! | `0x8A` | TraceOk    | slow-query log rendering (`str`)                |
 //!
 //! Estimates cross the wire as [`WireEstimate`]: every `f64` travels as its
 //! IEEE-754 bit pattern and the per-trial counts travel verbatim, so the
@@ -36,9 +40,9 @@ pub type JobId = u64;
 
 /// Encoded bytes of the smallest possible [`CountSpec`]: id (8) + empty
 /// pattern's length prefix (4) + algorithm (1) + seed (8) + budget (8) +
-/// precision flag (1). Bounds how many members a batch payload of a given
-/// size can plausibly declare.
-const MIN_COUNT_SPEC_BYTES: usize = 30;
+/// precision flag (1) + trace flag (1). Bounds how many members a batch
+/// payload of a given size can plausibly declare.
+const MIN_COUNT_SPEC_BYTES: usize = 31;
 
 // ---------------------------------------------------------------------------
 // Requests
@@ -72,6 +76,13 @@ pub enum Request {
     Stats,
     /// Clean goodbye: the server answers [`Response::ByeOk`] and closes.
     Bye,
+    /// Fetch the full `sgc-obs` metrics exposition (every histogram,
+    /// counter and gauge the process accumulated); answered with
+    /// [`Response::MetricsOk`].
+    Metrics,
+    /// Fetch the slow-query trace log; answered with
+    /// [`Response::TraceOk`].
+    Trace,
 }
 
 /// Everything a `count` request carries: the textual pattern plus the
@@ -90,6 +101,10 @@ pub struct CountSpec {
     pub budget: u64,
     /// Optional early-stop target.
     pub precision: Option<Precision>,
+    /// Optional client-supplied trace ID, propagated into the service's
+    /// slow-query log; `None` lets the server mint one at submission.
+    /// Never part of the job's cache identity.
+    pub trace: Option<u64>,
 }
 
 impl Request {
@@ -103,6 +118,8 @@ impl Request {
             Request::Explain { .. } => 0x05,
             Request::Stats => 0x06,
             Request::Bye => 0x07,
+            Request::Metrics => 0x08,
+            Request::Trace => 0x09,
         }
     }
 
@@ -120,7 +137,7 @@ impl Request {
             }
             Request::Cancel(id) => wire::put_u64(&mut buf, *id),
             Request::Explain { pattern } => wire::put_str(&mut buf, pattern),
-            Request::Stats | Request::Bye => {}
+            Request::Stats | Request::Bye | Request::Metrics | Request::Trace => {}
         }
         buf
     }
@@ -160,6 +177,8 @@ impl Request {
             0x05 => Request::Explain { pattern: r.str()? },
             0x06 => Request::Stats,
             0x07 => Request::Bye,
+            0x08 => Request::Metrics,
+            0x09 => Request::Trace,
             tag => return Err(WireError::BadTag { tag }),
         };
         r.finish()?;
@@ -179,6 +198,13 @@ fn encode_count_spec(buf: &mut Vec<u8>, spec: &CountSpec) {
             wire::put_u8(buf, 1);
             wire::put_f64(buf, p.target);
             wire::put_f64(buf, p.confidence);
+        }
+    }
+    match spec.trace {
+        None => wire::put_u8(buf, 0),
+        Some(id) => {
+            wire::put_u8(buf, 1);
+            wire::put_u64(buf, id);
         }
     }
 }
@@ -202,6 +228,16 @@ fn decode_count_spec(r: &mut Reader<'_>) -> Result<CountSpec, WireError> {
             })
         }
     };
+    let trace = match r.u8()? {
+        0 => None,
+        1 => Some(r.u64()?),
+        value => {
+            return Err(WireError::BadEnum {
+                what: "trace option",
+                value,
+            })
+        }
+    };
     Ok(CountSpec {
         id,
         pattern,
@@ -209,6 +245,7 @@ fn decode_count_spec(r: &mut Reader<'_>) -> Result<CountSpec, WireError> {
         seed,
         budget,
         precision,
+        trace,
     })
 }
 
@@ -291,6 +328,16 @@ pub enum Response {
     },
     /// Acknowledges `bye`; the server closes the connection after sending.
     ByeOk,
+    /// The full `sgc-obs` metrics exposition for a `metrics` request.
+    MetricsOk {
+        /// Sorted `name value` lines from the registry.
+        exposition: String,
+    },
+    /// The slow-query trace log for a `trace` request.
+    TraceOk {
+        /// The rendered trace ring, slowest job first.
+        report: String,
+    },
 }
 
 /// One streamed progress update: the anytime estimate after a completed
@@ -584,6 +631,10 @@ pub struct StatsFrame {
     pub service: ServiceMetrics,
     /// The network layer's counters.
     pub server: ServerStats,
+    /// The registry exposition at snapshot time, so `stats` surfaces the
+    /// kernel/shard/run counters that the two fixed structs above don't
+    /// carry. Empty when observability is disabled.
+    pub exposition: String,
 }
 
 impl Response {
@@ -598,6 +649,8 @@ impl Response {
             Response::StatsOk(_) => 0x86,
             Response::CancelOk { .. } => 0x87,
             Response::ByeOk => 0x88,
+            Response::MetricsOk { .. } => 0x89,
+            Response::TraceOk { .. } => 0x8A,
         }
     }
 
@@ -664,12 +717,15 @@ impl Response {
                 wire::put_u64(&mut buf, srv.streams_active);
                 wire::put_u64(&mut buf, srv.jobs_cancelled);
                 wire::put_u64(&mut buf, srv.protocol_errors);
+                wire::put_str(&mut buf, &s.exposition);
             }
             Response::CancelOk { id, was_active } => {
                 wire::put_u64(&mut buf, *id);
                 wire::put_bool(&mut buf, *was_active);
             }
             Response::ByeOk => {}
+            Response::MetricsOk { exposition } => wire::put_str(&mut buf, exposition),
+            Response::TraceOk { report } => wire::put_str(&mut buf, report),
         }
         buf
     }
@@ -750,12 +806,17 @@ impl Response {
                     jobs_cancelled: r.u64()?,
                     protocol_errors: r.u64()?,
                 },
+                exposition: r.str()?,
             }),
             0x87 => Response::CancelOk {
                 id: r.u64()?,
                 was_active: r.bool()?,
             },
             0x88 => Response::ByeOk,
+            0x89 => Response::MetricsOk {
+                exposition: r.str()?,
+            },
+            0x8A => Response::TraceOk { report: r.str()? },
             tag => return Err(WireError::BadTag { tag }),
         };
         r.finish()?;
@@ -811,6 +872,7 @@ mod tests {
             seed: 0x5eed,
             budget: 64,
             precision: Some(Precision::within(0.1).at_confidence(0.99)),
+            trace: Some(0xABCD),
         }
     }
 
@@ -834,6 +896,7 @@ mod tests {
         round_trip_request(Request::Count(demo_spec(1)));
         round_trip_request(Request::Count(CountSpec {
             precision: None,
+            trace: None,
             ..demo_spec(2)
         }));
         round_trip_request(Request::Batch(vec![demo_spec(1), demo_spec(2)]));
@@ -844,6 +907,8 @@ mod tests {
         });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Bye);
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::Trace);
     }
 
     #[test]
@@ -905,12 +970,22 @@ mod tests {
                 jobs_cancelled: 1,
                 protocol_errors: 0,
             },
+            exposition: "engine_runs 12\nservice_jobs_completed 9".to_string(),
         }));
         round_trip_response(Response::CancelOk {
             id: 42,
             was_active: true,
         });
         round_trip_response(Response::ByeOk);
+        round_trip_response(Response::MetricsOk {
+            exposition: "span_coloring_count 3\nspan_coloring_p50_ns 1024".to_string(),
+        });
+        round_trip_response(Response::MetricsOk {
+            exposition: String::new(),
+        });
+        round_trip_response(Response::TraceOk {
+            report: "trace_id=1 label=5n5e/PS seed=7 outcome=precision_met".to_string(),
+        });
     }
 
     #[test]
@@ -1011,6 +1086,7 @@ mod tests {
             seed: 0,
             budget: 1,
             precision: None,
+            trace: None,
         }];
         let encoded = Request::Batch(specs.clone()).encode();
         assert_eq!(encoded.len(), 4 + MIN_COUNT_SPEC_BYTES);

@@ -194,6 +194,19 @@ impl Server {
         self.shared.counters.snapshot()
     }
 
+    /// The full metrics exposition — the same sorted `name value` lines the
+    /// `metrics` wire verb returns, covering stage histograms, engine and
+    /// kernel counters, service gauges, and this server's `net_*` counters.
+    pub fn exposition(&self) -> String {
+        exposition(&self.shared)
+    }
+
+    /// The slow-query trace log — the same rendering the `trace` wire verb
+    /// returns.
+    pub fn trace_report(&self) -> String {
+        self.shared.service.trace_report()
+    }
+
     /// Stops the server: no new connections, open connections are closed
     /// immediately (streaming clients lose their sockets — terminal frames
     /// are not guaranteed on the wire, but every in-flight job still
@@ -311,8 +324,12 @@ impl Conn {
                 "connection marked dead",
             ));
         }
-        let payload = response.encode();
+        let payload = {
+            let _span = sgc_obs::span(sgc_obs::Stage::NetEncode);
+            response.encode()
+        };
         let result = {
+            let _span = sgc_obs::span(sgc_obs::Stage::NetWrite);
             let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
             wire::write_frame(
                 &mut *writer,
@@ -545,13 +562,42 @@ fn handle_frame(
             .send(&Response::StatsOk(StatsFrame {
                 service: conn.shared.service.metrics(),
                 server: conn.shared.counters.snapshot(),
+                exposition: exposition(&conn.shared),
             }))
             .is_ok(),
         Request::Bye => {
             let _ = conn.send(&Response::ByeOk);
             false
         }
+        Request::Metrics => conn
+            .send(&Response::MetricsOk {
+                exposition: exposition(&conn.shared),
+            })
+            .is_ok(),
+        Request::Trace => conn
+            .send(&Response::TraceOk {
+                report: conn.shared.service.trace_report(),
+            })
+            .is_ok(),
     }
+}
+
+/// Renders the full registry exposition after refreshing the network
+/// layer's own `net_*` gauges from the live counters. Gauges (not counter
+/// deltas): the atomics are cumulative, so setting them on every render
+/// keeps repeated expositions from double-counting.
+fn exposition(shared: &ServerShared) -> String {
+    let registry = sgc_obs::global();
+    let stats = shared.counters.snapshot();
+    registry.gauge_set("net_connections_accepted", stats.connections_accepted);
+    registry.gauge_set("net_connections_open", stats.connections_open);
+    registry.gauge_set("net_frames_read", stats.frames_read);
+    registry.gauge_set("net_frames_written", stats.frames_written);
+    registry.gauge_set("net_streams_opened", stats.streams_opened);
+    registry.gauge_set("net_streams_active", stats.streams_active);
+    registry.gauge_set("net_jobs_cancelled", stats.jobs_cancelled);
+    registry.gauge_set("net_protocol_errors", stats.protocol_errors);
+    shared.service.exposition()
 }
 
 /// Builds the service job for one wire spec. Parse errors become spanned
@@ -578,6 +624,9 @@ fn build_job(conn: &Conn, spec: &CountSpec) -> Option<CountJob> {
         .budget(spec.budget as usize);
     if let Some(precision) = spec.precision {
         job = job.precision(precision);
+    }
+    if let Some(trace_id) = spec.trace {
+        job = job.trace(trace_id);
     }
     Some(job)
 }

@@ -25,8 +25,10 @@
 use std::io::{Read, Write};
 
 /// Version stamp exchanged in the `hello` handshake; bumped on any
-/// incompatible frame or payload change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// incompatible frame or payload change. Version 2 added the trace option
+/// to count specs, the exposition string to stats frames, and the
+/// `metrics`/`trace` verbs.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on `length` (tag + payload bytes) accepted per frame.
 pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;

@@ -1,0 +1,253 @@
+//! Log-bucketed latency histograms.
+//!
+//! An HDR-style histogram over `u64` values (nanoseconds, by convention)
+//! with power-of-2 buckets: bucket 0 holds the value 0 and bucket `b ≥ 1`
+//! holds the half-open range `[2^(b-1), 2^b)`, so 65 buckets cover the full
+//! `u64` domain. Recording is a relaxed atomic increment plus an atomic
+//! max — safe from any thread, wait-free, and allocation-free. Quantiles
+//! are read out of a [`HistogramSnapshot`]: a quantile is the inclusive
+//! upper bound of the bucket containing that rank, capped at the exact
+//! tracked maximum, so `p(q)` is always `≥` the true q-quantile and less
+//! than `2×` it (the bucket width), and the top quantile is exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-2 buckets: one for zero plus one per bit of `u64`.
+pub const NUM_BUCKETS: usize = 65;
+
+/// Index of the bucket holding `value`: 0 for 0, else `64 - leading_zeros`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `index` (`0`, `2^index - 1`, …,
+/// `u64::MAX` for the top bucket).
+#[inline]
+pub fn bucket_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A concurrent log-bucketed histogram of `u64` values.
+///
+/// `const`-constructible so per-stage histograms can live in statics; all
+/// operations are relaxed atomics (per-counter consistency is all the
+/// readout needs).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the counters, for quantile readout.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s counters.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_index`] for the bucket layout).
+    pub buckets: [u64; NUM_BUCKETS],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q ∈ [0, 1]`: the inclusive upper bound of the
+    /// bucket holding the `ceil(q·count)`-th smallest recorded value,
+    /// capped at the exact maximum. Zero when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_bound(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](HistogramSnapshot::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        for bit in 1..64 {
+            let low = 1u64 << (bit - 1);
+            let high = (1u64 << bit) - 1;
+            assert_eq!(bucket_index(low), bit as usize, "lower edge of bucket");
+            assert_eq!(bucket_index(high), bit as usize, "upper edge of bucket");
+            assert_eq!(bucket_bound(bit as usize), high);
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(64), u64::MAX);
+        assert_eq!(bucket_bound(0), 0);
+    }
+
+    #[test]
+    fn zero_max_and_overflow_extremes() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[64], 1);
+        assert_eq!(snap.max, u64::MAX);
+        // The sum wraps rather than panicking: 0 + MAX = MAX.
+        assert_eq!(snap.sum, u64::MAX);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.max, 0);
+    }
+
+    /// The quantile contract pinned against a sorted-vector oracle: for the
+    /// rank the histogram targets, the readout is ≥ the oracle value, lands
+    /// in the oracle value's bucket, and never exceeds the exact maximum.
+    #[test]
+    fn quantiles_agree_with_a_sorted_vector_oracle() {
+        // A deterministic, skewed value set: mixed magnitudes, repeats, 0.
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            values.push(x >> (x % 48));
+            if i % 17 == 0 {
+                values.push(0);
+            }
+            if i % 29 == 0 {
+                values.push(i * i);
+            }
+        }
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, values.len() as u64);
+        assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let got = snap.quantile(q);
+            assert!(got >= oracle, "q={q}: {got} < oracle {oracle}");
+            assert!(got <= snap.max, "q={q}: {got} above the exact max");
+            assert_eq!(
+                bucket_index(got),
+                bucket_index(oracle),
+                "q={q}: readout left the oracle's bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().max, 3999);
+    }
+}

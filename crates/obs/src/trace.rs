@@ -1,0 +1,178 @@
+//! Per-job trace IDs and the bounded slow-query log.
+//!
+//! Every job gets a `u64` trace ID — minted by [`next_trace_id`] at
+//! submission unless the client supplied one over the wire — and, when it
+//! finishes, a [`JobTrace`] carrying its per-stage timing breakdown is
+//! pushed into the service's [`TraceLog`]: a bounded ring of recent jobs.
+//! [`TraceLog::render`] is the payload of the `trace` net verb, listing the
+//! ring slowest-first so the most expensive recent jobs surface on top.
+
+use crate::span::StageNanos;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Mints a fresh process-unique trace ID (never zero).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One finished job's trace: identity, outcome and stage breakdown.
+#[derive(Clone, Debug)]
+pub struct JobTrace {
+    /// The job's trace ID (client-supplied or minted at submission).
+    pub trace_id: u64,
+    /// A short human label (query shape + algorithm).
+    pub label: String,
+    /// The job's base RNG seed.
+    pub seed: u64,
+    /// Trials actually executed.
+    pub trials_run: u64,
+    /// Wall-clock nanoseconds from job start to completion on the worker.
+    pub total_ns: u64,
+    /// How the job ended (`precision_met`, `budget_exhausted`,
+    /// `cancelled`, `cache_hit`, …).
+    pub outcome: &'static str,
+    /// Per-stage span counts and totals accumulated on the worker thread.
+    pub stages: StageNanos,
+}
+
+/// A bounded ring of recent [`JobTrace`]s — the slow-query log.
+#[derive(Debug)]
+pub struct TraceLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<JobTrace>>,
+}
+
+impl TraceLog {
+    /// An empty log keeping at most `capacity` recent jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            capacity: capacity.max(1),
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, VecDeque<JobTrace>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Maximum number of traces retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one finished job, evicting the oldest entry when full.
+    pub fn record(&self, trace: JobTrace) {
+        let mut ring = self.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// A copy of the retained traces, oldest first.
+    pub fn snapshot(&self) -> Vec<JobTrace> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Renders the slow-query log, slowest job first: one header line per
+    /// job (`trace_id=… label=… seed=… outcome=… trials=… total_ms=…`)
+    /// followed by one indented `stage=… spans=… total_ms=…` line per stage
+    /// the job spent time in. Empty logs render as `no traces recorded`.
+    pub fn render(&self) -> String {
+        let mut traces = self.snapshot();
+        if traces.is_empty() {
+            return "no traces recorded".to_string();
+        }
+        traces.sort_by_key(|trace| std::cmp::Reverse(trace.total_ns));
+        let mut out = String::new();
+        for trace in &traces {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "trace_id={} label={} seed={} outcome={} trials={} total_ms={:.3}",
+                trace.trace_id,
+                trace.label,
+                trace.seed,
+                trace.outcome,
+                trace.trials_run,
+                trace.total_ns as f64 / 1e6,
+            ));
+            for (stage, spans, total_ns) in trace.stages.nonzero() {
+                out.push_str(&format!(
+                    "\n  stage={} spans={} total_ms={:.3}",
+                    stage.name(),
+                    spans,
+                    total_ns as f64 / 1e6,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn trace(id: u64, total_ns: u64) -> JobTrace {
+        let mut stages = StageNanos::default();
+        stages.add(Stage::DpBlockColumnar, total_ns / 2);
+        JobTrace {
+            trace_id: id,
+            label: format!("q{id}"),
+            seed: 7,
+            trials_run: 4,
+            total_ns,
+            outcome: "budget_exhausted",
+            stages,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let log = TraceLog::new(2);
+        log.record(trace(1, 10));
+        log.record(trace(2, 20));
+        log.record(trace(3, 30));
+        let ids: Vec<u64> = log.snapshot().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![2, 3]);
+        assert_eq!(log.capacity(), 2);
+    }
+
+    #[test]
+    fn render_sorts_slowest_first_with_stage_breakdowns() {
+        let log = TraceLog::new(8);
+        log.record(trace(1, 1_000_000));
+        log.record(trace(2, 5_000_000));
+        let text = log.render();
+        let first = text.lines().next().unwrap();
+        assert!(first.contains("trace_id=2"), "slowest first: {first}");
+        assert!(text.contains("stage=dp.block.columnar"));
+        assert!(text.contains("outcome=budget_exhausted"));
+        // Every line is either a job header or an indented stage line.
+        for line in text.lines() {
+            assert!(line.starts_with("trace_id=") || line.starts_with("  stage="));
+        }
+    }
+
+    #[test]
+    fn empty_log_renders_a_placeholder() {
+        assert_eq!(TraceLog::new(4).render(), "no traces recorded");
+    }
+}

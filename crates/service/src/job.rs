@@ -74,6 +74,12 @@ pub struct CountJob {
     pub budget: usize,
     /// Optional early-stop target; `None` runs the full budget.
     pub precision: Option<Precision>,
+    /// Observability trace ID. `None` (the default) mints a fresh ID at
+    /// submission; clients that propagate their own correlation IDs over
+    /// the wire set it explicitly. Deliberately **not** part of the result
+    /// cache identity (the internal `JobKey`): two submissions
+    /// that differ only in trace ID are still the same computation.
+    pub trace_id: Option<u64>,
 }
 
 impl CountJob {
@@ -85,6 +91,7 @@ impl CountJob {
             seed: 0x5eed,
             budget: 64,
             precision: None,
+            trace_id: None,
         }
     }
 
@@ -151,6 +158,13 @@ impl CountJob {
     /// Sets the early-stop precision target.
     pub fn precision(mut self, precision: Precision) -> Self {
         self.precision = Some(precision);
+        self
+    }
+
+    /// Sets an explicit observability trace ID (propagated from the wire);
+    /// without it, submission mints a fresh one.
+    pub fn trace(mut self, trace_id: u64) -> Self {
+        self.trace_id = Some(trace_id);
         self
     }
 }
@@ -440,13 +454,17 @@ mod tests {
             .algorithm(Algorithm::PathSplitting)
             .seed(9)
             .budget(128)
-            .precision(Precision::within(0.05).at_confidence(0.99));
+            .precision(Precision::within(0.05).at_confidence(0.99))
+            .trace(77);
         assert_eq!(job.algorithm, Algorithm::PathSplitting);
         assert_eq!(job.seed, 9);
         assert_eq!(job.budget, 128);
         let p = job.precision.unwrap();
         assert_eq!(p.target, 0.05);
         assert_eq!(p.confidence, 0.99);
+        assert_eq!(job.trace_id, Some(77));
+        // Trace IDs default to "mint one at submission".
+        assert_eq!(CountJob::new(catalog::triangle()).trace_id, None);
     }
 
     #[test]

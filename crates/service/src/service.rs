@@ -47,6 +47,10 @@ pub struct ServiceConfig {
     /// workers*, and nested per-trial threading mostly adds scheduling
     /// overhead. Results are bit-identical either way.
     pub trial_parallelism: bool,
+    /// Whether workers record observability spans, publish run counters
+    /// into the `sgc-obs` registry, and feed the slow-query trace log.
+    /// On by default; results are bit-identical either way.
+    pub obs: bool,
 }
 
 impl Default for ServiceConfig {
@@ -58,9 +62,14 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             chunk_trials: 8,
             trial_parallelism: false,
+            obs: true,
         }
     }
 }
+
+/// Completed jobs the slow-query log retains (the `trace` net verb's
+/// payload); older entries are evicted first.
+const TRACE_LOG_CAPACITY: usize = 64;
 
 /// One queued job: the description plus the completion slot its
 /// [`JobHandle`] waits on.
@@ -106,10 +115,12 @@ struct Shared {
     queue_capacity: usize,
     chunk_trials: usize,
     trial_parallelism: bool,
+    obs: bool,
     queue: Mutex<QueueState>,
     available: Condvar,
     cache: ResultCache,
     counters: Counters,
+    traces: sgc_obs::TraceLog,
 }
 
 impl Shared {
@@ -148,6 +159,7 @@ impl Service {
             queue_capacity: config.queue_capacity,
             chunk_trials: config.chunk_trials.max(1),
             trial_parallelism: config.trial_parallelism,
+            obs: config.obs,
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
@@ -155,6 +167,7 @@ impl Service {
             available: Condvar::new(),
             cache: ResultCache::new(),
             counters: Counters::default(),
+            traces: sgc_obs::TraceLog::new(TRACE_LOG_CAPACITY),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -218,11 +231,17 @@ impl Service {
 
     fn submit_inner(
         &self,
-        job: CountJob,
+        mut job: CountJob,
         progress: Option<ProgressFn>,
     ) -> Result<JobHandle, ServiceError> {
         if let Some(precision) = &job.precision {
             precision.validate()?;
+        }
+        // Trace IDs are minted at submission (unless the client propagated
+        // one over the wire), so even a rejected or cancelled job has an
+        // identity in the logs.
+        if job.trace_id.is_none() {
+            job.trace_id = Some(sgc_obs::next_trace_id());
         }
         let state = Arc::new(JobState::with_progress(progress));
         {
@@ -317,7 +336,12 @@ impl Service {
                 precision.validate()?;
             }
         }
-        let jobs = batch.into_jobs();
+        let mut jobs = batch.into_jobs();
+        for job in &mut jobs {
+            if job.trace_id.is_none() {
+                job.trace_id = Some(sgc_obs::next_trace_id());
+            }
+        }
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
@@ -386,6 +410,35 @@ impl Service {
         self.shared
             .counters
             .snapshot(queue_depth, self.shared.cache.ready_entries())
+    }
+
+    /// The unified metrics exposition: publishes the current
+    /// [`ServiceMetrics`] snapshot into the process-wide `sgc-obs` registry
+    /// under `service_*` names (as gauges — the snapshot is already
+    /// cumulative) and renders the whole registry as sorted `name value`
+    /// lines. This is the payload of the `metrics` net verb.
+    pub fn exposition(&self) -> String {
+        let snapshot = self.metrics();
+        let registry = sgc_obs::global();
+        registry.gauge_set("service_jobs_submitted", snapshot.jobs_submitted);
+        registry.gauge_set("service_batches_submitted", snapshot.batches_submitted);
+        registry.gauge_set("service_jobs_rejected", snapshot.jobs_rejected);
+        registry.gauge_set("service_jobs_completed", snapshot.jobs_completed);
+        registry.gauge_set("service_jobs_cancelled", snapshot.jobs_cancelled);
+        registry.gauge_set("service_queue_depth", snapshot.queue_depth as u64);
+        registry.gauge_set("service_cache_hits", snapshot.cache_hits);
+        registry.gauge_set("service_cache_misses", snapshot.cache_misses);
+        registry.gauge_set("service_cached_results", snapshot.cached_results as u64);
+        registry.gauge_set("service_trials_executed", snapshot.trials_executed);
+        registry.gauge_set("service_trials_saved", snapshot.trials_saved);
+        registry.render()
+    }
+
+    /// Renders the slow-query trace log (slowest recent job first); the
+    /// payload of the `trace` net verb. See [`sgc_obs::TraceLog::render`]
+    /// for the line format.
+    pub fn trace_report(&self) -> String {
+        self.shared.traces.render()
     }
 
     /// The shared engine the workers count with; exposed so callers can run
@@ -477,13 +530,61 @@ fn process(shared: &Shared, queued: QueuedJob) {
         return;
     }
     if let Some((key, queued)) = route(shared, queued) {
-        // A panic in the counting code must neither kill the worker nor
-        // strand the jobs joined onto this computation.
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_job(shared, &queued.job, &queued.state)
-        }))
-        .unwrap_or(Err(ServiceError::WorkerLost));
+        let result = run_traced(shared, &queued);
         finish_compute(shared, key, &queued, result);
+    }
+}
+
+/// Runs one owned computation with observability around it: the worker's
+/// per-stage accumulator is scoped to the job, a panic in the counting code
+/// neither kills the worker nor strands the jobs joined onto this
+/// computation (the span stack self-heals during unwinding), and the
+/// finished job lands in the slow-query trace log.
+fn run_traced(shared: &Shared, queued: &QueuedJob) -> Result<JobOutput, ServiceError> {
+    let _pause = (!shared.obs).then(sgc_obs::suspend);
+    let started = std::time::Instant::now();
+    sgc_obs::start_job();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_job(shared, &queued.job, &queued.state)
+    }))
+    .unwrap_or(Err(ServiceError::WorkerLost));
+    let stages = sgc_obs::end_job();
+    if shared.obs && sgc_obs::enabled() {
+        shared.traces.record(sgc_obs::JobTrace {
+            trace_id: queued.job.trace_id.unwrap_or(0),
+            label: job_label(&queued.job),
+            seed: queued.job.seed,
+            trials_run: result.as_ref().map(|o| o.trials_run as u64).unwrap_or(0),
+            total_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            outcome: job_outcome(&result),
+            stages,
+        });
+    }
+    result
+}
+
+/// A short human label for the trace log: query shape plus algorithm
+/// (`"4n4e/DB"` = 4 nodes, 4 edges, Degree Based). The job's pattern text
+/// is not retained, so the shape is the identity the log can offer.
+fn job_label(job: &CountJob) -> String {
+    format!(
+        "{}n{}e/{}",
+        job.query.num_nodes(),
+        job.query.num_edges(),
+        job.algorithm.short_name()
+    )
+}
+
+/// Maps a finished computation to the trace log's outcome word.
+fn job_outcome(result: &Result<JobOutput, ServiceError>) -> &'static str {
+    match result {
+        Ok(output) => match output.stop {
+            StopReason::PrecisionMet => "precision_met",
+            StopReason::BudgetExhausted => "budget_exhausted",
+            StopReason::Cancelled => "cancelled",
+        },
+        Err(ServiceError::Cancelled) => "cancelled",
+        Err(_) => "error",
     }
 }
 
@@ -508,10 +609,27 @@ fn finish_if_cancelled_before_start(shared: &Shared, queued: &QueuedJob) -> bool
 /// for that job.
 fn route(shared: &Shared, queued: QueuedJob) -> Option<(JobKey, QueuedJob)> {
     let key = JobKey::new(shared.graph_fingerprint, &queued.job);
-    match shared.cache.claim(key.clone(), &queued.state) {
+    let _pause = (!shared.obs).then(sgc_obs::suspend);
+    let started = std::time::Instant::now();
+    let claim = {
+        let _span = sgc_obs::span(sgc_obs::Stage::Cache);
+        shared.cache.claim(key.clone(), &queued.state)
+    };
+    match claim {
         Claim::Served(output) => {
             Counters::bump(&shared.counters.cache_hits);
             Counters::bump(&shared.counters.jobs_completed);
+            if shared.obs && sgc_obs::enabled() {
+                shared.traces.record(sgc_obs::JobTrace {
+                    trace_id: queued.job.trace_id.unwrap_or(0),
+                    label: job_label(&queued.job),
+                    seed: queued.job.seed,
+                    trials_run: output.trials_run as u64,
+                    total_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    outcome: "cache_hit",
+                    stages: sgc_obs::StageNanos::default(),
+                });
+            }
             queued.state.fulfill(Ok(output));
             None
         }
@@ -601,10 +719,7 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
         .into_iter()
         .partition(|(_, queued)| queued.job.precision.is_some());
     for (key, queued) in adaptive {
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_job(shared, &queued.job, &queued.state)
-        }))
-        .unwrap_or(Err(ServiceError::WorkerLost));
+        let result = run_traced(shared, &queued);
         finish_compute(shared, key, &queued, result);
     }
     if fixed.is_empty() {
@@ -613,6 +728,20 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
     match catch_unwind(AssertUnwindSafe(|| run_jobs_batched(shared, &fixed))) {
         Ok(Ok(outputs)) => {
             for ((key, queued), output) in fixed.into_iter().zip(outputs) {
+                // Batched members have no per-job stage breakdown (the
+                // batch shares colorings and DP runs), but they still get
+                // a slow-query entry under their own trace ID.
+                if shared.obs && sgc_obs::enabled() {
+                    shared.traces.record(sgc_obs::JobTrace {
+                        trace_id: queued.job.trace_id.unwrap_or(0),
+                        label: job_label(&queued.job),
+                        seed: queued.job.seed,
+                        trials_run: output.trials_run as u64,
+                        total_ns: (output.estimate.total_seconds * 1e9) as u64,
+                        outcome: "budget_exhausted",
+                        stages: sgc_obs::StageNanos::default(),
+                    });
+                }
                 finish_compute(shared, key, &queued, Ok(output));
             }
         }
@@ -621,10 +750,7 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
         // only the offending members report the failure.
         Ok(Err(_)) => {
             for (key, queued) in fixed {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    run_job(shared, &queued.job, &queued.state)
-                }))
-                .unwrap_or(Err(ServiceError::WorkerLost));
+                let result = run_traced(shared, &queued);
                 finish_compute(shared, key, &queued, result);
             }
         }
@@ -656,6 +782,7 @@ fn run_jobs_batched(
                 .seed(queued.job.seed)
                 .trials(queued.job.budget)
                 .parallel(shared.trial_parallelism)
+                .obs(shared.obs)
         })
         .collect();
     let batch = shared.engine.count_batch(&requests)?;
@@ -686,6 +813,7 @@ fn run_job(shared: &Shared, job: &CountJob, state: &JobState) -> Result<JobOutpu
         .algorithm(job.algorithm)
         .seed(job.seed)
         .parallel(shared.trial_parallelism)
+        .obs(shared.obs)
         .estimate_incremental()?;
     let mut stop = StopReason::BudgetExhausted;
     while stream.trials_run() < job.budget {
@@ -763,6 +891,7 @@ mod tests {
                 queue_capacity: 16,
                 chunk_trials: 4,
                 trial_parallelism: false,
+                obs: true,
             },
         )
     }
@@ -816,6 +945,7 @@ mod tests {
                 queue_capacity: 2,
                 chunk_trials: 4,
                 trial_parallelism: false,
+                obs: true,
             },
         );
         let a = service.submit(CountJob::new(catalog::triangle())).unwrap();
@@ -900,6 +1030,7 @@ mod tests {
                 queue_capacity: 4,
                 chunk_trials: 4,
                 trial_parallelism: false,
+                obs: true,
             },
         );
         let output = service
@@ -982,6 +1113,7 @@ mod tests {
                 queue_capacity: 4,
                 chunk_trials: 4,
                 trial_parallelism: false,
+                obs: true,
             },
         );
         // Five members cannot fit a capacity-4 queue: nothing is admitted.

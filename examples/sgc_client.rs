@@ -6,6 +6,8 @@
 //!     [--seed N] [--budget N] [--precision F] [--algorithm db|ps]
 //! cargo run --release --example sgc_client -- --addr HOST:PORT explain 'brain1'
 //! cargo run --release --example sgc_client -- --addr HOST:PORT stats
+//! cargo run --release --example sgc_client -- --addr HOST:PORT metrics
+//! cargo run --release --example sgc_client -- --addr HOST:PORT trace
 //! ```
 //!
 //! `count` prints one progress line per streamed estimate chunk to stderr
@@ -78,7 +80,7 @@ fn parse_args() -> Result<Options, String> {
         return Err("--addr HOST:PORT is required".to_string());
     }
     if options.verb.is_empty() {
-        return Err("expected a verb: count, explain, or stats".to_string());
+        return Err("expected a verb: count, explain, stats, metrics, or trace".to_string());
     }
     Ok(options)
 }
@@ -142,9 +144,20 @@ fn run(options: Options) -> Result<(), ClientError> {
             let stats = client.stats()?;
             println!("--- service metrics ---\n{}", stats.service);
             println!("--- server stats ---\n{}", stats.server);
+            if !stats.exposition.is_empty() {
+                println!("--- metrics exposition ---\n{}", stats.exposition);
+            }
+        }
+        "metrics" => {
+            println!("{}", client.metrics()?);
+        }
+        "trace" => {
+            println!("{}", client.trace_log()?);
         }
         other => {
-            eprintln!("error: unknown verb {other} (expected count, explain, or stats)");
+            eprintln!(
+                "error: unknown verb {other} (expected count, explain, stats, metrics, or trace)"
+            );
             std::process::exit(2);
         }
     }

@@ -54,6 +54,7 @@ pub use sgc_engine as engine;
 pub use sgc_gen as gen;
 pub use sgc_graph as graph;
 pub use sgc_net as net;
+pub use sgc_obs as obs;
 pub use sgc_query as query;
 pub use sgc_service as service;
 pub use sgc_theory as theory;

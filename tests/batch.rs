@@ -188,6 +188,7 @@ fn service_batches_match_solo_submissions_and_the_engine() {
             queue_capacity: 64,
             chunk_trials: 4,
             trial_parallelism: false,
+            obs: true,
         },
     );
     let queries = registry_queries();

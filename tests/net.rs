@@ -33,6 +33,7 @@ fn server_config(workers: usize, queue_capacity: usize, chunk_trials: usize) -> 
             queue_capacity,
             chunk_trials,
             trial_parallelism: false,
+            obs: true,
         },
         ..ServerConfig::default()
     }
@@ -98,6 +99,7 @@ fn wire_outputs_are_bit_identical_to_service_run_for_every_registry_query() {
             queue_capacity: 64,
             chunk_trials: 4,
             trial_parallelism: false,
+            obs: true,
         },
     );
     let mut client = Client::connect(server.local_addr()).expect("connect");
@@ -512,6 +514,7 @@ fn a_client_that_vanishes_mid_stream_gets_its_job_cancelled() {
         seed: 5,
         budget: 1 << 40,
         precision: Some(Precision::within(1e-15)),
+        trace: None,
     });
     let payload = count.encode();
     let mut frame = ((payload.len() + 1) as u32).to_be_bytes().to_vec();

@@ -39,6 +39,7 @@ fn spec_from(id: u64, selector: u8, seed: u64, budget: u64, precision: u8) -> Co
                 confidence: 0.95,
             }),
         },
+        trace: (seed % 2 == 1).then_some(seed),
     }
 }
 

@@ -1,0 +1,207 @@
+//! Integration tests of the `sgc-obs` observability layer end to end:
+//! the differential guarantee (obs-on ≡ obs-off bit identity — spans and
+//! counters read the DP, they never branch it), the text exposition
+//! contract (`name value` lines, names unique, sorted, and pinned against
+//! a checked-in snapshot), and the `metrics`/`trace` wire verbs over a
+//! loopback server.
+//!
+//! These tests share one process, so they toggle observability only at
+//! request/config granularity (never the process-wide switch) and only
+//! ever publish the standard metric names.
+
+use std::sync::Arc;
+use subgraph_counting::core::KernelKind;
+use subgraph_counting::gen::erdos_renyi::gnp;
+use subgraph_counting::graph::CsrGraph;
+use subgraph_counting::net::{Server, ServerConfig};
+use subgraph_counting::query::Registry;
+use subgraph_counting::{Algorithm, Engine, Precision};
+
+fn obs_graph() -> CsrGraph {
+    gnp(80, 0.1, 0x0B5)
+}
+
+/// The one invariant everything else leans on: enabling or disabling
+/// observability changes no counted bit, across the registry, both
+/// algorithms, and solo vs sharded execution.
+#[test]
+fn observability_never_perturbs_the_count() {
+    let graph = obs_graph();
+    let engine = Engine::new(&graph);
+    let registry = Registry::builtin();
+    for name in registry.names() {
+        let query = registry.build(name).unwrap();
+        for algorithm in [Algorithm::PathSplitting, Algorithm::DegreeBased] {
+            for shards in [None, Some(1usize), Some(4)] {
+                let run = |obs: bool| {
+                    let mut request = engine
+                        .count(&query)
+                        .algorithm(algorithm)
+                        .trials(3)
+                        .seed(0xD1FF)
+                        .obs(obs);
+                    if let Some(shards) = shards {
+                        request = request.parallel(false).sharded(shards);
+                    }
+                    request.estimate().unwrap()
+                };
+                let on = run(true);
+                let off = run(false);
+                assert_eq!(
+                    on.per_trial, off.per_trial,
+                    "{name}/{algorithm}/shards {shards:?}: per-trial counts diverged"
+                );
+                assert_eq!(
+                    on.estimated_matches.to_bits(),
+                    off.estimated_matches.to_bits(),
+                    "{name}/{algorithm}/shards {shards:?}: estimate bits diverged"
+                );
+                assert_eq!(
+                    on.estimated_subgraphs.to_bits(),
+                    off.estimated_subgraphs.to_bits(),
+                    "{name}/{algorithm}/shards {shards:?}: subgraph bits diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Splits an exposition into its names, asserting the line format on the
+/// way: exactly `name value` with a u64 value, names strictly ascending
+/// (hence unique).
+fn parse_exposition(exposition: &str) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for line in exposition.lines() {
+        let fields: Vec<&str> = line.split(' ').collect();
+        assert_eq!(fields.len(), 2, "not a `name value` line: {line:?}");
+        fields[1]
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("value is not a u64: {line:?}"));
+        if let Some(previous) = names.last() {
+            assert!(
+                previous.as_str() < fields[0],
+                "names not strictly sorted: {previous} before {}",
+                fields[0]
+            );
+        }
+        names.push(fields[0].to_string());
+    }
+    names
+}
+
+/// After a workload touching every layer — solo and sharded engine runs on
+/// both kernels, service jobs over loopback including a cache hit, and the
+/// wire verbs themselves — the exposition is well formed and its name set
+/// matches the checked-in snapshot exactly. A new metric must be added to
+/// `tests/fixtures/metrics_names.txt` (append-only: renames break scrapers).
+#[test]
+fn exposition_names_match_the_checked_in_snapshot() {
+    let graph = obs_graph();
+    // Engine layer: sharded + solo runs on both kernels populate the
+    // engine_*, kernel_*, and shard_* metrics and the DP/exchange spans.
+    {
+        let engine = Engine::new(&graph);
+        let query = subgraph_counting::query::catalog::triangle();
+        for kernel in [KernelKind::Scalar, KernelKind::Columnar] {
+            engine
+                .count(&query)
+                .kernel(kernel)
+                .trials(2)
+                .seed(1)
+                .estimate()
+                .unwrap();
+            engine
+                .count(&query)
+                .kernel(kernel)
+                .parallel(false)
+                .sharded(2)
+                .trials(2)
+                .seed(1)
+                .estimate()
+                .unwrap();
+        }
+    }
+    // Service + net layers over loopback: a computed job (with precision,
+    // so the estimator chunks), its cache-hit repeat, and the verbs.
+    let mut server = Server::bind("127.0.0.1:0", Arc::new(graph), ServerConfig::default())
+        .expect("loopback bind");
+    let mut client =
+        subgraph_counting::net::Client::connect(server.local_addr()).expect("loopback connect");
+    for _ in 0..2 {
+        let output = client
+            .count("cycle(3)")
+            .seed(9)
+            .budget(16)
+            .precision(Precision::within(0.5))
+            .run()
+            .expect("triangle counts");
+        assert!(output.trials_run >= 1);
+    }
+    let exposition = client.metrics().expect("metrics verb");
+    client.bye().expect("clean goodbye");
+    server.shutdown();
+
+    let names = parse_exposition(&exposition);
+    let expected: Vec<&str> = include_str!("fixtures/metrics_names.txt").lines().collect();
+    assert_eq!(
+        names, expected,
+        "exposition names drifted from tests/fixtures/metrics_names.txt \
+         (the name set is an append-only contract)"
+    );
+}
+
+/// The `metrics` and `trace` verbs round-trip well-formed payloads over a
+/// live connection, and a client-stamped trace ID surfaces in the log.
+#[test]
+fn metrics_and_trace_verbs_work_over_loopback() {
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(obs_graph()),
+        ServerConfig::default(),
+    )
+    .expect("loopback bind");
+    let mut client =
+        subgraph_counting::net::Client::connect(server.local_addr()).expect("loopback connect");
+
+    // Before any job: both verbs answer (the trace log just says so).
+    let report = client.trace_log().expect("trace verb on idle server");
+    assert!(report.contains("no traces recorded"), "report: {report}");
+
+    let output = client
+        .count("cycle(4)")
+        .seed(3)
+        .budget(8)
+        .trace(0xFACE)
+        .run()
+        .expect("cycle(4) counts");
+    assert_eq!(output.trials_run, 8);
+
+    let exposition = client.metrics().expect("metrics verb");
+    let names = parse_exposition(&exposition);
+    assert!(!names.is_empty());
+    // The job left footprints in every layer the exposition covers.
+    let value = |name: &str| {
+        exposition
+            .lines()
+            .find_map(|line| line.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .parse::<u64>()
+            .unwrap()
+    };
+    assert!(value("engine_runs") >= 1);
+    assert!(value("service_jobs_completed") >= 1);
+    assert!(value("net_frames_written") >= 1);
+    assert!(value("span_coloring_count") >= 1);
+
+    let report = client.trace_log().expect("trace verb");
+    assert!(
+        report.contains("trace_id=64206"), // 0xFACE: the client-stamped ID
+        "client trace ID missing from the log:\n{report}"
+    );
+    assert!(
+        report.contains("outcome=budget_exhausted"),
+        "report: {report}"
+    );
+    client.bye().expect("clean goodbye");
+    server.shutdown();
+}

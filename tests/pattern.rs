@@ -152,6 +152,7 @@ fn text_and_constructor_jobs_share_one_service_cache_entry() {
             queue_capacity: 16,
             chunk_trials: 4,
             trial_parallelism: false,
+            obs: true,
         },
     );
     let by_text = service

@@ -21,6 +21,7 @@ fn config(workers: usize) -> ServiceConfig {
         queue_capacity: 64,
         chunk_trials: 4,
         trial_parallelism: false,
+        obs: true,
     }
 }
 
@@ -211,6 +212,7 @@ fn admission_control_and_shutdown_are_typed() {
             queue_capacity: 3,
             chunk_trials: 4,
             trial_parallelism: false,
+            obs: true,
         },
     );
     let mut handles = Vec::new();
