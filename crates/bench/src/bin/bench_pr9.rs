@@ -1,0 +1,358 @@
+//! PR 9 perf snapshot: incremental recount after a small delta vs a full
+//! recompute, on the `sgc-dyn` versioned store, written to
+//! `BENCH_PR9.json`.
+//!
+//! Two layers:
+//!
+//! 1. **Bit identity** — before anything is timed, the incremental recount
+//!    (replaying the parent version's clean-shard partials) is asserted
+//!    bit-identical, per trial, to both a from-scratch sharded run at the
+//!    same version and to the engine on a fresh build of the materialized
+//!    edge list. Replay must never branch the DP.
+//! 2. **Recount race** — for each query, best-of-`SGC_REPS` timings of
+//!    (a) the incremental recount at the child version with the parent's
+//!    partials retained, and (b) the same trials from scratch on an empty
+//!    store. Reported as trials/sec and the speedup ratio, alongside the
+//!    fraction of shard solves the incremental path replayed.
+//!
+//! The graph is a `road_like` lattice (a pruned grid with a sprinkling of
+//! shortcuts) rather than an ER/Chung-Lu analog: expanders put every shard
+//! inside the delta's `2k` invalidation ball, which is exactly the
+//! worst case the dirty-shard rule degrades to, not the common case the
+//! incremental path exists for. The delta is corner-local and at most 1%
+//! of the edge set, matching the acceptance criterion.
+//!
+//! Environment knobs (all optional): `SGC_SCALE` (graph scale, default
+//! 0.02), `SGC_TRIALS` (trials per query, default 32), `SGC_REPS`
+//! (repetitions, best-of, default 3), `SGC_SHARDS` (shard count, default
+//! 16), `SGC_BENCH_OUT` (output path, default `BENCH_PR9.json`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use sgc_bench::*;
+use subgraph_counting::core::kernel::ArenaPool;
+use subgraph_counting::core::{Algorithm, Engine, KernelKind};
+use subgraph_counting::dynamic::{run_trials, PartialStore, TrialSpec, VersionedGraph};
+use subgraph_counting::gen::road_like;
+use subgraph_counting::graph::{CsrGraph, EdgeDelta, GraphBuilder};
+use subgraph_counting::query::{catalog, heuristic_plan, QueryGraph};
+
+/// Minimal JSON emitter: the repo deliberately has no serde, and the file
+/// format is flat enough that assembling it by hand stays readable.
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::new())
+    }
+    fn push(&mut self, s: &str) {
+        self.0.push_str(s);
+    }
+    fn str_field(&mut self, key: &str, value: &str) {
+        self.push(&format!("\"{key}\": \"{value}\""));
+    }
+    fn num_field(&mut self, key: &str, value: f64) {
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.push(&format!("\"{key}\": {value:.0}"));
+        } else {
+            self.push(&format!("\"{key}\": {value}"));
+        }
+    }
+}
+
+/// Builds a corner-local delta touching at most 1% of `graph`'s edges:
+/// a few deletions among the lattice's first rows and a few insertions of
+/// absent short-range chords in the same corner.
+fn corner_delta(graph: &CsrGraph, side: usize, budget: usize) -> EdgeDelta {
+    let corner = (2 * side) as u32;
+    let deletes: Vec<(u32, u32)> = graph
+        .edges()
+        .filter(|&(u, v)| u < corner && v < corner)
+        .take(budget / 2)
+        .collect();
+    let mut inserts = Vec::new();
+    'outer: for u in 0..corner {
+        for step in 2..6u32 {
+            let v = u + step;
+            if v < corner && !graph.has_edge(u, v) && !inserts.contains(&(u, v)) {
+                inserts.push((u, v));
+                if inserts.len() >= budget.div_ceil(2) {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(
+        !deletes.is_empty() && !inserts.is_empty(),
+        "corner of the lattice must offer edges to flip"
+    );
+    EdgeDelta::new(inserts, deletes).expect("corner delta is valid by construction")
+}
+
+/// Rebuilds `graph` from its edge list — the from-scratch reference the
+/// bit-identity contract is stated against.
+fn rebuild(graph: &CsrGraph) -> CsrGraph {
+    let mut b = GraphBuilder::new(graph.num_vertices());
+    b.extend_edges(graph.edges());
+    b.build()
+}
+
+struct QueryRow {
+    name: &'static str,
+    incremental_seconds: f64,
+    scratch_seconds: f64,
+    replay_fraction: f64,
+    trials: usize,
+}
+
+/// Runs the bit-identity gate and the timed race for one query. Panics on
+/// any per-trial mismatch — nothing is timed until identity holds.
+#[allow(clippy::too_many_arguments)]
+fn race_query(
+    name: &'static str,
+    query: &QueryGraph,
+    versions: &VersionedGraph,
+    trials: usize,
+    shards: usize,
+    seed: u64,
+    reps: usize,
+) -> QueryRow {
+    let tree = heuristic_plan(query).expect("benchmark queries are plannable");
+    let spec = TrialSpec {
+        query,
+        tree: &tree,
+        algorithm: Algorithm::DegreeBased,
+        seed,
+        num_shards: shards,
+        kernel: KernelKind::default(),
+    };
+    let pool = ArenaPool::new();
+    let root = versions.root();
+    let head = versions.head();
+
+    // -- Bit identity, asserted before the clock starts ------------------
+    let warm = PartialStore::default();
+    run_trials(versions, &warm, root, &spec, 0..trials, &pool).expect("root population");
+    let incremental =
+        run_trials(versions, &warm, head, &spec, 0..trials, &pool).expect("incremental recount");
+    assert_eq!(
+        incremental.trials_incremental, trials,
+        "{name}: every trial must take the incremental path"
+    );
+    assert!(
+        incremental.shards_replayed > 0,
+        "{name}: a corner delta must leave clean shards to replay"
+    );
+    let scratch = run_trials(
+        versions,
+        &PartialStore::default(),
+        head,
+        &spec,
+        0..trials,
+        &pool,
+    )
+    .expect("scratch recount");
+    assert_eq!(scratch.trials_scratch, trials);
+    assert_eq!(
+        incremental.per_trial, scratch.per_trial,
+        "{name}: incremental recount diverged from scratch"
+    );
+    let materialized = versions.data_at(head).expect("head is a known version");
+    let reference = Engine::new(&rebuild(&materialized.graph))
+        .count(query)
+        .algorithm(Algorithm::DegreeBased)
+        .seed(seed)
+        .trials(trials)
+        .parallel(false)
+        .sharded(shards)
+        .estimate()
+        .expect("benchmark queries count");
+    assert_eq!(
+        incremental.per_trial, reference.per_trial,
+        "{name}: incremental recount diverged from a fresh engine build"
+    );
+
+    // -- The race ---------------------------------------------------------
+    // Per repetition both contenders get fresh stores; the incremental
+    // side's root population is untimed prep (it models the partials the
+    // previous version's count already paid for).
+    let mut best = [f64::INFINITY; 2]; // [incremental, scratch]
+    let mut replay_fraction = 0.0;
+    for _ in 0..reps {
+        let store = PartialStore::default();
+        run_trials(versions, &store, root, &spec, 0..trials, &pool).expect("root population");
+        let started = Instant::now();
+        let outcome =
+            run_trials(versions, &store, head, &spec, 0..trials, &pool).expect("timed incremental");
+        best[0] = best[0].min(started.elapsed().as_secs_f64());
+        let solves = (outcome.shards_replayed + outcome.shards_computed) as f64;
+        replay_fraction = outcome.shards_replayed as f64 / solves.max(1.0);
+
+        let empty = PartialStore::default();
+        let started = Instant::now();
+        run_trials(versions, &empty, head, &spec, 0..trials, &pool).expect("timed scratch");
+        best[1] = best[1].min(started.elapsed().as_secs_f64());
+    }
+    QueryRow {
+        name,
+        incremental_seconds: best[0],
+        scratch_seconds: best[1],
+        replay_fraction,
+        trials,
+    }
+}
+
+fn main() {
+    print_header("PR 9 perf snapshot: incremental recount vs full recompute");
+    let scale = experiment_scale();
+    let trials = env_usize("SGC_TRIALS", 32);
+    let reps = env_usize("SGC_REPS", 3).max(1);
+    let shards = env_usize("SGC_SHARDS", 16);
+    let seed = env_u64("SGC_SEED", 0x9D17);
+    let out_path = std::env::var("SGC_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+
+    // A road-like lattice: high-diameter, so a corner-local delta's 2k
+    // invalidation ball stays far from most shards.
+    let side = ((scale * 2400.0) as usize).max(24);
+    let base = road_like(side, 0.9, 0.01, 0x0A0D);
+    println!(
+        "graph: road_like(side {side}) at scale {scale} ({} vertices, {} edges)",
+        base.num_vertices(),
+        base.num_edges()
+    );
+
+    let delta_budget = (base.num_edges() / 100).clamp(2, 24);
+    let delta = corner_delta(&base, side, delta_budget);
+    let changed = delta.inserts().len() + delta.deletes().len();
+    assert!(
+        changed * 100 <= base.num_edges(),
+        "delta must stay within 1% of the edge set"
+    );
+    let mut versions = VersionedGraph::new(&base);
+    let v1 = versions
+        .apply_to_head(&delta)
+        .expect("corner delta applies");
+    println!(
+        "delta: +{} -{} edges ({:.2}% of the edge set), version {:016x}",
+        delta.inserts().len(),
+        delta.deletes().len(),
+        100.0 * changed as f64 / base.num_edges() as f64,
+        v1.as_u64()
+    );
+
+    let queries: Vec<(&'static str, QueryGraph)> = vec![
+        ("triangle", catalog::triangle()),
+        ("path4", catalog::path(4)),
+        ("cycle5", catalog::cycle(5)),
+    ];
+
+    println!();
+    println!(
+        "recount race: {trials} trials, {shards} shards, best of {reps} reps \
+         (bit identity asserted first)"
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>9}",
+        "query", "incr tr/s", "scratch tr/s", "speedup", "replayed"
+    );
+
+    let mut rows = Vec::new();
+    for (name, query) in &queries {
+        let row = race_query(name, query, &versions, trials, shards, seed, reps);
+        println!(
+            "{:>10} {:>12.1} {:>12.1} {:>9.2}x {:>8.1}%",
+            row.name,
+            row.trials as f64 / row.incremental_seconds.max(1e-12),
+            row.trials as f64 / row.scratch_seconds.max(1e-12),
+            row.scratch_seconds / row.incremental_seconds.max(1e-12),
+            100.0 * row.replay_fraction,
+        );
+        rows.push(row);
+    }
+
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.scratch_seconds / r.incremental_seconds.max(1e-12))
+        .collect();
+    let mean_speedup = geometric_mean(&speedups);
+    println!();
+    println!("geometric-mean speedup: {mean_speedup:.2}x");
+
+    let mut json = Json::new();
+    json.push("{\n");
+    json.push("  \"benchmark\": \"pr9\",\n");
+    json.push("  \"graph\": {");
+    json.str_field("name", "road_like");
+    json.push(", ");
+    json.num_field("scale", scale);
+    json.push(", ");
+    json.num_field("side", side as f64);
+    json.push(", ");
+    json.num_field("vertices", base.num_vertices() as f64);
+    json.push(", ");
+    json.num_field("edges", base.num_edges() as f64);
+    json.push("},\n");
+    json.push("  \"delta\": {");
+    json.num_field("inserts", delta.inserts().len() as f64);
+    json.push(", ");
+    json.num_field("deletes", delta.deletes().len() as f64);
+    json.push(", ");
+    json.num_field(
+        "edge_fraction_pct",
+        (10_000.0 * changed as f64 / base.num_edges() as f64).round() / 100.0,
+    );
+    json.push("},\n");
+    json.push("  \"bit_identity\": {");
+    json.num_field("queries", rows.len() as f64);
+    json.push(", ");
+    json.str_field(
+        "verdict",
+        "incremental == scratch == fresh engine build, per trial",
+    );
+    json.push("},\n");
+    json.push("  \"recount_race\": {\n");
+    json.push(&format!(
+        "    \"trials\": {trials},\n    \"shards\": {shards},\n    \"reps\": {reps},\n"
+    ));
+    json.push("    \"queries\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push("      {");
+        json.str_field("query", row.name);
+        json.push(", ");
+        json.num_field(
+            "incremental_trials_per_sec",
+            (10.0 * row.trials as f64 / row.incremental_seconds.max(1e-12)).round() / 10.0,
+        );
+        json.push(", ");
+        json.num_field(
+            "scratch_trials_per_sec",
+            (10.0 * row.trials as f64 / row.scratch_seconds.max(1e-12)).round() / 10.0,
+        );
+        json.push(", ");
+        json.num_field(
+            "speedup",
+            (100.0 * row.scratch_seconds / row.incremental_seconds.max(1e-12)).round() / 100.0,
+        );
+        json.push(", ");
+        json.num_field(
+            "shard_replay_fraction",
+            (1000.0 * row.replay_fraction).round() / 1000.0,
+        );
+        json.push("}");
+        json.push(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push("    ],\n");
+    json.push("    ");
+    json.num_field(
+        "geometric_mean_speedup",
+        (100.0 * mean_speedup).round() / 100.0,
+    );
+    json.push("\n  }\n");
+    json.push("}\n");
+
+    let mut file = std::fs::File::create(&out_path).expect("create output file");
+    file.write_all(json.0.as_bytes()).expect("write json");
+    println!();
+    println!("wrote {out_path}");
+}

@@ -83,6 +83,7 @@ fn main() {
                     chunk_trials: 8,
                     trial_parallelism: false,
                     obs: true,
+                    ..ServiceConfig::default()
                 },
             );
             let started = Instant::now();

@@ -281,11 +281,12 @@ pub fn scaling_factor(k: usize) -> f64 {
 
 /// Folds per-trial colorful counts into the scaled estimate and its
 /// precision statistics.
-pub(crate) fn summarize_trials(
-    per_trial: Vec<Count>,
-    query: &QueryGraph,
-    total_seconds: f64,
-) -> Estimate {
+///
+/// Public so version-aware callers (the incremental recount path in
+/// `sgc-dyn`) can turn replayed per-trial counts into estimates that are
+/// bit-identical to what [`Engine`] would produce from the
+/// same trials.
+pub fn summarize_trials(per_trial: Vec<Count>, query: &QueryGraph, total_seconds: f64) -> Estimate {
     let k = query.num_nodes();
     let n = per_trial.len() as f64;
     let mean = per_trial.iter().map(|&c| c as f64).sum::<f64>() / n;

@@ -65,7 +65,10 @@ pub use estimator::{Estimate, EstimateConfig, TrialAccumulator};
 pub use explain::{BlockReport, PlanCandidate, PlanReport, TreewidthVerdict};
 pub use kernel::{KernelKind, KernelMetrics};
 pub use metrics::{RunMetrics, ShardMetrics};
-pub use runtime::{ShardPlan, VertexShard};
+pub use runtime::{
+    count_sharded_retaining, dirty_shards, recount_sharded_replay, IncrementalOutcome, ShardPlan,
+    TrialPartials, VertexShard,
+};
 
 #[allow(deprecated)]
 pub use driver::{count_colorful, count_colorful_with_tree};

@@ -26,6 +26,11 @@
 //! sharded ≡ serial contract.
 
 pub mod exchange;
+pub mod incremental;
 pub mod shard;
 
+pub use incremental::{
+    count_sharded_retaining, dirty_shards, recount_sharded_replay, IncrementalOutcome,
+    TrialPartials,
+};
 pub use shard::{ShardPlan, VertexShard};

@@ -1,0 +1,37 @@
+//! # sgc-dyn — versioned graphs and delta-aware incremental recount
+//!
+//! The rest of the workspace treats the data graph as immutable: build a
+//! [`CsrGraph`](sgc_graph::CsrGraph), count against it forever. This crate
+//! makes the graph *mutable without giving that up*: every edge
+//! insert/delete batch ([`EdgeDelta`](sgc_graph::EdgeDelta)) produces a new
+//! immutable copy-on-write snapshot, identified by a [`VersionId`], and
+//! counting always targets a specific version. Three pieces:
+//!
+//! * [`VersionedGraph`] — the version chain. Applying a delta to a parent
+//!   version yields a child whose id is `parent ⊕ delta.digest()`, shares
+//!   every untouched CSR segment with its parent, and can be materialized
+//!   (memoized) into a plain `CsrGraph` + [`GraphPrep`](sgc_core::context::GraphPrep)
+//!   for the solvers.
+//! * [`PartialStore`] — a bounded LRU store of per-trial, per-shard partial
+//!   sums ([`TrialPartials`](sgc_core::TrialPartials)) keyed by
+//!   `(version, query, algorithm, seed, shards, trial)`.
+//! * [`run_trials`] / [`estimate_at`] — the delta-aware trial runner: a
+//!   trial whose parent-version partials are in the store recomputes only
+//!   the shards within the delta's invalidation ball
+//!   ([`dirty_shards`](sgc_core::dirty_shards)) and **replays** the rest —
+//!   with the hard contract that the per-trial counts are bit-identical to
+//!   a from-scratch run on the new snapshot (per-trial colorful counts are
+//!   exact given a coloring, and colorings depend only on
+//!   `(num_vertices, colors, seed + trial)`, which edge deltas never
+//!   change).
+//!
+//! `sgc-service` builds its `apply_delta` / `count_at` / `watch` jobs on
+//! top of this crate; `sgc-net` exposes them as protocol-v3 verbs.
+
+pub mod count;
+pub mod store;
+pub mod version;
+
+pub use count::{estimate_at, run_trials, TrialBatchOutcome, TrialSpec};
+pub use store::{PartialKey, PartialStore, StoreStats, DEFAULT_STORE_CAPACITY_BYTES};
+pub use version::{DynError, VersionData, VersionId, VersionedGraph};

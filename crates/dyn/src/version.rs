@@ -1,0 +1,418 @@
+//! The version chain: snapshot lineage with fingerprint-⊕-digest ids.
+
+use sgc_core::context::GraphPrep;
+use sgc_graph::{CsrGraph, DeltaError, EdgeDelta, SegmentedSnapshot};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Identifies one graph version in a [`VersionedGraph`].
+///
+/// The root version's id is the base graph's
+/// [`fingerprint`](CsrGraph::fingerprint); a child's id is
+/// `parent ⊕ delta.digest()`. XOR-chaining has two properties the system
+/// leans on:
+///
+/// * **Deterministic**: the same base graph plus the same delta sequence
+///   yields the same id on every node and every run, so version ids are
+///   meaningful across the wire (protocol v3 sends them verbatim).
+/// * **Path-dependent in exactly the right way**: the id commits to the
+///   *multiset* of applied delta digests — two clients that converge on
+///   the same edit sequence converge on the same id. (XOR also means a
+///   delta that exactly undoes another lands on a pre-existing id; deltas
+///   are therefore always validated against their parent before the store
+///   trusts an id collision as "version already known".)
+///
+/// Like the result cache's graph fingerprints, ids are 64-bit hashes:
+/// collisions are possible in principle and accepted with the same
+/// trade-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VersionId(u64);
+
+impl VersionId {
+    /// Wraps a raw id (e.g. one received off the wire).
+    pub fn from_u64(raw: u64) -> Self {
+        VersionId(raw)
+    }
+
+    /// The raw 64-bit id (what protocol v3 puts on the wire).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The id a child produced from this version by `delta` will have.
+    pub fn child(self, delta: &EdgeDelta) -> VersionId {
+        VersionId(self.0 ^ delta.digest())
+    }
+}
+
+impl fmt::Display for VersionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:016x}", self.0)
+    }
+}
+
+/// Everything the solvers need about one materialized version: the plain
+/// CSR graph and its prepared degree-order views, built once and shared.
+pub struct VersionData {
+    /// The version's full graph, materialized from its snapshot.
+    pub graph: CsrGraph,
+    /// The solver-side preprocessing ([`GraphPrep`]) for that graph.
+    pub prep: GraphPrep,
+}
+
+struct VersionEntry {
+    snapshot: SegmentedSnapshot,
+    parent: Option<VersionId>,
+    delta: Option<EdgeDelta>,
+    /// Materialized lazily, at most once, shared by all readers.
+    data: OnceLock<Arc<VersionData>>,
+}
+
+/// Errors from the versioned store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DynError {
+    /// The referenced version is not in the store.
+    UnknownVersion(VersionId),
+    /// The delta does not apply to the parent snapshot (missing delete,
+    /// duplicate insert, vertex out of range, ...).
+    Delta(DeltaError),
+    /// A counting error from the underlying runtime.
+    Count(sgc_core::SgcError),
+}
+
+impl fmt::Display for DynError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynError::UnknownVersion(v) => write!(f, "unknown graph version {v}"),
+            DynError::Delta(e) => write!(f, "delta rejected: {e}"),
+            DynError::Count(e) => write!(f, "count failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DynError {}
+
+impl From<DeltaError> for DynError {
+    fn from(e: DeltaError) -> Self {
+        DynError::Delta(e)
+    }
+}
+
+impl From<sgc_core::SgcError> for DynError {
+    fn from(e: sgc_core::SgcError) -> Self {
+        DynError::Count(e)
+    }
+}
+
+/// A chain (in general, a tree) of copy-on-write graph versions.
+///
+/// The store owns one [`SegmentedSnapshot`] per version; siblings and
+/// ancestors share every CSR segment a delta did not touch, so holding many
+/// versions of a large graph costs far less than many full copies.
+/// Materialized `CsrGraph`s (needed by the solvers) are built lazily and
+/// memoized per version.
+///
+/// ```
+/// use sgc_dyn::VersionedGraph;
+/// use sgc_graph::{EdgeDelta, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+/// let mut versions = VersionedGraph::new(&b.build());
+/// let root = versions.root();
+///
+/// let delta = EdgeDelta::new(vec![(0, 3)], vec![]).unwrap();
+/// let v1 = versions.apply_delta(root, &delta).unwrap();
+/// assert_eq!(v1, root.child(&delta));
+/// assert_eq!(versions.head(), v1);
+/// assert!(versions.snapshot(v1).unwrap().has_edge(0, 3));
+/// assert!(!versions.snapshot(root).unwrap().has_edge(0, 3));
+/// ```
+pub struct VersionedGraph {
+    root: VersionId,
+    head: VersionId,
+    versions: HashMap<VersionId, VersionEntry>,
+}
+
+impl VersionedGraph {
+    /// Starts a version chain at `graph` (the root version's id is the
+    /// graph's fingerprint).
+    pub fn new(graph: &CsrGraph) -> Self {
+        Self::with_snapshot(graph, SegmentedSnapshot::new(graph))
+    }
+
+    /// Like [`new`](VersionedGraph::new) with an explicit snapshot segment
+    /// size (smaller segments = finer copy-on-write granularity).
+    pub fn with_segment_vertices(graph: &CsrGraph, segment_vertices: usize) -> Self {
+        Self::with_snapshot(
+            graph,
+            SegmentedSnapshot::from_graph(graph, segment_vertices),
+        )
+    }
+
+    fn with_snapshot(graph: &CsrGraph, snapshot: SegmentedSnapshot) -> Self {
+        let root = VersionId(graph.fingerprint());
+        let mut versions = HashMap::new();
+        versions.insert(
+            root,
+            VersionEntry {
+                snapshot,
+                parent: None,
+                delta: None,
+                data: OnceLock::new(),
+            },
+        );
+        VersionedGraph {
+            root,
+            head: root,
+            versions,
+        }
+    }
+
+    /// The id of the base version.
+    pub fn root(&self) -> VersionId {
+        self.root
+    }
+
+    /// The most recently created version on the main line: advanced by
+    /// every [`apply_delta`](VersionedGraph::apply_delta) whose parent *is*
+    /// the head (applying to an older version creates a branch and leaves
+    /// the head alone).
+    pub fn head(&self) -> VersionId {
+        self.head
+    }
+
+    /// Number of versions in the store.
+    pub fn num_versions(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether `version` exists.
+    pub fn contains(&self, version: VersionId) -> bool {
+        self.versions.contains_key(&version)
+    }
+
+    /// The version's snapshot, if it exists.
+    pub fn snapshot(&self, version: VersionId) -> Option<&SegmentedSnapshot> {
+        self.versions.get(&version).map(|e| &e.snapshot)
+    }
+
+    /// The version's parent id (`None` for the root or unknown versions).
+    pub fn parent(&self, version: VersionId) -> Option<VersionId> {
+        self.versions.get(&version).and_then(|e| e.parent)
+    }
+
+    /// The delta that produced `version` from its parent (`None` for the
+    /// root or unknown versions).
+    pub fn delta(&self, version: VersionId) -> Option<&EdgeDelta> {
+        self.versions.get(&version).and_then(|e| e.delta.as_ref())
+    }
+
+    /// The ids from the root to `version`, in application order.
+    pub fn chain(&self, version: VersionId) -> Option<Vec<VersionId>> {
+        let mut chain = vec![version];
+        let mut at = version;
+        self.versions.get(&at)?;
+        while let Some(parent) = self.parent(at) {
+            chain.push(parent);
+            at = parent;
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Applies `delta` to `parent`, storing the child snapshot and
+    /// returning its id (`parent ⊕ delta.digest()`). Re-applying a delta
+    /// that already produced a child is idempotent. Runs under the
+    /// `delta.apply` observability stage.
+    ///
+    /// # Errors
+    /// [`DynError::UnknownVersion`] when `parent` is not in the store;
+    /// [`DynError::Delta`] when the delta does not apply to it.
+    // The entry API cannot express this insert: building the child
+    // snapshot is fallible and borrows the parent's entry from the same
+    // map the vacancy check would hold open.
+    #[allow(clippy::map_entry)]
+    pub fn apply_delta(
+        &mut self,
+        parent: VersionId,
+        delta: &EdgeDelta,
+    ) -> Result<VersionId, DynError> {
+        let _span = sgc_obs::span(sgc_obs::Stage::DeltaApply);
+        let entry = self
+            .versions
+            .get(&parent)
+            .ok_or(DynError::UnknownVersion(parent))?;
+        // Validate even when the child id already exists: with XOR
+        // chaining, re-applying a delta's digest lands back on the parent's
+        // parent, and skipping validation there would accept (say) an
+        // insert of an edge the parent already has — silently moving the
+        // head to a graph missing that edge.
+        entry.snapshot.check(delta)?;
+        let child = parent.child(delta);
+        if !self.versions.contains_key(&child) {
+            let snapshot = entry.snapshot.apply(delta)?;
+            self.versions.insert(
+                child,
+                VersionEntry {
+                    snapshot,
+                    parent: Some(parent),
+                    delta: Some(delta.clone()),
+                    data: OnceLock::new(),
+                },
+            );
+        }
+        if parent == self.head {
+            self.head = child;
+        }
+        Ok(child)
+    }
+
+    /// Applies `delta` to the current head.
+    pub fn apply_to_head(&mut self, delta: &EdgeDelta) -> Result<VersionId, DynError> {
+        self.apply_delta(self.head, delta)
+    }
+
+    /// The materialized graph + solver prep of `version`, built on first
+    /// use and shared afterwards.
+    ///
+    /// # Errors
+    /// [`DynError::UnknownVersion`] when `version` is not in the store.
+    pub fn data_at(&self, version: VersionId) -> Result<Arc<VersionData>, DynError> {
+        let entry = self
+            .versions
+            .get(&version)
+            .ok_or(DynError::UnknownVersion(version))?;
+        Ok(Arc::clone(entry.data.get_or_init(|| {
+            let graph = entry.snapshot.materialize();
+            let prep = GraphPrep::new(&graph);
+            Arc::new(VersionData { graph, prep })
+        })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgc_graph::GraphBuilder;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u32 - 1 {
+            b.add_edge(v, v + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn ids_chain_by_xor_and_head_advances() {
+        let g = path_graph(8);
+        let mut versions = VersionedGraph::new(&g);
+        let root = versions.root();
+        assert_eq!(root.as_u64(), g.fingerprint());
+        assert_eq!(versions.head(), root);
+
+        let d1 = EdgeDelta::new(vec![(0, 7)], vec![]).unwrap();
+        let d2 = EdgeDelta::new(vec![], vec![(3, 4)]).unwrap();
+        let v1 = versions.apply_to_head(&d1).unwrap();
+        let v2 = versions.apply_to_head(&d2).unwrap();
+        assert_eq!(v1.as_u64(), root.as_u64() ^ d1.digest());
+        assert_eq!(v2.as_u64(), v1.as_u64() ^ d2.digest());
+        assert_eq!(versions.head(), v2);
+        assert_eq!(versions.chain(v2).unwrap(), vec![root, v1, v2]);
+        assert_eq!(versions.parent(v2), Some(v1));
+        assert_eq!(versions.delta(v2), Some(&d2));
+        assert_eq!(versions.num_versions(), 3);
+    }
+
+    #[test]
+    fn branching_leaves_head_alone_and_reapply_is_idempotent() {
+        let g = path_graph(6);
+        let mut versions = VersionedGraph::new(&g);
+        let root = versions.root();
+        let d1 = EdgeDelta::new(vec![(0, 2)], vec![]).unwrap();
+        let v1 = versions.apply_to_head(&d1).unwrap();
+
+        // Branch off the root: a new version, but head stays at v1.
+        let d2 = EdgeDelta::new(vec![(0, 3)], vec![]).unwrap();
+        let b1 = versions.apply_delta(root, &d2).unwrap();
+        assert_ne!(b1, v1);
+        assert_eq!(versions.head(), v1);
+
+        // Same parent + same delta = same version, nothing new stored.
+        let before = versions.num_versions();
+        assert_eq!(versions.apply_delta(root, &d1).unwrap(), v1);
+        assert_eq!(versions.num_versions(), before);
+    }
+
+    #[test]
+    fn reapplying_a_delta_at_its_child_is_rejected_not_a_silent_walk_back() {
+        // XOR chaining makes d1's digest at v1 land exactly on the root id;
+        // the store must still reject it (v1 already has the edge) instead
+        // of trusting the id collision and moving the head back to a graph
+        // missing it.
+        let g = path_graph(6);
+        let mut versions = VersionedGraph::new(&g);
+        let root = versions.root();
+        let d1 = EdgeDelta::new(vec![(0, 2)], vec![]).unwrap();
+        let v1 = versions.apply_to_head(&d1).unwrap();
+        assert_eq!(v1.child(&d1), root);
+        assert!(matches!(
+            versions.apply_to_head(&d1),
+            Err(DynError::Delta(DeltaError::InsertExisting { edge: (0, 2) }))
+        ));
+        assert_eq!(versions.head(), v1);
+
+        // The true inverse (deleting what was inserted) is valid; its
+        // digest differs from d1's, so it creates a new version whose edge
+        // set matches the root rather than aliasing the root's id.
+        let undo = EdgeDelta::new(vec![], vec![(0, 2)]).unwrap();
+        let v2 = versions.apply_to_head(&undo).unwrap();
+        assert_ne!(v2, root);
+        assert!(!versions.snapshot(v2).unwrap().has_edge(0, 2));
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        let g = path_graph(4);
+        let mut versions = VersionedGraph::new(&g);
+        let ghost = VersionId::from_u64(0xdead_beef);
+        let d = EdgeDelta::new(vec![(0, 2)], vec![]).unwrap();
+        assert_eq!(
+            versions.apply_delta(ghost, &d),
+            Err(DynError::UnknownVersion(ghost))
+        );
+        assert!(versions.data_at(ghost).is_err());
+        // Deleting an absent edge is a Delta error, not a panic.
+        let bad = EdgeDelta::new(vec![], vec![(0, 3)]).unwrap();
+        assert!(matches!(
+            versions.apply_to_head(&bad),
+            Err(DynError::Delta(DeltaError::DeleteMissing { .. }))
+        ));
+    }
+
+    #[test]
+    fn materialized_version_matches_a_fresh_build() {
+        let g = path_graph(10);
+        let mut versions = VersionedGraph::new(&g);
+        let d = EdgeDelta::new(vec![(0, 9), (2, 7)], vec![(4, 5)]).unwrap();
+        let v1 = versions.apply_to_head(&d).unwrap();
+
+        let mut b = GraphBuilder::new(10);
+        for v in 0..9u32 {
+            if (v, v + 1) != (4, 5) {
+                b.add_edge(v, v + 1);
+            }
+        }
+        b.add_edge(0, 9);
+        b.add_edge(2, 7);
+        let fresh = b.build();
+
+        let data = versions.data_at(v1).unwrap();
+        assert_eq!(data.graph.fingerprint(), fresh.fingerprint());
+        // Memoized: second call hands back the same allocation.
+        let again = versions.data_at(v1).unwrap();
+        assert!(Arc::ptr_eq(&data, &again));
+    }
+}

@@ -23,6 +23,7 @@ pub mod csr;
 pub mod io;
 pub mod order;
 pub mod partition;
+pub mod snapshot;
 pub mod stats;
 pub mod vertex;
 
@@ -31,5 +32,6 @@ pub use coloring::Coloring;
 pub use csr::CsrGraph;
 pub use order::DegreeOrder;
 pub use partition::BlockPartition;
+pub use snapshot::{DeltaError, EdgeDelta, SegmentedSnapshot};
 pub use stats::DegreeStats;
 pub use vertex::VertexId;

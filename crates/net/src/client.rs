@@ -24,7 +24,8 @@
 //! ```
 
 use crate::proto::{
-    ChunkFrame, CountSpec, ErrorFrame, JobId, Request, Response, StatsFrame, WireOutput,
+    ChunkFrame, CountSpec, DeltaSpec, ErrorFrame, JobId, Request, Response, StatsFrame, WatchFrame,
+    WireOutput,
 };
 use crate::wire::{self, FrameError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
 use sgc_core::Algorithm;
@@ -299,6 +300,38 @@ impl Client {
         }
     }
 
+    /// Applies one batch of edge inserts and deletes to the server's graph,
+    /// returning the new version id. Every live watch subscription on the
+    /// server re-emits its estimate for the new version before this call's
+    /// `delta-ok` acknowledgement is written.
+    ///
+    /// Use a dedicated connection for mutations when this client also holds
+    /// a [`watch`](CountBuilder::watch) stream — the stream owns the
+    /// connection's incoming frames while it is being iterated.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] with a `delta` frame when the batch is
+    /// rejected (self-loop, duplicate edge, vertex out of range, inserting
+    /// an existing edge, deleting a missing one), plus transport failures.
+    pub fn apply_delta(
+        &mut self,
+        inserts: &[(u32, u32)],
+        deletes: &[(u32, u32)],
+    ) -> Result<u64, ClientError> {
+        self.send(&Request::Delta(DeltaSpec {
+            inserts: inserts.to_vec(),
+            deletes: deletes.to_vec(),
+        }))?;
+        match self.read_response()? {
+            Response::DeltaOk { version } => Ok(version),
+            Response::Error(frame) => Err(ClientError::Remote(frame)),
+            other => Err(ClientError::Unexpected(format!(
+                "expected delta-ok, got tag 0x{:02x}",
+                other.tag()
+            ))),
+        }
+    }
+
     /// Clean goodbye: the server acknowledges and closes the connection.
     /// The client is consumed — the socket is useless afterwards.
     ///
@@ -448,6 +481,53 @@ impl<'a> CountBuilder<'a> {
         })
     }
 
+    /// Subscribes to live re-estimation: the server runs the job once at
+    /// the current graph version (the stream's first item, emitted
+    /// immediately) and again at every version a later `delta` creates,
+    /// streaming one version-tagged [`WatchFrame`] per run. The stream
+    /// blocks between versions; call [`WatchStream::cancel`] (or drop the
+    /// connection) to unsubscribe.
+    ///
+    /// Apply deltas from a *different* connection — this one's incoming
+    /// frames belong to the watch stream while it is live.
+    ///
+    /// ```no_run
+    /// use sgc_net::Client;
+    ///
+    /// let mut client = Client::connect("127.0.0.1:7471").unwrap();
+    /// let mut watch = client.count("triangle").budget(64).watch().unwrap();
+    /// for frame in &mut watch {
+    ///     let frame = frame.unwrap();
+    ///     println!(
+    ///         "v{:016x}: count ≈ {}",
+    ///         frame.version, frame.estimated_subgraphs
+    ///     );
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    /// Transport failures while subscribing; server-side rejections arrive
+    /// as the stream's first (and only) item.
+    pub fn watch(self) -> Result<WatchStream<'a>, ClientError> {
+        let id = self.client.next_id;
+        self.client.next_id += 1;
+        let spec = CountSpec {
+            id,
+            pattern: self.pattern,
+            algorithm: self.algorithm,
+            seed: self.seed,
+            budget: self.budget,
+            precision: self.precision,
+            trace: self.trace,
+        };
+        self.client.send(&Request::Watch(spec))?;
+        Ok(WatchStream {
+            client: self.client,
+            id,
+            done: false,
+        })
+    }
+
     /// Sends the request and blocks to the final output, discarding the
     /// streamed chunks.
     ///
@@ -502,6 +582,80 @@ impl CountStream<'_> {
     /// Transport failures while sending the cancel frame.
     pub fn cancel(&mut self) -> Result<(), ClientError> {
         self.client.send(&Request::Cancel(self.id))
+    }
+}
+
+/// A blocking iterator over the version-tagged estimate frames of one watch
+/// subscription: one [`WatchFrame`] per graph version, starting with the
+/// version current at subscription time. Ends after [`cancel`]
+/// (acknowledged by the server) or a terminal error.
+///
+/// [`cancel`]: WatchStream::cancel
+pub struct WatchStream<'a> {
+    client: &'a mut Client,
+    id: JobId,
+    done: bool,
+}
+
+impl WatchStream<'_> {
+    /// The server-visible id of this subscription.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Unsubscribes: the server stops re-emitting and acknowledges, after
+    /// which the iterator yields `None`. Keep consuming the iterator after
+    /// cancelling — frames already in flight still arrive.
+    ///
+    /// # Errors
+    /// Transport failures while sending the cancel frame.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        self.client.send(&Request::Cancel(self.id))
+    }
+}
+
+impl Iterator for WatchStream<'_> {
+    type Item = Result<WatchFrame, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let response = match self.client.read_response() {
+                Ok(response) => response,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            match response {
+                Response::WatchChunk(frame) if frame.id == self.id => return Some(Ok(frame)),
+                Response::Error(frame) if frame.id == self.id || frame.id == 0 => {
+                    self.done = true;
+                    return Some(Err(ClientError::Remote(frame)));
+                }
+                // The server acknowledged our cancel: the subscription is
+                // gone, the stream is over.
+                Response::CancelOk { id, .. } if id == self.id => {
+                    self.done = true;
+                    return None;
+                }
+                // Frames for other jobs on this connection: not ours, skip.
+                Response::WatchChunk(_)
+                | Response::Chunk(_)
+                | Response::Final { .. }
+                | Response::Error(_)
+                | Response::CancelOk { .. } => {}
+                other => {
+                    self.done = true;
+                    return Some(Err(ClientError::Unexpected(format!(
+                        "mid-watch frame with tag 0x{:02x}",
+                        other.tag()
+                    ))));
+                }
+            }
+        }
     }
 }
 

@@ -16,8 +16,10 @@
 //!   primitive encode/decode; malformed input is a typed error, never a
 //!   panic or a hang,
 //! * [`proto`] — the verb vocabulary: `hello`, `count` (streams), `batch`,
-//!   `cancel`, `explain`, `stats`, `metrics`, `trace`, `bye`, and the
-//!   response/error taxonomy
+//!   `cancel`, `explain`, `stats`, `metrics`, `trace`, `delta` (mutate the
+//!   graph, get the new version id), `watch` (a live subscription
+//!   re-emitting a version-tagged estimate whenever a delta lands), `bye`,
+//!   and the response/error taxonomy
 //!   ([`ErrorKind::QueueFull`] is the one *retryable* error — admission
 //!   control on the wire),
 //! * [`server`] — [`Server`]: thread-per-connection accept loop, chunk
@@ -59,10 +61,12 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{BatchRequest, Client, ClientError, CountBuilder, CountStream, StreamEvent};
+pub use client::{
+    BatchRequest, Client, ClientError, CountBuilder, CountStream, StreamEvent, WatchStream,
+};
 pub use proto::{
-    ChunkFrame, CountSpec, ErrorFrame, ErrorKind, JobId, Request, Response, ServerStats,
-    StatsFrame, WireEstimate, WireOutput,
+    ChunkFrame, CountSpec, DeltaSpec, ErrorFrame, ErrorKind, JobId, Request, Response, ServerStats,
+    StatsFrame, WatchFrame, WireEstimate, WireOutput,
 };
 pub use server::{Server, ServerConfig};
 pub use wire::{FrameError, WireError, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};

@@ -14,6 +14,8 @@
 //! | `0x07` | Bye        | —                                               |
 //! | `0x08` | Metrics    | —                                               |
 //! | `0x09` | Trace      | —                                               |
+//! | `0x0A` | Delta      | [`DeltaSpec`] (edge inserts + deletes)          |
+//! | `0x0B` | Watch      | [`CountSpec`] (re-run at every new version)     |
 //! | `0x81` | HelloOk    | server protocol version (`u32`)                 |
 //! | `0x82` | Chunk      | [`ChunkFrame`]                                  |
 //! | `0x83` | Final      | job id, [`WireOutput`]                          |
@@ -24,6 +26,8 @@
 //! | `0x88` | ByeOk      | —                                               |
 //! | `0x89` | MetricsOk  | registry exposition (`str`)                     |
 //! | `0x8A` | TraceOk    | slow-query log rendering (`str`)                |
+//! | `0x8B` | DeltaOk    | new head version id (`u64`)                     |
+//! | `0x8C` | WatchChunk | [`WatchFrame`] (version-tagged estimate chunk)  |
 //!
 //! Estimates cross the wire as [`WireEstimate`]: every `f64` travels as its
 //! IEEE-754 bit pattern and the per-trial counts travel verbatim, so the
@@ -83,6 +87,25 @@ pub enum Request {
     /// Fetch the slow-query trace log; answered with
     /// [`Response::TraceOk`].
     Trace,
+    /// Apply an edge delta to the server's head graph version; answered
+    /// with [`Response::DeltaOk`] carrying the new version id, after every
+    /// live watch re-emitted. Rejected deltas answer a `delta` error and
+    /// leave the graph unchanged.
+    Delta(DeltaSpec),
+    /// Subscribe to a live count: the server answers one
+    /// [`Response::WatchChunk`] at the current head immediately, then a
+    /// fresh version-tagged chunk every time a delta lands. `Cancel` with
+    /// the same id unsubscribes.
+    Watch(CountSpec),
+}
+
+/// An edge delta in wire form: vertex-id pairs to insert and to delete.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaSpec {
+    /// Edges to insert (must not already exist).
+    pub inserts: Vec<(u32, u32)>,
+    /// Edges to delete (must exist).
+    pub deletes: Vec<(u32, u32)>,
 }
 
 /// Everything a `count` request carries: the textual pattern plus the
@@ -120,6 +143,8 @@ impl Request {
             Request::Bye => 0x07,
             Request::Metrics => 0x08,
             Request::Trace => 0x09,
+            Request::Delta(_) => 0x0A,
+            Request::Watch(_) => 0x0B,
         }
     }
 
@@ -138,6 +163,11 @@ impl Request {
             Request::Cancel(id) => wire::put_u64(&mut buf, *id),
             Request::Explain { pattern } => wire::put_str(&mut buf, pattern),
             Request::Stats | Request::Bye | Request::Metrics | Request::Trace => {}
+            Request::Delta(delta) => {
+                encode_edges(&mut buf, &delta.inserts);
+                encode_edges(&mut buf, &delta.deletes);
+            }
+            Request::Watch(spec) => encode_count_spec(&mut buf, spec),
         }
         buf
     }
@@ -179,11 +209,42 @@ impl Request {
             0x07 => Request::Bye,
             0x08 => Request::Metrics,
             0x09 => Request::Trace,
+            0x0A => Request::Delta(DeltaSpec {
+                inserts: decode_edges(&mut r)?,
+                deletes: decode_edges(&mut r)?,
+            }),
+            0x0B => Request::Watch(decode_count_spec(&mut r)?),
             tag => return Err(WireError::BadTag { tag }),
         };
         r.finish()?;
         Ok(request)
     }
+}
+
+fn encode_edges(buf: &mut Vec<u8>, edges: &[(u32, u32)]) {
+    wire::put_u32(buf, edges.len() as u32);
+    for &(u, v) in edges {
+        wire::put_u32(buf, u);
+        wire::put_u32(buf, v);
+    }
+}
+
+fn decode_edges(r: &mut Reader<'_>) -> Result<Vec<(u32, u32)>, WireError> {
+    let count = r.u32()? as usize;
+    // Each edge is 8 bytes on the wire; the remaining payload bounds the
+    // plausible count, so a hostile length cannot reserve gigabytes.
+    let max = r.remaining() / 8;
+    if count > max {
+        return Err(WireError::LengthOverflow {
+            declared: count,
+            max,
+        });
+    }
+    let mut edges = Vec::with_capacity(count);
+    for _ in 0..count {
+        edges.push((r.u32()?, r.u32()?));
+    }
+    Ok(edges)
 }
 
 fn encode_count_spec(buf: &mut Vec<u8>, spec: &CountSpec) {
@@ -338,6 +399,33 @@ pub enum Response {
         /// The rendered trace ring, slowest job first.
         report: String,
     },
+    /// Acknowledges a `delta` request: the delta applied and every live
+    /// watch re-emitted at the new version.
+    DeltaOk {
+        /// The new head version id.
+        version: u64,
+    },
+    /// One version-tagged estimate chunk of a `watch` subscription: sent
+    /// once at registration (the current head) and once per applied delta.
+    WatchChunk(WatchFrame),
+}
+
+/// One watch emission: a [`ChunkFrame`]-shaped estimate stamped with the
+/// graph version it was computed at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WatchFrame {
+    /// The watch subscription this emission belongs to.
+    pub id: JobId,
+    /// The graph version the estimate was computed at.
+    pub version: u64,
+    /// Trials executed for this emission.
+    pub trials_run: u64,
+    /// The watch job's trial budget.
+    pub budget: u64,
+    /// Estimated subgraph count at this version (bit pattern preserved).
+    pub estimated_subgraphs: f64,
+    /// Relative half-width of the confidence interval at this version.
+    pub relative_half_width: f64,
 }
 
 /// One streamed progress update: the anytime estimate after a completed
@@ -458,6 +546,13 @@ pub enum ErrorKind {
     BadRequest,
     /// The server failed internally (worker lost).
     Internal,
+    /// A `count-at` or version-pinned request named a graph version the
+    /// server does not hold.
+    UnknownVersion,
+    /// A `delta` request was rejected by the snapshot layer (deleting an
+    /// absent edge, inserting an existing one, a vertex out of range). The
+    /// graph is unchanged.
+    Delta,
 }
 
 impl ErrorKind {
@@ -479,6 +574,8 @@ impl ErrorKind {
             ErrorKind::BadFrame => 7,
             ErrorKind::BadRequest => 8,
             ErrorKind::Internal => 9,
+            ErrorKind::UnknownVersion => 10,
+            ErrorKind::Delta => 11,
         }
     }
 
@@ -494,6 +591,8 @@ impl ErrorKind {
             7 => ErrorKind::BadFrame,
             8 => ErrorKind::BadRequest,
             9 => ErrorKind::Internal,
+            10 => ErrorKind::UnknownVersion,
+            11 => ErrorKind::Delta,
             value => {
                 return Err(WireError::BadEnum {
                     what: "error kind",
@@ -517,6 +616,8 @@ impl std::fmt::Display for ErrorKind {
             ErrorKind::BadFrame => "bad-frame",
             ErrorKind::BadRequest => "bad-request",
             ErrorKind::Internal => "internal",
+            ErrorKind::UnknownVersion => "unknown-version",
+            ErrorKind::Delta => "delta",
         };
         f.write_str(name)
     }
@@ -651,6 +752,8 @@ impl Response {
             Response::ByeOk => 0x88,
             Response::MetricsOk { .. } => 0x89,
             Response::TraceOk { .. } => 0x8A,
+            Response::DeltaOk { .. } => 0x8B,
+            Response::WatchChunk(_) => 0x8C,
         }
     }
 
@@ -708,6 +811,7 @@ impl Response {
                 wire::put_u64(&mut buf, m.trials_executed);
                 wire::put_u64(&mut buf, m.trials_saved);
                 wire::put_u64(&mut buf, m.jobs_cancelled);
+                wire::put_u64(&mut buf, m.cache_evictions);
                 let srv = &s.server;
                 wire::put_u64(&mut buf, srv.connections_accepted);
                 wire::put_u64(&mut buf, srv.connections_open);
@@ -726,6 +830,15 @@ impl Response {
             Response::ByeOk => {}
             Response::MetricsOk { exposition } => wire::put_str(&mut buf, exposition),
             Response::TraceOk { report } => wire::put_str(&mut buf, report),
+            Response::DeltaOk { version } => wire::put_u64(&mut buf, *version),
+            Response::WatchChunk(w) => {
+                wire::put_u64(&mut buf, w.id);
+                wire::put_u64(&mut buf, w.version);
+                wire::put_u64(&mut buf, w.trials_run);
+                wire::put_u64(&mut buf, w.budget);
+                wire::put_f64(&mut buf, w.estimated_subgraphs);
+                wire::put_f64(&mut buf, w.relative_half_width);
+            }
         }
         buf
     }
@@ -795,6 +908,7 @@ impl Response {
                     trials_executed: r.u64()?,
                     trials_saved: r.u64()?,
                     jobs_cancelled: r.u64()?,
+                    cache_evictions: r.u64()?,
                 },
                 server: ServerStats {
                     connections_accepted: r.u64()?,
@@ -817,6 +931,15 @@ impl Response {
                 exposition: r.str()?,
             },
             0x8A => Response::TraceOk { report: r.str()? },
+            0x8B => Response::DeltaOk { version: r.u64()? },
+            0x8C => Response::WatchChunk(WatchFrame {
+                id: r.u64()?,
+                version: r.u64()?,
+                trials_run: r.u64()?,
+                budget: r.u64()?,
+                estimated_subgraphs: r.f64()?,
+                relative_half_width: r.f64()?,
+            }),
             tag => return Err(WireError::BadTag { tag }),
         };
         r.finish()?;
@@ -909,6 +1032,12 @@ mod tests {
         round_trip_request(Request::Bye);
         round_trip_request(Request::Metrics);
         round_trip_request(Request::Trace);
+        round_trip_request(Request::Delta(DeltaSpec {
+            inserts: vec![(0, 3), (17, 99)],
+            deletes: vec![(1, 2)],
+        }));
+        round_trip_request(Request::Delta(DeltaSpec::default()));
+        round_trip_request(Request::Watch(demo_spec(7)));
     }
 
     #[test]
@@ -959,6 +1088,7 @@ mod tests {
                 trials_executed: 500,
                 trials_saved: 100,
                 jobs_cancelled: 1,
+                cache_evictions: 2,
             },
             server: ServerStats {
                 connections_accepted: 3,
@@ -986,6 +1116,29 @@ mod tests {
         round_trip_response(Response::TraceOk {
             report: "trace_id=1 label=5n5e/PS seed=7 outcome=precision_met".to_string(),
         });
+        round_trip_response(Response::DeltaOk {
+            version: 0xDEAD_BEEF_0123,
+        });
+        round_trip_response(Response::WatchChunk(WatchFrame {
+            id: 7,
+            version: 0xDEAD_BEEF_0123,
+            trials_run: 32,
+            budget: 64,
+            estimated_subgraphs: 98.5,
+            relative_half_width: 0.125,
+        }));
+    }
+
+    #[test]
+    fn delta_edge_lists_bound_their_declared_length() {
+        // A delta promising more edges than bytes must be refused before
+        // reserving.
+        let mut buf = Vec::new();
+        wire::put_u32(&mut buf, u32::MAX);
+        assert!(matches!(
+            Request::decode(0x0A, &buf),
+            Err(WireError::LengthOverflow { .. })
+        ));
     }
 
     #[test]
@@ -1106,6 +1259,8 @@ mod tests {
             ErrorKind::BadFrame,
             ErrorKind::BadRequest,
             ErrorKind::Internal,
+            ErrorKind::UnknownVersion,
+            ErrorKind::Delta,
         ] {
             assert!(!kind.is_retryable(), "{kind} must not be retryable");
         }

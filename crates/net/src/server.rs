@@ -31,14 +31,14 @@
 //! [`Service::run`] with the same parameters.
 
 use crate::proto::{
-    ChunkFrame, CountSpec, ErrorFrame, ErrorKind, JobId, Request, Response, ServerStats,
-    StatsFrame, WireEstimate, WireOutput,
+    ChunkFrame, CountSpec, DeltaSpec, ErrorFrame, ErrorKind, JobId, Request, Response, ServerStats,
+    StatsFrame, WatchFrame, WireEstimate, WireOutput,
 };
 use crate::wire::{self, FrameError, RawFrame, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION};
 use sgc_graph::CsrGraph;
 use sgc_service::{
-    BatchJob, CancelToken, ChunkUpdate, CountJob, JobHandle, ProgressFn, Service, ServiceConfig,
-    ServiceError,
+    BatchJob, CancelToken, ChunkUpdate, CountJob, EdgeDelta, JobHandle, ProgressFn, Service,
+    ServiceConfig, ServiceError, VersionId, WatchFn, WatchHandle,
 };
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
@@ -310,6 +310,9 @@ struct Conn {
     dead: AtomicBool,
     /// Active streaming jobs on this connection: id → cancel token.
     active: Mutex<HashMap<JobId, CancelToken>>,
+    /// Live watch subscriptions on this connection: id → service handle.
+    /// `Cancel` with a watch id unsubscribes; teardown unregisters all.
+    watches: Mutex<HashMap<JobId, WatchHandle>>,
 }
 
 impl Conn {
@@ -370,6 +373,11 @@ impl Conn {
         for token in active.values() {
             token.cancel();
         }
+        drop(active);
+        let watches = self.watches.lock().unwrap_or_else(|p| p.into_inner());
+        for handle in watches.values() {
+            handle.cancel();
+        }
     }
 
     fn send_error(&self, id: JobId, kind: ErrorKind, message: impl Into<String>) {
@@ -403,6 +411,7 @@ fn handle_conn(shared: Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
                 writer: Mutex::new(writer),
                 dead: AtomicBool::new(false),
                 active: Mutex::new(HashMap::new()),
+                watches: Mutex::new(HashMap::new()),
             })
         }
         _ => {
@@ -448,6 +457,13 @@ fn handle_conn(shared: Arc<ServerShared>, stream: TcpStream, conn_id: u64) {
         let active = conn.active.lock().unwrap_or_else(|p| p.into_inner());
         for token in active.values() {
             token.cancel();
+        }
+    }
+    {
+        let mut watches = conn.watches.lock().unwrap_or_else(|p| p.into_inner());
+        for (_, handle) in watches.drain() {
+            handle.cancel();
+            shared.service.unwatch(handle.id());
         }
     }
     for waiter in waiters {
@@ -542,9 +558,34 @@ fn handle_frame(
                         .fetch_add(1, Ordering::Relaxed);
                     true
                 }
-                None => false,
+                // Not a streaming job — maybe a watch subscription. `cancel`
+                // doubles as unsubscribe so v3 needs no extra verb.
+                None => {
+                    let handle = conn
+                        .watches
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .remove(&id);
+                    match handle {
+                        Some(handle) => {
+                            handle.cancel();
+                            conn.shared.service.unwatch(handle.id());
+                            conn.shared
+                                .counters
+                                .jobs_cancelled
+                                .fetch_add(1, Ordering::Relaxed);
+                            true
+                        }
+                        None => false,
+                    }
+                }
             };
             conn.send(&Response::CancelOk { id, was_active }).is_ok()
+        }
+        Request::Delta(spec) => handle_delta(conn, spec),
+        Request::Watch(spec) => {
+            start_watch(conn, spec);
+            true
         }
         Request::Explain { pattern } => {
             let response = match conn.shared.service.engine().explain_str(&pattern) {
@@ -702,6 +743,8 @@ fn service_error_frame(id: JobId, e: &ServiceError) -> ErrorFrame {
             return ErrorFrame::from_parse_error(id, parse)
         }
         ServiceError::Count(_) => ErrorKind::Count,
+        ServiceError::UnknownVersion { .. } => ErrorKind::UnknownVersion,
+        ServiceError::Delta { .. } => ErrorKind::Delta,
     };
     ErrorFrame::new(id, kind, e.to_string())
 }
@@ -730,6 +773,88 @@ fn start_count(conn: &Arc<Conn>, spec: CountSpec) -> Option<JoinHandle<()>> {
         Err(e) => {
             let _ = conn.send(&Response::Error(service_error_frame(spec.id, &e)));
             None
+        }
+    }
+}
+
+/// Applies one edge-delta batch to the service's versioned graph head and
+/// answers with the new version id. Watch re-emissions run synchronously
+/// inside `apply_delta`, so by the time `delta-ok` is written every live
+/// watch on this server has already streamed its chunk for the new version.
+fn handle_delta(conn: &Arc<Conn>, spec: DeltaSpec) -> bool {
+    let delta = match EdgeDelta::new(spec.inserts, spec.deletes) {
+        Ok(delta) => delta,
+        Err(e) => {
+            return conn
+                .send(&Response::Error(ErrorFrame::new(
+                    0,
+                    ErrorKind::Delta,
+                    e.to_string(),
+                )))
+                .is_ok();
+        }
+    };
+    match conn.shared.service.apply_delta(&delta) {
+        Ok(version) => conn
+            .send(&Response::DeltaOk {
+                version: version.as_u64(),
+            })
+            .is_ok(),
+        Err(e) => conn
+            .send(&Response::Error(service_error_frame(0, &e)))
+            .is_ok(),
+    }
+}
+
+/// Registers a live watch subscription: the job re-runs at every new graph
+/// version and each result streams back as a `watch-chunk` frame tagged
+/// with the version that produced it. The initial emission (at the current
+/// head) is written before this returns; `cancel` with the same id
+/// unsubscribes.
+fn start_watch(conn: &Arc<Conn>, spec: CountSpec) {
+    let Some(job) = build_job(conn, &spec) else {
+        return;
+    };
+    {
+        let active = conn.active.lock().unwrap_or_else(|p| p.into_inner());
+        let watches = conn.watches.lock().unwrap_or_else(|p| p.into_inner());
+        if active.contains_key(&spec.id) || watches.contains_key(&spec.id) {
+            drop(active);
+            drop(watches);
+            conn.send_error(
+                spec.id,
+                ErrorKind::BadRequest,
+                format!("job id {} is already active on this connection", spec.id),
+            );
+            return;
+        }
+    }
+    let confidence = spec.precision.map(|p| p.confidence).unwrap_or(0.95);
+    let id = spec.id;
+    let cb_conn = Arc::clone(conn);
+    let callback: WatchFn = Arc::new(move |version: VersionId, update: &ChunkUpdate| {
+        let _ = cb_conn.send(&Response::WatchChunk(WatchFrame {
+            id,
+            version: version.as_u64(),
+            trials_run: update.trials_run as u64,
+            budget: update.budget as u64,
+            estimated_subgraphs: update.estimate.estimated_subgraphs,
+            relative_half_width: update.estimate.relative_half_width(confidence),
+        }));
+    });
+    match conn.shared.service.watch(job, callback) {
+        Ok(handle) => {
+            conn.shared
+                .counters
+                .streams_opened
+                .fetch_add(1, Ordering::Relaxed);
+            conn.watches
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .insert(id, handle);
+        }
+        Err(e) => {
+            let _ = conn.send(&Response::Error(service_error_frame(id, &e)));
         }
     }
 }

@@ -27,8 +27,10 @@ use std::io::{Read, Write};
 /// Version stamp exchanged in the `hello` handshake; bumped on any
 /// incompatible frame or payload change. Version 2 added the trace option
 /// to count specs, the exposition string to stats frames, and the
-/// `metrics`/`trace` verbs.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// `metrics`/`trace` verbs. Version 3 added the `delta` and `watch` verbs
+/// (versioned graphs with live re-emission), their `delta-ok` /
+/// `watch-chunk` responses, and the cache-evictions field in stats frames.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default cap on `length` (tag + payload bytes) accepted per frame.
 pub const DEFAULT_MAX_FRAME_LEN: usize = 16 * 1024 * 1024;

@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Number of stages in the taxonomy.
-pub const STAGE_COUNT: usize = 10;
+pub const STAGE_COUNT: usize = 12;
 
 /// Capacity of each thread's ring of recent spans.
 pub const RING_CAPACITY: usize = 256;
@@ -55,6 +55,12 @@ pub enum Stage {
     NetEncode,
     /// Writing + flushing one response frame to a socket.
     NetWrite,
+    /// Applying one edge-delta batch to the versioned graph store (segment
+    /// rebuild + version-chain bookkeeping).
+    DeltaApply,
+    /// Replaying one clean shard's cached partial table during a
+    /// delta-aware incremental recount (instead of re-solving the block).
+    DpRecountReplay,
 }
 
 impl Stage {
@@ -70,6 +76,8 @@ impl Stage {
         Stage::Cache,
         Stage::NetEncode,
         Stage::NetWrite,
+        Stage::DeltaApply,
+        Stage::DpRecountReplay,
     ];
 
     /// The stable dotted stage name (`"dp.block.columnar"`), used in trace
@@ -86,6 +94,8 @@ impl Stage {
             Stage::Cache => "cache",
             Stage::NetEncode => "net.encode",
             Stage::NetWrite => "net.write",
+            Stage::DeltaApply => "delta.apply",
+            Stage::DpRecountReplay => "dp.recount.replay",
         }
     }
 
@@ -103,6 +113,8 @@ impl Stage {
             Stage::Cache => "span_cache",
             Stage::NetEncode => "span_net_encode",
             Stage::NetWrite => "span_net_write",
+            Stage::DeltaApply => "span_delta_apply",
+            Stage::DpRecountReplay => "span_dp_recount_replay",
         }
     }
 

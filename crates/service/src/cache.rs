@@ -21,6 +21,7 @@ use crate::error::ServiceError;
 use crate::job::{CountJob, JobOutput, JobState};
 use sgc_query::{canonical_key, CanonicalQueryKey};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The cache identity of a job: everything its output deterministically
@@ -52,10 +53,11 @@ impl JobKey {
 }
 
 /// A cache slot: either a computation in progress (with the handles of
-/// every job waiting to be fulfilled by it) or a completed output.
+/// every job waiting to be fulfilled by it) or a completed output with its
+/// last-served recency tick (what the LRU bound evicts on).
 enum Slot {
     InFlight(Vec<Arc<JobState>>),
-    Ready(JobOutput),
+    Ready { output: JobOutput, last_used: u64 },
 }
 
 /// What [`ResultCache::claim`] decided about a job.
@@ -78,16 +80,33 @@ pub(crate) enum Claim {
     Joined,
 }
 
-/// The single-flight result cache.
+/// The single-flight result cache, bounded to `capacity` completed
+/// entries.
+///
+/// With versioned graphs every delta mints a fresh version id, and every
+/// version's jobs get their own cache keys — an unbounded cache would grow
+/// with the lifetime of the chain. The bound applies to *completed*
+/// entries only: in-flight slots are never evicted (jobs are joined onto
+/// them), and eviction picks the least recently *served* ready entry.
 pub(crate) struct ResultCache {
     slots: Mutex<HashMap<JobKey, Slot>>,
+    capacity: usize,
+    tick: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         ResultCache {
             slots: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<JobKey, Slot>> {
@@ -99,9 +118,11 @@ impl ResultCache {
     /// Routes one job through the cache: serve it, join it to an in-flight
     /// twin, or hand the computation to the caller.
     pub(crate) fn claim(&self, key: JobKey, state: &Arc<JobState>) -> Claim {
+        let tick = self.next_tick();
         let mut slots = self.lock();
         match slots.get_mut(&key) {
-            Some(Slot::Ready(output)) => {
+            Some(Slot::Ready { output, last_used }) => {
+                *last_used = tick;
                 let mut served = output.clone();
                 served.from_cache = true;
                 Claim::Served(served)
@@ -144,17 +165,52 @@ impl ResultCache {
         };
         if let Ok(output) = result {
             if output.stop != crate::job::StopReason::Cancelled {
-                slots.insert(key, Slot::Ready(output.clone()));
+                slots.insert(
+                    key,
+                    Slot::Ready {
+                        output: output.clone(),
+                        last_used: self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                    },
+                );
+                // Enforce the bound: evict least-recently-served ready
+                // entries (never in-flight slots) until we fit.
+                let mut evicted = 0u64;
+                while slots
+                    .values()
+                    .filter(|s| matches!(s, Slot::Ready { .. }))
+                    .count()
+                    > self.capacity
+                {
+                    let victim = slots
+                        .iter()
+                        .filter_map(|(k, s)| match s {
+                            Slot::Ready { last_used, .. } => Some((*last_used, k.clone())),
+                            Slot::InFlight(_) => None,
+                        })
+                        .min_by_key(|(last_used, _)| *last_used)
+                        .map(|(_, k)| k)
+                        .expect("over capacity implies a ready entry");
+                    slots.remove(&victim);
+                    evicted += 1;
+                }
+                if evicted > 0 {
+                    self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
             }
         }
         waiters
+    }
+
+    /// Completed entries evicted so far to honor the capacity bound.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of completed results currently held.
     pub(crate) fn ready_entries(&self) -> usize {
         self.lock()
             .values()
-            .filter(|slot| matches!(slot, Slot::Ready(_)))
+            .filter(|slot| matches!(slot, Slot::Ready { .. }))
             .count()
     }
 
@@ -169,7 +225,7 @@ impl ResultCache {
                 }
             }
         }
-        slots.retain(|_, slot| matches!(slot, Slot::Ready(_)));
+        slots.retain(|_, slot| matches!(slot, Slot::Ready { .. }));
     }
 }
 
@@ -231,7 +287,7 @@ mod tests {
 
     #[test]
     fn claim_compute_then_complete_serves_later_submissions() {
-        let cache = ResultCache::new();
+        let cache = ResultCache::new(64);
         let first = Arc::new(JobState::with_progress(None));
         assert!(matches!(cache.claim(demo_key(0), &first), Claim::Compute));
         assert!(cache.complete(demo_key(0), &Ok(demo_output())).is_empty());
@@ -250,7 +306,7 @@ mod tests {
 
     #[test]
     fn in_flight_twins_join_and_their_handles_return_on_completion() {
-        let cache = ResultCache::new();
+        let cache = ResultCache::new(64);
         let owner = Arc::new(JobState::with_progress(None));
         let joined_a = Arc::new(JobState::with_progress(None));
         let joined_b = Arc::new(JobState::with_progress(None));
@@ -277,7 +333,7 @@ mod tests {
 
     #[test]
     fn errors_free_the_key_and_are_not_cached() {
-        let cache = ResultCache::new();
+        let cache = ResultCache::new(64);
         let owner = Arc::new(JobState::with_progress(None));
         let joined = Arc::new(JobState::with_progress(None));
         cache.claim(demo_key(0), &owner);
@@ -295,7 +351,7 @@ mod tests {
 
     #[test]
     fn fail_in_flight_keeps_ready_entries() {
-        let cache = ResultCache::new();
+        let cache = ResultCache::new(64);
         let done = Arc::new(JobState::with_progress(None));
         cache.claim(demo_key(0), &done);
         cache.complete(demo_key(0), &Ok(demo_output()));

@@ -40,6 +40,19 @@ pub enum ServiceError {
     /// The counting engine rejected the job (unplannable query, zero trial
     /// budget, …).
     Count(SgcError),
+    /// A versioned job referenced a graph version the service does not
+    /// hold (never applied here, or from another graph's chain).
+    UnknownVersion {
+        /// The raw version id that failed to resolve.
+        version: u64,
+    },
+    /// An edge delta could not be applied to the current head snapshot
+    /// (deleting an absent edge, inserting an existing one, a vertex out
+    /// of range, …). The graph is unchanged.
+    Delta {
+        /// Human-readable rejection reason from the snapshot layer.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -61,6 +74,24 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "the worker processing this job terminated unexpectedly")
             }
             ServiceError::Count(e) => write!(f, "counting failed: {e}"),
+            ServiceError::UnknownVersion { version } => {
+                write!(f, "unknown graph version v{version:016x}")
+            }
+            ServiceError::Delta { reason } => write!(f, "delta rejected: {reason}"),
+        }
+    }
+}
+
+impl From<sgc_dyn::DynError> for ServiceError {
+    fn from(e: sgc_dyn::DynError) -> Self {
+        match e {
+            sgc_dyn::DynError::UnknownVersion(v) => ServiceError::UnknownVersion {
+                version: v.as_u64(),
+            },
+            sgc_dyn::DynError::Delta(d) => ServiceError::Delta {
+                reason: d.to_string(),
+            },
+            sgc_dyn::DynError::Count(c) => ServiceError::Count(c),
         }
     }
 }

@@ -77,4 +77,10 @@ pub use job::{
     StopReason,
 };
 pub use metrics::ServiceMetrics;
-pub use service::{Service, ServiceConfig};
+pub use service::{Service, ServiceConfig, WatchFn, WatchHandle};
+
+// The versioned-graph vocabulary, re-exported so callers of
+// `apply_delta` / `count_at` / `watch` need no direct `sgc-dyn` or
+// `sgc-graph` dependency.
+pub use sgc_dyn::VersionId;
+pub use sgc_graph::{DeltaError, EdgeDelta};

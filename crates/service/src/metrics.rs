@@ -40,6 +40,9 @@ pub struct ServiceMetrics {
     /// [`ServiceError::Cancelled`](crate::ServiceError::Cancelled) before
     /// any trials ran.
     pub jobs_cancelled: u64,
+    /// Completed results evicted from the bounded result cache (LRU over
+    /// the per-version job keys) to honor its capacity.
+    pub cache_evictions: u64,
 }
 
 impl ServiceMetrics {
@@ -78,7 +81,8 @@ impl std::fmt::Display for ServiceMetrics {
              cache_hit_rate    {:.4}\n\
              cached_results    {}\n\
              trials_executed   {}\n\
-             trials_saved      {}",
+             trials_saved      {}\n\
+             cache_evictions   {}",
             self.jobs_submitted,
             self.batches_submitted,
             self.jobs_rejected,
@@ -91,6 +95,7 @@ impl std::fmt::Display for ServiceMetrics {
             self.cached_results,
             self.trials_executed,
             self.trials_saved,
+            self.cache_evictions,
         )
     }
 }
@@ -110,7 +115,12 @@ pub(crate) struct Counters {
 }
 
 impl Counters {
-    pub(crate) fn snapshot(&self, queue_depth: usize, cached_results: usize) -> ServiceMetrics {
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        cached_results: usize,
+        cache_evictions: u64,
+    ) -> ServiceMetrics {
         ServiceMetrics {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             batches_submitted: self.batches_submitted.load(Ordering::Relaxed),
@@ -123,6 +133,7 @@ impl Counters {
             trials_executed: self.trials_executed.load(Ordering::Relaxed),
             trials_saved: self.trials_saved.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            cache_evictions,
         }
     }
 
@@ -150,7 +161,7 @@ mod tests {
         Counters::bump(&counters.cache_hits);
         Counters::add(&counters.trials_executed, 40);
         Counters::add(&counters.trials_saved, 24);
-        let snap = counters.snapshot(3, 1);
+        let snap = counters.snapshot(3, 1, 2);
         assert_eq!(snap.jobs_submitted, 2);
         assert_eq!(snap.batches_submitted, 1);
         assert_eq!(snap.jobs_rejected, 1);
@@ -161,6 +172,7 @@ mod tests {
         assert_eq!(snap.cached_results, 1);
         assert_eq!(snap.trials_executed, 40);
         assert_eq!(snap.trials_saved, 24);
+        assert_eq!(snap.cache_evictions, 2);
     }
 
     #[test]

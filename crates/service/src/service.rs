@@ -22,11 +22,15 @@ use crate::job::{
     BatchJob, ChunkUpdate, CountJob, JobHandle, JobOutput, JobState, ProgressFn, StopReason,
 };
 use crate::metrics::{Counters, ServiceMetrics};
-use sgc_core::{CountRequest, Engine};
-use sgc_graph::CsrGraph;
+use sgc_core::estimator::summarize_trials;
+use sgc_core::kernel::ArenaPool;
+use sgc_core::{CountRequest, Engine, KernelKind, SgcError};
+use sgc_dyn::{PartialStore, TrialSpec, VersionId, VersionedGraph};
+use sgc_graph::{CsrGraph, EdgeDelta};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Construction-time configuration of a [`Service`].
@@ -51,6 +55,18 @@ pub struct ServiceConfig {
     /// into the `sgc-obs` registry, and feed the slow-query trace log.
     /// On by default; results are bit-identical either way.
     pub obs: bool,
+    /// Maximum completed results the single-flight cache retains. With
+    /// versioned graphs every delta mints fresh cache keys, so the cache
+    /// is LRU-bounded; evictions are counted in
+    /// [`ServiceMetrics::cache_evictions`]. Clamped to at least 1.
+    pub cache_capacity: usize,
+    /// Shard count versioned jobs (`submit_at` / `watch`) run with — also
+    /// the granularity of delta-aware partial replay. Clamped to at
+    /// least 1.
+    pub dyn_shards: usize,
+    /// Approximate byte budget of the per-trial partial-sum store backing
+    /// incremental recounts.
+    pub partial_store_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -63,6 +79,9 @@ impl Default for ServiceConfig {
             chunk_trials: 8,
             trial_parallelism: false,
             obs: true,
+            cache_capacity: 256,
+            dyn_shards: 4,
+            partial_store_bytes: sgc_dyn::DEFAULT_STORE_CAPACITY_BYTES,
         }
     }
 }
@@ -78,19 +97,55 @@ struct QueuedJob {
     state: Arc<JobState>,
 }
 
-/// One queue slot: a solo submission or a batch processed as a unit.
+/// One queue slot: a solo submission, a batch processed as a unit, or a
+/// job pinned to a graph version.
 enum QueueEntry {
     Single(QueuedJob),
     Batch(Vec<QueuedJob>),
+    Versioned(VersionId, QueuedJob),
 }
 
 impl QueueEntry {
     /// Number of jobs this entry admits against the queue capacity.
     fn members(&self) -> usize {
         match self {
-            QueueEntry::Single(_) => 1,
+            QueueEntry::Single(_) | QueueEntry::Versioned(_, _) => 1,
             QueueEntry::Batch(jobs) => jobs.len(),
         }
+    }
+}
+
+/// A live watch subscription: the job re-run at every new version, and the
+/// callback its version-tagged chunks are delivered through.
+struct Watcher {
+    id: u64,
+    job: CountJob,
+    callback: WatchFn,
+    cancelled: Arc<AtomicBool>,
+}
+
+/// Callback of a [`watch`](Service::watch) subscription: invoked with the
+/// version that landed and the fresh estimate chunk computed at it.
+pub type WatchFn = Arc<dyn Fn(VersionId, &ChunkUpdate) + Send + Sync>;
+
+/// Handle to a live [`watch`](Service::watch) subscription. Cancelling (or
+/// [`Service::unwatch`]) stops future emissions; an emission already in
+/// progress may still be delivered.
+pub struct WatchHandle {
+    id: u64,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl WatchHandle {
+    /// The subscription's id, usable with [`Service::unwatch`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Stops future emissions for this subscription. The watcher entry is
+    /// pruned at the next delta.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
     }
 }
 
@@ -116,11 +171,22 @@ struct Shared {
     chunk_trials: usize,
     trial_parallelism: bool,
     obs: bool,
+    dyn_shards: usize,
     queue: Mutex<QueueState>,
     available: Condvar,
     cache: ResultCache,
     counters: Counters,
     traces: sgc_obs::TraceLog,
+    /// The version chain rooted at the bound graph. Reads (versioned
+    /// counting) take the read lock per chunk; `apply_delta` takes the
+    /// write lock, so mutation never waits for a whole job.
+    dynamic: RwLock<VersionedGraph>,
+    /// Per-trial, per-shard partial sums backing incremental recounts.
+    partials: PartialStore,
+    /// Arena pool the versioned runs check join-kernel scratch out of.
+    pool: ArenaPool,
+    watchers: Mutex<Vec<Watcher>>,
+    watch_ids: AtomicU64,
 }
 
 impl Shared {
@@ -153,6 +219,7 @@ impl Service {
     /// Starts a service for `graph` with an explicit configuration.
     pub fn with_config(graph: Arc<CsrGraph>, config: ServiceConfig) -> Self {
         let graph_fingerprint = graph.fingerprint();
+        let dynamic = VersionedGraph::new(&graph);
         let shared = Arc::new(Shared {
             engine: Engine::from_shared(graph),
             graph_fingerprint,
@@ -160,14 +227,20 @@ impl Service {
             chunk_trials: config.chunk_trials.max(1),
             trial_parallelism: config.trial_parallelism,
             obs: config.obs,
+            dyn_shards: config.dyn_shards.max(1),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
-            cache: ResultCache::new(),
+            cache: ResultCache::new(config.cache_capacity),
             counters: Counters::default(),
             traces: sgc_obs::TraceLog::new(TRACE_LOG_CAPACITY),
+            dynamic: RwLock::new(dynamic),
+            partials: PartialStore::new(config.partial_store_bytes),
+            pool: ArenaPool::new(),
+            watchers: Mutex::new(Vec::new()),
+            watch_ids: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -404,12 +477,229 @@ impl Service {
             .collect())
     }
 
+    /// The root version: the bound graph itself, before any delta. Its id
+    /// equals the graph fingerprint, so counting at the root shares cache
+    /// slots with plain [`submit`](Service::submit) jobs.
+    pub fn root_version(&self) -> VersionId {
+        self.shared
+            .dynamic
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .root()
+    }
+
+    /// The current head version — where [`apply_delta`](Service::apply_delta)
+    /// chains the next delta.
+    pub fn head_version(&self) -> VersionId {
+        self.shared
+            .dynamic
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .head()
+    }
+
+    /// Whether the service holds `version` in its chain.
+    pub fn has_version(&self, version: VersionId) -> bool {
+        self.shared
+            .dynamic
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .contains(version)
+    }
+
+    /// Applies an edge delta to the head snapshot, minting a new version,
+    /// and synchronously re-emits a fresh estimate chunk to every live
+    /// [`watch`](Service::watch) subscription at the new version (identical
+    /// watch jobs share one computation through the single-flight cache).
+    /// Returns the new head version id.
+    ///
+    /// The delta applies copy-on-write over the head's CSR segments:
+    /// untouched segments are shared, and versions already minted are
+    /// immutable — counting at an old version keeps working after any
+    /// number of deltas.
+    ///
+    /// # Errors
+    /// [`ServiceError::Delta`] when the snapshot layer rejects the delta
+    /// (the graph is unchanged), [`ServiceError::ShuttingDown`] after
+    /// shutdown.
+    pub fn apply_delta(&self, delta: &EdgeDelta) -> Result<VersionId, ServiceError> {
+        if self.shared.lock_queue().shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let version = {
+            let mut dynamic = self
+                .shared
+                .dynamic
+                .write()
+                .unwrap_or_else(|p| p.into_inner());
+            dynamic.apply_to_head(delta)?
+        };
+        notify_watchers(&self.shared, version);
+        Ok(version)
+    }
+
+    /// Submits a job pinned to graph version `version` (see
+    /// [`apply_delta`](Service::apply_delta)). Admission follows
+    /// [`submit`](Service::submit); the job runs through the delta-aware
+    /// incremental runtime — shards the version's delta cannot have touched
+    /// replay their retained partial sums — and its output is bit-identical
+    /// to a from-scratch run on the version's materialized graph.
+    ///
+    /// The version is resolved when the job runs, not at admission: an
+    /// unknown version reports [`ServiceError::UnknownVersion`] through the
+    /// handle.
+    ///
+    /// # Errors
+    /// Exactly those of [`submit`](Service::submit).
+    pub fn submit_at(&self, version: VersionId, job: CountJob) -> Result<JobHandle, ServiceError> {
+        self.submit_at_inner(version, job, None)
+    }
+
+    /// [`submit_at`](Service::submit_at) with a progress watcher, following
+    /// the [`submit_with_progress`](Service::submit_with_progress)
+    /// contract: one update per completed chunk, each bit-identical to a
+    /// fixed-budget run of exactly that many trials at that version.
+    pub fn submit_at_with_progress(
+        &self,
+        version: VersionId,
+        job: CountJob,
+        progress: ProgressFn,
+    ) -> Result<JobHandle, ServiceError> {
+        self.submit_at_inner(version, job, Some(progress))
+    }
+
+    fn submit_at_inner(
+        &self,
+        version: VersionId,
+        mut job: CountJob,
+        progress: Option<ProgressFn>,
+    ) -> Result<JobHandle, ServiceError> {
+        if let Some(precision) = &job.precision {
+            precision.validate()?;
+        }
+        if job.trace_id.is_none() {
+            job.trace_id = Some(sgc_obs::next_trace_id());
+        }
+        let state = Arc::new(JobState::with_progress(progress));
+        {
+            let mut queue = self.shared.lock_queue();
+            if queue.shutdown {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if queue.member_count() >= self.shared.queue_capacity {
+                Counters::bump(&self.shared.counters.jobs_rejected);
+                return Err(ServiceError::QueueFull {
+                    capacity: self.shared.queue_capacity,
+                });
+            }
+            Counters::bump(&self.shared.counters.jobs_submitted);
+            queue.jobs.push_back(QueueEntry::Versioned(
+                version,
+                QueuedJob {
+                    job,
+                    state: Arc::clone(&state),
+                },
+            ));
+        }
+        self.shared.available.notify_one();
+        Ok(JobHandle { state })
+    }
+
+    /// Counts at a version and blocks: [`submit_at`](Service::submit_at)
+    /// plus [`JobHandle::wait`] in one call.
+    pub fn count_at(&self, version: VersionId, job: CountJob) -> Result<JobOutput, ServiceError> {
+        self.submit_at(version, job)?.wait()
+    }
+
+    /// Registers a live watch: `callback` receives an initial estimate
+    /// chunk for `job` at the current head (computed synchronously, on this
+    /// thread), then a fresh version-tagged chunk every time
+    /// [`apply_delta`](Service::apply_delta) lands a new version. Re-counts
+    /// ride the incremental runtime, so a small delta re-emits after
+    /// recomputing only its invalidation ball.
+    ///
+    /// Emissions run on the thread that applies the delta, serially across
+    /// watchers; identical watch jobs (and identical `submit_at` jobs) share
+    /// one computation through the single-flight cache. This is the serving
+    /// primitive behind the `sgc-net` `watch` verb.
+    ///
+    /// # Errors
+    /// [`ServiceError::InvalidPrecision`] for an unusable target,
+    /// [`ServiceError::ShuttingDown`] after shutdown, and any counting
+    /// error of the initial run (a watch that cannot produce its first
+    /// chunk is not registered).
+    pub fn watch(&self, mut job: CountJob, callback: WatchFn) -> Result<WatchHandle, ServiceError> {
+        if let Some(precision) = &job.precision {
+            precision.validate()?;
+        }
+        if job.trace_id.is_none() {
+            job.trace_id = Some(sgc_obs::next_trace_id());
+        }
+        if self.shared.lock_queue().shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let id = self.shared.watch_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let cancelled = Arc::new(AtomicBool::new(false));
+        // The initial emission and the registration happen under the
+        // watchers lock, atomically with respect to `notify_watchers`: a
+        // delta landing concurrently either waits and then re-emits to this
+        // watcher, or finished notifying before the initial run — in which
+        // case the initial emission already observes its version. Either
+        // way a new watch cannot miss a version.
+        {
+            let mut watchers = self
+                .shared
+                .watchers
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            let head = self.head_version();
+            let output = run_versioned_now(&self.shared, head, &job)?;
+            callback(
+                head,
+                &ChunkUpdate {
+                    trials_run: output.trials_run,
+                    budget: output.budget,
+                    estimate: output.estimate,
+                },
+            );
+            watchers.push(Watcher {
+                id,
+                job,
+                callback,
+                cancelled: Arc::clone(&cancelled),
+            });
+        }
+        Ok(WatchHandle { id, cancelled })
+    }
+
+    /// Removes a watch subscription by id (see [`WatchHandle::id`]).
+    /// Unknown ids are a no-op. [`WatchHandle::cancel`] is the handle-side
+    /// equivalent.
+    pub fn unwatch(&self, id: u64) {
+        self.shared
+            .watchers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .retain(|w| w.id != id);
+    }
+
+    /// Live watch subscriptions (cancelled-but-unpruned entries included).
+    pub fn watch_count(&self) -> usize {
+        self.shared
+            .watchers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
     /// A snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
         let queue_depth = self.shared.lock_queue().member_count();
-        self.shared
-            .counters
-            .snapshot(queue_depth, self.shared.cache.ready_entries())
+        self.shared.counters.snapshot(
+            queue_depth,
+            self.shared.cache.ready_entries(),
+            self.shared.cache.evictions(),
+        )
     }
 
     /// The unified metrics exposition: publishes the current
@@ -431,6 +721,7 @@ impl Service {
         registry.gauge_set("service_cached_results", snapshot.cached_results as u64);
         registry.gauge_set("service_trials_executed", snapshot.trials_executed);
         registry.gauge_set("service_trials_saved", snapshot.trials_saved);
+        registry.gauge_set("service_cache_evictions", snapshot.cache_evictions);
         registry.render()
     }
 
@@ -477,7 +768,7 @@ impl Service {
         };
         for entry in leftovers {
             let members = match entry {
-                QueueEntry::Single(queued) => vec![queued],
+                QueueEntry::Single(queued) | QueueEntry::Versioned(_, queued) => vec![queued],
                 QueueEntry::Batch(members) => members,
             };
             for queued in members {
@@ -518,6 +809,7 @@ fn worker_loop(shared: Arc<Shared>) {
         match entry {
             QueueEntry::Single(queued) => process(&shared, queued),
             QueueEntry::Batch(members) => process_batch(&shared, members),
+            QueueEntry::Versioned(version, queued) => process_versioned(&shared, version, queued),
         }
     }
 }
@@ -529,9 +821,93 @@ fn process(shared: &Shared, queued: QueuedJob) {
     if finish_if_cancelled_before_start(shared, &queued) {
         return;
     }
-    if let Some((key, queued)) = route(shared, queued) {
-        let result = run_traced(shared, &queued);
+    if let Some((key, queued)) = route(shared, shared.graph_fingerprint, queued) {
+        let result = run_traced(shared, &queued, |queued| {
+            run_job(shared, &queued.job, &queued.state)
+        });
         finish_compute(shared, key, &queued, result);
+    }
+}
+
+/// Like [`process`], but pinned to a graph version: the job runs through
+/// the delta-aware incremental runtime instead of the engine's trial
+/// stream, and its cache key carries the version id in the fingerprint
+/// slot (the root version id *is* the graph fingerprint, so root-version
+/// jobs share slots with plain submissions — correct, because their
+/// per-trial counts are bit-identical).
+fn process_versioned(shared: &Shared, version: VersionId, queued: QueuedJob) {
+    if finish_if_cancelled_before_start(shared, &queued) {
+        return;
+    }
+    if let Some((key, queued)) = route(shared, version.as_u64(), queued) {
+        let result = run_traced(shared, &queued, |queued| {
+            run_versioned_job(shared, version, &queued.job, &queued.state)
+        });
+        finish_compute(shared, key, &queued, result);
+    }
+}
+
+/// Runs one versioned job synchronously on the calling thread, through the
+/// same single-flight cache the workers use: a cached result is served, an
+/// identical in-flight computation is joined (blocking until it
+/// completes), and otherwise this thread computes. The primitive behind
+/// watch emissions.
+fn run_versioned_now(
+    shared: &Shared,
+    version: VersionId,
+    job: &CountJob,
+) -> Result<JobOutput, ServiceError> {
+    let state = Arc::new(JobState::with_progress(None));
+    let queued = QueuedJob {
+        job: job.clone(),
+        state: Arc::clone(&state),
+    };
+    if let Some((key, queued)) = route(shared, version.as_u64(), queued) {
+        let result = run_traced(shared, &queued, |queued| {
+            run_versioned_job(shared, version, &queued.job, &queued.state)
+        });
+        finish_compute(shared, key, &queued, result);
+    }
+    JobHandle { state }.wait()
+}
+
+/// Re-emits a fresh estimate chunk at `version` to every live watcher.
+/// Cancelled watchers are pruned first; identical watch jobs dedupe
+/// through the single-flight cache. A watcher whose job fails at this
+/// version (it cannot — jobs are validated by their initial emission —
+/// except through a worker panic) skips the emission rather than killing
+/// the delta.
+fn notify_watchers(shared: &Shared, version: VersionId) {
+    let live: Vec<(CountJob, WatchFn, Arc<AtomicBool>)> = {
+        let mut watchers = shared.watchers.lock().unwrap_or_else(|p| p.into_inner());
+        watchers.retain(|w| !w.cancelled.load(Ordering::Relaxed));
+        watchers
+            .iter()
+            .map(|w| {
+                (
+                    w.job.clone(),
+                    Arc::clone(&w.callback),
+                    Arc::clone(&w.cancelled),
+                )
+            })
+            .collect()
+    };
+    for (job, callback, cancelled) in live {
+        if cancelled.load(Ordering::Relaxed) {
+            continue;
+        }
+        if let Ok(output) = run_versioned_now(shared, version, &job) {
+            if !cancelled.load(Ordering::Relaxed) {
+                callback(
+                    version,
+                    &ChunkUpdate {
+                        trials_run: output.trials_run,
+                        budget: output.budget,
+                        estimate: output.estimate,
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -540,14 +916,16 @@ fn process(shared: &Shared, queued: QueuedJob) {
 /// neither kills the worker nor strands the jobs joined onto this
 /// computation (the span stack self-heals during unwinding), and the
 /// finished job lands in the slow-query trace log.
-fn run_traced(shared: &Shared, queued: &QueuedJob) -> Result<JobOutput, ServiceError> {
+fn run_traced(
+    shared: &Shared,
+    queued: &QueuedJob,
+    run: impl FnOnce(&QueuedJob) -> Result<JobOutput, ServiceError>,
+) -> Result<JobOutput, ServiceError> {
     let _pause = (!shared.obs).then(sgc_obs::suspend);
     let started = std::time::Instant::now();
     sgc_obs::start_job();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        run_job(shared, &queued.job, &queued.state)
-    }))
-    .unwrap_or(Err(ServiceError::WorkerLost));
+    let result =
+        catch_unwind(AssertUnwindSafe(|| run(queued))).unwrap_or(Err(ServiceError::WorkerLost));
     let stages = sgc_obs::end_job();
     if shared.obs && sgc_obs::enabled() {
         shared.traces.record(sgc_obs::JobTrace {
@@ -607,8 +985,8 @@ fn finish_if_cancelled_before_start(shared: &Shared, queued: &QueuedJob) -> bool
 /// Counters are always bumped BEFORE the corresponding handle is
 /// fulfilled: once a caller's wait() returns, the metrics already account
 /// for that job.
-fn route(shared: &Shared, queued: QueuedJob) -> Option<(JobKey, QueuedJob)> {
-    let key = JobKey::new(shared.graph_fingerprint, &queued.job);
+fn route(shared: &Shared, fingerprint: u64, queued: QueuedJob) -> Option<(JobKey, QueuedJob)> {
+    let key = JobKey::new(fingerprint, &queued.job);
     let _pause = (!shared.obs).then(sgc_obs::suspend);
     let started = std::time::Instant::now();
     let claim = {
@@ -710,7 +1088,7 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
     let computes: Vec<(JobKey, QueuedJob)> = members
         .into_iter()
         .filter(|queued| !finish_if_cancelled_before_start(shared, queued))
-        .filter_map(|queued| route(shared, queued))
+        .filter_map(|queued| route(shared, shared.graph_fingerprint, queued))
         .collect();
     // Early stopping is an individual contract (each job stops on its own
     // confidence interval), so precision-targeted members keep the solo
@@ -719,7 +1097,9 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
         .into_iter()
         .partition(|(_, queued)| queued.job.precision.is_some());
     for (key, queued) in adaptive {
-        let result = run_traced(shared, &queued);
+        let result = run_traced(shared, &queued, |queued| {
+            run_job(shared, &queued.job, &queued.state)
+        });
         finish_compute(shared, key, &queued, result);
     }
     if fixed.is_empty() {
@@ -750,7 +1130,9 @@ fn process_batch(shared: &Shared, members: Vec<QueuedJob>) {
         // only the offending members report the failure.
         Ok(Err(_)) => {
             for (key, queued) in fixed {
-                let result = run_traced(shared, &queued);
+                let result = run_traced(shared, &queued, |queued| {
+                    run_job(shared, &queued.job, &queued.state)
+                });
                 finish_compute(shared, key, &queued, result);
             }
         }
@@ -854,6 +1236,91 @@ fn run_job(shared: &Shared, job: &CountJob, state: &JobState) -> Result<JobOutpu
     })
 }
 
+/// The adaptive trial loop of one *versioned* job: chunks run through the
+/// delta-aware incremental runtime ([`sgc_dyn::run_trials`]) instead of
+/// the engine's trial stream, then fold into an estimate with the very
+/// same [`summarize_trials`] the engine uses — which is what makes a
+/// versioned output bit-identical to a from-scratch engine run on the
+/// version's materialized graph (pinned by `tests/dynamic.rs`).
+///
+/// The version-chain read lock is held per chunk, not per job, so
+/// [`Service::apply_delta`] interleaves with long counts at chunk
+/// granularity.
+fn run_versioned_job(
+    shared: &Shared,
+    version: VersionId,
+    job: &CountJob,
+    state: &JobState,
+) -> Result<JobOutput, ServiceError> {
+    if state.is_cancelled() {
+        return Err(ServiceError::Cancelled);
+    }
+    if job.budget == 0 {
+        return Err(ServiceError::Count(SgcError::ZeroTrials));
+    }
+    let tree = sgc_query::heuristic_plan(&job.query).map_err(SgcError::Query)?;
+    let started = std::time::Instant::now();
+    let mut per_trial: Vec<u64> = Vec::new();
+    let mut stop = StopReason::BudgetExhausted;
+    while per_trial.len() < job.budget {
+        let chunk = shared.chunk_trials.min(job.budget - per_trial.len());
+        let start = per_trial.len();
+        let spec = TrialSpec {
+            query: &job.query,
+            tree: &tree,
+            algorithm: job.algorithm,
+            seed: job.seed,
+            num_shards: shared.dyn_shards,
+            kernel: KernelKind::default(),
+        };
+        {
+            let dynamic = shared.dynamic.read().unwrap_or_else(|p| p.into_inner());
+            let outcome = sgc_dyn::run_trials(
+                &dynamic,
+                &shared.partials,
+                version,
+                &spec,
+                start..start + chunk,
+                &shared.pool,
+            )?;
+            per_trial.extend(outcome.per_trial);
+        }
+        if state.has_progress() || job.precision.is_some() {
+            let estimate = summarize_trials(
+                per_trial.clone(),
+                &job.query,
+                started.elapsed().as_secs_f64(),
+            );
+            if state.has_progress() {
+                state.emit_progress(&ChunkUpdate {
+                    trials_run: per_trial.len(),
+                    budget: job.budget,
+                    estimate: estimate.clone(),
+                });
+            }
+            if let Some(precision) = &job.precision {
+                if estimate.relative_half_width(precision.confidence) <= precision.target {
+                    stop = StopReason::PrecisionMet;
+                    break;
+                }
+            }
+        }
+        if state.is_cancelled() {
+            stop = StopReason::Cancelled;
+            break;
+        }
+    }
+    let trials_run = per_trial.len();
+    let estimate = summarize_trials(per_trial, &job.query, started.elapsed().as_secs_f64());
+    Ok(JobOutput {
+        estimate,
+        trials_run,
+        budget: job.budget,
+        stop,
+        from_cache: false,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,6 +1359,7 @@ mod tests {
                 chunk_trials: 4,
                 trial_parallelism: false,
                 obs: true,
+                ..ServiceConfig::default()
             },
         )
     }
@@ -946,6 +1414,7 @@ mod tests {
                 chunk_trials: 4,
                 trial_parallelism: false,
                 obs: true,
+                ..ServiceConfig::default()
             },
         );
         let a = service.submit(CountJob::new(catalog::triangle())).unwrap();
@@ -1031,6 +1500,7 @@ mod tests {
                 chunk_trials: 4,
                 trial_parallelism: false,
                 obs: true,
+                ..ServiceConfig::default()
             },
         );
         let output = service
@@ -1114,6 +1584,7 @@ mod tests {
                 chunk_trials: 4,
                 trial_parallelism: false,
                 obs: true,
+                ..ServiceConfig::default()
             },
         );
         // Five members cannot fit a capacity-4 queue: nothing is admitted.

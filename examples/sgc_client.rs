@@ -8,10 +8,17 @@
 //! cargo run --release --example sgc_client -- --addr HOST:PORT stats
 //! cargo run --release --example sgc_client -- --addr HOST:PORT metrics
 //! cargo run --release --example sgc_client -- --addr HOST:PORT trace
+//! cargo run --release --example sgc_client -- --addr HOST:PORT delta \
+//!     [--insert U-V,U-V,...] [--delete U-V,U-V,...]
+//! cargo run --release --example sgc_client -- --addr HOST:PORT watch 'cycle(5)' \
+//!     [--seed N] [--budget N] [--frames N]
 //! ```
 //!
 //! `count` prints one progress line per streamed estimate chunk to stderr
-//! and the final result to stdout. Typed server errors (including spanned
+//! and the final result to stdout. `delta` mutates the server's graph and
+//! prints the new version id; `watch` subscribes and prints one
+//! version-tagged line per emission (the immediate one, then one per
+//! delta), exiting after `--frames` emissions. Typed server errors (including spanned
 //! pattern parse errors with their caret diagnostic) are printed to stderr
 //! and exit nonzero — which is what the CI smoke job asserts.
 
@@ -27,6 +34,25 @@ struct Options {
     budget: u64,
     precision: Option<f64>,
     algorithm: Algorithm,
+    inserts: Vec<(u32, u32)>,
+    deletes: Vec<(u32, u32)>,
+    frames: usize,
+}
+
+/// Parses a comma-separated edge list like `0-40,1-2`.
+fn parse_edges(text: &str) -> Result<Vec<(u32, u32)>, String> {
+    text.split(',')
+        .filter(|pair| !pair.trim().is_empty())
+        .map(|pair| {
+            let (u, v) = pair
+                .trim()
+                .split_once('-')
+                .ok_or_else(|| format!("expected U-V, got {pair:?}"))?;
+            let u = u.trim().parse().map_err(|e| format!("{pair:?}: {e}"))?;
+            let v = v.trim().parse().map_err(|e| format!("{pair:?}: {e}"))?;
+            Ok((u, v))
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -38,6 +64,9 @@ fn parse_args() -> Result<Options, String> {
         budget: 64,
         precision: None,
         algorithm: Algorithm::DegreeBased,
+        inserts: Vec::new(),
+        deletes: Vec::new(),
+        frames: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,6 +90,17 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--precision: {e}"))?,
                 )
             }
+            "--insert" => options
+                .inserts
+                .extend(parse_edges(&value("--insert")?).map_err(|e| format!("--insert: {e}"))?),
+            "--delete" => options
+                .deletes
+                .extend(parse_edges(&value("--delete")?).map_err(|e| format!("--delete: {e}"))?),
+            "--frames" => {
+                options.frames = value("--frames")?
+                    .parse()
+                    .map_err(|e| format!("--frames: {e}"))?
+            }
             "--algorithm" => {
                 options.algorithm = match value("--algorithm")?.as_str() {
                     "db" => Algorithm::DegreeBased,
@@ -80,7 +120,9 @@ fn parse_args() -> Result<Options, String> {
         return Err("--addr HOST:PORT is required".to_string());
     }
     if options.verb.is_empty() {
-        return Err("expected a verb: count, explain, stats, metrics, or trace".to_string());
+        return Err(
+            "expected a verb: count, explain, stats, metrics, trace, delta, or watch".to_string(),
+        );
     }
     Ok(options)
 }
@@ -136,6 +178,42 @@ fn run(options: Options) -> Result<(), ClientError> {
                 }
             }
         }
+        "watch" => {
+            let pattern = options.pattern.as_deref().unwrap_or_default();
+            let mut builder = client
+                .count(pattern)
+                .algorithm(options.algorithm)
+                .seed(options.seed)
+                .budget(options.budget);
+            if let Some(target) = options.precision {
+                builder = builder.precision(Precision::within(target));
+            }
+            let mut stream = builder.watch()?;
+            let mut seen = 0usize;
+            while let Some(frame) = stream.next() {
+                let frame = frame?;
+                println!(
+                    "watch v{:016x}: {:>5}/{} trials, estimate {:>14.2}, ±{:.2}%",
+                    frame.version,
+                    frame.trials_run,
+                    frame.budget,
+                    frame.estimated_subgraphs,
+                    100.0 * frame.relative_half_width
+                );
+                seen += 1;
+                if options.frames > 0 && seen >= options.frames {
+                    stream.cancel()?;
+                }
+            }
+        }
+        "delta" => {
+            if options.inserts.is_empty() && options.deletes.is_empty() {
+                eprintln!("error: delta expects --insert and/or --delete edge lists");
+                std::process::exit(2);
+            }
+            let version = client.apply_delta(&options.inserts, &options.deletes)?;
+            println!("version {version:016x}");
+        }
         "explain" => {
             let pattern = options.pattern.as_deref().unwrap_or_default();
             println!("{}", client.explain(pattern)?);
@@ -156,7 +234,8 @@ fn run(options: Options) -> Result<(), ClientError> {
         }
         other => {
             eprintln!(
-                "error: unknown verb {other} (expected count, explain, stats, metrics, or trace)"
+                "error: unknown verb {other} \
+                 (expected count, explain, stats, metrics, trace, delta, or watch)"
             );
             std::process::exit(2);
         }

@@ -50,6 +50,11 @@
 //! call; migrate to [`Engine`] to stop paying the preprocessing per call.
 
 pub use sgc_core as core;
+/// Versioned graph snapshots and delta-aware incremental recount
+/// (`sgc-dyn`; the crate ident avoids the `dyn` keyword).
+pub mod dynamic {
+    pub use sgc_dyn::*;
+}
 pub use sgc_engine as engine;
 pub use sgc_gen as gen;
 pub use sgc_graph as graph;
@@ -66,13 +71,14 @@ pub use sgc_core::prelude::*;
 // `Service` is the recommended way to share one graph across many
 // concurrent callers.
 pub use sgc_service::{
-    BatchJob, CancelToken, ChunkUpdate, CountJob, JobHandle, JobOutput, Precision, Service,
-    ServiceConfig, ServiceError, ServiceMetrics, StopReason,
+    BatchJob, CancelToken, ChunkUpdate, CountJob, EdgeDelta, JobHandle, JobOutput, Precision,
+    Service, ServiceConfig, ServiceError, ServiceMetrics, StopReason, VersionId, WatchFn,
+    WatchHandle,
 };
 
 // The network front door: serve the bound graph over TCP with streaming
 // anytime results, and talk to such a server from Rust.
-pub use sgc_net::{Client, Server, ServerConfig, StreamEvent};
+pub use sgc_net::{Client, Server, ServerConfig, StreamEvent, WatchStream};
 
 // The pattern front door: the text language, its typed spanned errors, the
 // name registry behind it, and the explain report. (Also available through

@@ -189,6 +189,7 @@ fn service_batches_match_solo_submissions_and_the_engine() {
             chunk_trials: 4,
             trial_parallelism: false,
             obs: true,
+            ..ServiceConfig::default()
         },
     );
     let queries = registry_queries();

@@ -34,6 +34,7 @@ fn server_config(workers: usize, queue_capacity: usize, chunk_trials: usize) -> 
             chunk_trials,
             trial_parallelism: false,
             obs: true,
+            ..ServiceConfig::default()
         },
         ..ServerConfig::default()
     }
@@ -100,6 +101,7 @@ fn wire_outputs_are_bit_identical_to_service_run_for_every_registry_query() {
             chunk_trials: 4,
             trial_parallelism: false,
             obs: true,
+            ..ServiceConfig::default()
         },
     );
     let mut client = Client::connect(server.local_addr()).expect("connect");

@@ -153,6 +153,7 @@ fn text_and_constructor_jobs_share_one_service_cache_entry() {
             chunk_trials: 4,
             trial_parallelism: false,
             obs: true,
+            ..ServiceConfig::default()
         },
     );
     let by_text = service

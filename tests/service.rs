@@ -22,6 +22,7 @@ fn config(workers: usize) -> ServiceConfig {
         chunk_trials: 4,
         trial_parallelism: false,
         obs: true,
+        ..ServiceConfig::default()
     }
 }
 
@@ -213,6 +214,7 @@ fn admission_control_and_shutdown_are_typed() {
             chunk_trials: 4,
             trial_parallelism: false,
             obs: true,
+            ..ServiceConfig::default()
         },
     );
     let mut handles = Vec::new();
